@@ -1,0 +1,60 @@
+//! # kset-adversary — Byzantine strategies and fault placement
+//!
+//! The impossibility proofs of the paper are *constructions*: each one
+//! describes a specific misbehaviour (lying about an input, mimicking a
+//! different unanimous group towards each partition, splitting an echo
+//! quorum) combined with a scheduling pattern. This crate packages those
+//! misbehaviours as reusable process implementations that plug into the
+//! Byzantine slots of an `MpSystem`/`SmSystem` fault plan:
+//!
+//! * [`Silent`] / [`SmSilent`] — send/write nothing, ever. The weakest
+//!   Byzantine behaviour (indistinguishable from an initial crash), and the
+//!   baseline for every "termination despite `t` failures" test.
+//! * [`Equivocator`] — sends a *different* value to every process. Breaks
+//!   protocols that assume a sender tells everyone the same thing.
+//! * [`GroupMimic`] — towards each group of processes, behaves like a
+//!   correct process whose input is that group's value: the engine of the
+//!   runs in Lemmas 3.9 and 3.11.
+//! * [`InputLiar`] — the Lemma 3.10 adversary: runs the correct protocol
+//!   but on a forged input ("claiming that `v_i` is its input").
+//! * [`EchoSplitter`] — attacks echo broadcasts by sending `Init` with
+//!   different values to different halves of the system, driving the
+//!   `l`-echo analysis of Lemma 3.14 to its bound.
+//! * [`Scribbler`] — shared-memory vandal: writes a stream of garbage
+//!   values to *its own* registers (the only ones it can touch — the
+//!   SWMR integrity guarantee holds even for Byzantine processes).
+//! * [`plans`] — fault-plan builders, including the crash-at-the-worst-
+//!   moment placements the proofs of Lemmas 3.5 and 4.2 rely on.
+//!
+//! ```
+//! use kset_adversary::{Equivocator, plans};
+//! use kset_net::{DynMpProcess, MpSystem};
+//! use kset_protocols::FloodMin;
+//!
+//! // FloodMin is a crash-model protocol; one equivocator (sending a
+//! // different forged value to every process) can poison decisions with
+//! // values nobody input — the essence of Lemma 3.10.
+//! let n = 4;
+//! let outcome = MpSystem::new(n)
+//!     .seed(11)
+//!     .fault_plan(plans::byzantine(n, &[0]))
+//!     .run_with(|p| -> DynMpProcess<u64, u64> {
+//!         if p == 0 {
+//!             Box::new(Equivocator::new((1000..1000 + n as u64).collect()))
+//!         } else {
+//!             FloodMin::boxed(n, 1, 10 + p as u64)
+//!         }
+//!     })?;
+//! assert!(outcome.terminated);
+//! # Ok::<(), kset_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod mp;
+pub mod plans;
+mod sm;
+
+pub use mp::{EchoSplitter, Equivocator, GroupMimic, InputLiar, Silent};
+pub use sm::{Scribbler, SmSilent};

@@ -1,0 +1,377 @@
+//! Message-passing Byzantine strategies.
+
+use std::marker::PhantomData;
+
+use kset_core::Value;
+use kset_net::{MpContext, MpProcess};
+use kset_protocols::CMsg;
+use kset_sim::ProcessId;
+
+/// Sends nothing, ever — the Byzantine strategy indistinguishable from an
+/// initial crash. Useful wherever a test needs "t failures exist" without
+/// any active interference.
+#[derive(Clone, Copy, Debug)]
+pub struct Silent<M, V> {
+    _marker: PhantomData<(M, V)>,
+}
+
+impl<M, V> Silent<M, V> {
+    /// Creates the silent strategy.
+    pub fn new() -> Self {
+        Silent {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M, V> Default for Silent<M, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone, V> MpProcess for Silent<M, V> {
+    type Msg = M;
+    type Output = V;
+
+    fn on_start(&mut self, _ctx: &mut MpContext<'_, M, V>) {}
+
+    fn on_message(&mut self, _from: ProcessId, _msg: M, _ctx: &mut MpContext<'_, M, V>) {}
+}
+
+/// Sends a *different* input value to every process (`values[q]` goes to
+/// process `q`), then ignores all deliveries.
+///
+/// Against quorum-of-values protocols (FloodMin, Protocols A and B) this is
+/// the canonical demonstration that crash-model validity arguments do not
+/// survive Byzantine failures: decisions can contain values that were
+/// nobody's input.
+#[derive(Clone, Debug)]
+pub struct Equivocator<V> {
+    values: Vec<V>,
+}
+
+impl<V: Value> Equivocator<V> {
+    /// Creates the strategy; `values[q]` is sent to process `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<V>) -> Self {
+        assert!(!values.is_empty(), "equivocator needs at least one value");
+        Equivocator { values }
+    }
+}
+
+impl<V: Value> MpProcess for Equivocator<V> {
+    type Msg = V;
+    type Output = V;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
+        for to in 0..ctx.n() {
+            let v = self.values[to % self.values.len()].clone();
+            ctx.send(to, v);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: V, _ctx: &mut MpContext<'_, V, V>) {}
+}
+
+/// Towards each group of processes, behaves like a correct process whose
+/// input is that group's value — the adversary of the runs constructed in
+/// Lemmas 3.9 and 3.11.
+///
+/// Combined with delay rules isolating each group, every group `g_i` sees a
+/// run indistinguishable from "everyone (including the faulty) started with
+/// `v_i`", and decides `v_i` — stacking up `k + 1` decisions.
+#[derive(Clone, Debug)]
+pub struct GroupMimic<V> {
+    /// `assignment[q]` is the value this strategy shows to process `q`.
+    assignment: Vec<V>,
+}
+
+impl<V: Value> GroupMimic<V> {
+    /// Creates the strategy from explicit per-process values.
+    pub fn from_assignment(assignment: Vec<V>) -> Self {
+        GroupMimic { assignment }
+    }
+
+    /// Creates the strategy from groups: every process in `groups[i].0`
+    /// is shown value `groups[i].1`; processes not mentioned get the first
+    /// group's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or mentions a process `>= n`.
+    pub fn new(n: usize, groups: &[(Vec<ProcessId>, V)]) -> Self {
+        assert!(!groups.is_empty(), "group mimic needs at least one group");
+        let mut assignment = vec![groups[0].1.clone(); n];
+        for (members, v) in groups {
+            for &p in members {
+                assert!(p < n, "group member {p} out of range for n = {n}");
+                assignment[p] = v.clone();
+            }
+        }
+        GroupMimic { assignment }
+    }
+}
+
+impl<V: Value> MpProcess for GroupMimic<V> {
+    type Msg = V;
+    type Output = V;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
+        for (to, v) in self.assignment.iter().cloned().enumerate() {
+            if to < ctx.n() {
+                ctx.send(to, v);
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: V, _ctx: &mut MpContext<'_, V, V>) {}
+}
+
+/// Runs an arbitrary correct protocol, but on a forged input — the
+/// Lemma 3.10 adversary ("faulty but behaves as in `α_1`, claiming that
+/// `v_i` is its input, but that it has `v_i'` as its input").
+///
+/// The wrapper is deliberately trivial: lying about one's input *is*
+/// following the protocol with a different value, which is precisely why
+/// RV1 ("the decision equals the input of some process") is unachievable
+/// against Byzantine failures — no protocol can tell the lie apart.
+#[derive(Clone, Debug)]
+pub struct InputLiar<P> {
+    inner: P,
+}
+
+impl<P> InputLiar<P> {
+    /// Wraps a protocol instance that was constructed with the forged
+    /// input. (The type exists to make the *intent* visible at the call
+    /// site and in experiment reports.)
+    pub fn new(inner_with_forged_input: P) -> Self {
+        InputLiar {
+            inner: inner_with_forged_input,
+        }
+    }
+}
+
+impl<P: MpProcess> MpProcess for InputLiar<P> {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, P::Msg, P::Output>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: P::Msg,
+        ctx: &mut MpContext<'_, P::Msg, P::Output>,
+    ) {
+        self.inner.on_message(from, msg, ctx);
+    }
+
+    fn on_step(&mut self, ctx: &mut MpContext<'_, P::Msg, P::Output>) {
+        self.inner.on_step(ctx);
+    }
+}
+
+/// Attacks echo broadcasts (Protocol C's `l`-echo) by `Init`-ing different
+/// values to different slices of the system, and echoing every rumour it
+/// hears — the behaviour that realizes the `l`-amplification counted in
+/// Lemma 3.14's proof ("a faulty process can send `l + 1` different
+/// echos").
+#[derive(Clone, Debug)]
+pub struct EchoSplitter<V> {
+    values: Vec<V>,
+    /// Rumours already amplified. Re-broadcasting an *identical* echo adds
+    /// no adversarial power — receivers count distinct echo senders — so
+    /// the strategy amplifies each distinct `(origin, value)` once, which
+    /// keeps runs finite.
+    amplified: std::collections::BTreeSet<(ProcessId, V)>,
+}
+
+impl<V: Value> EchoSplitter<V> {
+    /// Creates the strategy. The system is split into `values.len()`
+    /// contiguous slices; slice `i` receives `Init(values[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<V>) -> Self {
+        assert!(!values.is_empty(), "echo splitter needs at least one value");
+        EchoSplitter {
+            values,
+            amplified: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn value_for(&self, to: ProcessId, n: usize) -> V {
+        let slice = to * self.values.len() / n.max(1);
+        self.values[slice.min(self.values.len() - 1)].clone()
+    }
+}
+
+impl<V: Value> MpProcess for EchoSplitter<V> {
+    type Msg = CMsg<V>;
+    type Output = V;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, CMsg<V>, V>) {
+        for to in 0..ctx.n() {
+            let v = self.value_for(to, ctx.n());
+            ctx.send(to, CMsg::Init(v));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: CMsg<V>, ctx: &mut MpContext<'_, CMsg<V>, V>) {
+        // Echo every *distinct* rumour back at everyone.
+        let (origin, v) = match msg {
+            CMsg::Init(v) => (from, v),
+            CMsg::Echo(origin, v) => (origin, v),
+        };
+        if self.amplified.insert((origin, v.clone())) {
+            ctx.broadcast(CMsg::Echo(origin, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_net::{DynMpProcess, MpSystem};
+    use kset_protocols::{FloodMin, ProtocolA, ProtocolC};
+    use kset_sim::FaultPlan;
+
+    const DEFAULT: u64 = u64::MAX;
+
+    #[test]
+    fn silent_is_indistinguishable_from_initial_crash() {
+        let byz = MpSystem::new(4)
+            .seed(9)
+            .fault_plan(FaultPlan::byzantine(4, &[0]))
+            .run_with(|p| -> DynMpProcess<u64, u64> {
+                if p == 0 {
+                    Box::new(Silent::new())
+                } else {
+                    FloodMin::boxed(4, 1, 10 + p as u64)
+                }
+            })
+            .unwrap();
+        let crash = MpSystem::new(4)
+            .seed(9)
+            .fault_plan(FaultPlan::silent_crashes(4, &[0]))
+            .run_with(|p| FloodMin::boxed(4, 1, 10 + p as u64))
+            .unwrap();
+        assert_eq!(byz.correct_decisions(), crash.correct_decisions());
+    }
+
+    #[test]
+    fn equivocator_poisons_floodmin_with_forged_values() {
+        // Lemma 3.10's essence: under a Byzantine failure, FloodMin can
+        // decide values that were nobody's input. The forged values are
+        // tiny, so every correct process adopts one as its minimum.
+        let outcome = MpSystem::new(4)
+            .seed(3)
+            .fault_plan(FaultPlan::byzantine(4, &[0]))
+            .run_with(|p| -> DynMpProcess<u64, u64> {
+                if p == 0 {
+                    Box::new(Equivocator::new(vec![1, 2, 3, 4]))
+                } else {
+                    FloodMin::boxed(4, 1, 100 + p as u64)
+                }
+            })
+            .unwrap();
+        assert!(outcome.terminated);
+        let decisions = outcome.correct_decision_set();
+        assert!(
+            decisions.iter().any(|&d| d < 100),
+            "at least one forged value must be decided, got {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn group_mimic_shows_each_group_its_own_value() {
+        // Two groups with different "unanimous" views; the mimic shows 1 to
+        // {1, 2} and 2 to {3, 4}. With group isolation, Protocol A's groups
+        // each decide their own value (the Lemma 3.9 run at small scale).
+        use kset_sim::DelayRule;
+        let inputs = [0u64, 1, 1, 2, 2];
+        let outcome = MpSystem::new(5)
+            .seed(5)
+            .fault_plan(FaultPlan::byzantine(5, &[0]))
+            .delay_rule(DelayRule::isolate_with_allies(vec![1, 2], vec![0]))
+            .delay_rule(DelayRule::isolate_with_allies(vec![3, 4], vec![0]))
+            .run_with(|p| -> DynMpProcess<u64, u64> {
+                if p == 0 {
+                    Box::new(GroupMimic::new(
+                        5,
+                        &[(vec![1, 2], 1u64), (vec![3, 4], 2u64)],
+                    ))
+                } else {
+                    // n = 5, t = 1: quorum 4; wait: groups of 2 + mimic = 3
+                    // < 4, so use t = 2 for quorum 3 = group + mimic.
+                    ProtocolA::boxed(5, 2, inputs[p], DEFAULT)
+                }
+            })
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.correct_decision_set(), vec![1, 2]);
+    }
+
+    #[test]
+    fn input_liar_is_protocol_compatible() {
+        // The liar claims input 7 while the record says its input was 0.
+        let outcome = MpSystem::new(3)
+            .seed(2)
+            .fault_plan(FaultPlan::byzantine(3, &[2]))
+            .run_with(|p| -> DynMpProcess<u64, u64> {
+                if p == 2 {
+                    Box::new(InputLiar::new(FloodMin::new(3, 1, 7)))
+                } else {
+                    FloodMin::boxed(3, 1, 10 + p as u64)
+                }
+            })
+            .unwrap();
+        assert!(outcome.terminated);
+        // The forged 7 can be decided by correct processes.
+        assert!(outcome
+            .correct_decision_set()
+            .iter()
+            .all(|&d| d == 7 || d >= 10));
+    }
+
+    #[test]
+    fn echo_splitter_cannot_push_two_acceptances_past_a_sound_l1_echo() {
+        // n = 7, t = 1, l = 1 (sound: 3 < 7): threshold (7+1)/2 + 1 = 5.
+        // The splitter inits 111 to half and 222 to the other half; correct
+        // echo camps of size 3 and 3 both fall short of 5 even with the
+        // splitter's own double-echo.
+        let outcome = MpSystem::new(7)
+            .seed(6)
+            .fault_plan(FaultPlan::byzantine(7, &[0]))
+            .run_with(|p| -> DynMpProcess<kset_protocols::CMsg<u64>, u64> {
+                if p == 0 {
+                    Box::new(EchoSplitter::new(vec![111u64, 222]))
+                } else {
+                    ProtocolC::boxed(7, 1, 1, 5u64, DEFAULT)
+                }
+            })
+            .unwrap();
+        assert!(outcome.terminated);
+        // All correct processes share input 5 and must decide 5 (SV2).
+        assert_eq!(outcome.correct_decision_set(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equivocator needs at least one value")]
+    fn equivocator_rejects_empty_values() {
+        let _ = Equivocator::<u64>::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_mimic_rejects_bad_members() {
+        let _ = GroupMimic::new(3, &[(vec![5], 1u64)]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fault-plan builders for the paper's constructions.
+//!
+//! Thin, intention-revealing wrappers over [`kset_sim::FaultPlan`]: the
+//! proofs place crashes at *specific instants* (right after the last send,
+//! right after the last write), which under the action-budget crash model
+//! becomes a precise arithmetic of handler and effect counts.
+
+use kset_sim::{FaultPlan, FaultSpec, ProcessId};
+
+/// All `n` processes correct.
+pub fn all_correct(n: usize) -> FaultPlan {
+    FaultPlan::all_correct(n)
+}
+
+/// The listed processes never take a single step.
+pub fn silent_crashes(n: usize, crashed: &[ProcessId]) -> FaultPlan {
+    FaultPlan::silent_crashes(n, crashed)
+}
+
+/// The listed processes run caller-supplied Byzantine strategies.
+pub fn byzantine(n: usize, byzantine: &[ProcessId]) -> FaultPlan {
+    FaultPlan::byzantine(n, byzantine)
+}
+
+/// Process `pid` crashes *immediately after completing its initial
+/// broadcast to all `n` processes* — the placement of Lemma 3.5's run
+/// ("fails right after sending its last message").
+///
+/// Budget arithmetic: one action for handling the start event plus `n`
+/// actions for the `n` sends of the broadcast.
+pub fn crash_after_initial_broadcast(n: usize, pid: ProcessId) -> FaultPlan {
+    let mut plan = FaultPlan::all_correct(n);
+    plan.set(
+        pid,
+        FaultSpec::Crash {
+            after_actions: 1 + n as u64,
+        },
+    );
+    plan
+}
+
+/// Process `pid` crashes mid-broadcast, after sending to only the first
+/// `sent` recipients — the partial-broadcast crash that separates the
+/// crash model from clean stopping failures.
+pub fn crash_mid_broadcast(n: usize, pid: ProcessId, sent: usize) -> FaultPlan {
+    let mut plan = FaultPlan::all_correct(n);
+    plan.set(
+        pid,
+        FaultSpec::Crash {
+            after_actions: 1 + sent as u64,
+        },
+    );
+    plan
+}
+
+/// Process `pid` crashes right after issuing its first register write —
+/// the placement of Lemma 4.2's run ("crashes right after completing its
+/// last write operation"). The write's linearization point is its
+/// invocation, so the value is visible despite the crash.
+pub fn crash_after_first_write(n: usize, pid: ProcessId) -> FaultPlan {
+    let mut plan = FaultPlan::all_correct(n);
+    plan.set(pid, FaultSpec::Crash { after_actions: 2 });
+    plan
+}
+
+/// A plan with exactly `t` silent crashes on the *last* `t` processes —
+/// the bulk fault pattern used by termination sweeps.
+///
+/// # Panics
+///
+/// Panics if `t > n`.
+pub fn last_t_silent(n: usize, t: usize) -> FaultPlan {
+    assert!(t <= n, "cannot crash more processes than exist");
+    let crashed: Vec<ProcessId> = (n - t..n).collect();
+    FaultPlan::silent_crashes(n, &crashed)
+}
+
+/// A plan with exactly `t` Byzantine slots on the *first* `t` processes —
+/// the bulk fault pattern for Byzantine sweeps (the paper's constructions
+/// habitually corrupt a prefix).
+///
+/// # Panics
+///
+/// Panics if `t > n`.
+pub fn first_t_byzantine(n: usize, t: usize) -> FaultPlan {
+    assert!(t <= n, "cannot corrupt more processes than exist");
+    let byz: Vec<ProcessId> = (0..t).collect();
+    FaultPlan::byzantine(n, &byz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_net::MpSystem;
+    use kset_protocols::ProtocolA;
+
+    const DEFAULT: u64 = u64::MAX;
+
+    #[test]
+    fn crash_after_initial_broadcast_lets_all_sends_out() {
+        // n = 3: process 0 crashes after its full broadcast; everyone
+        // still receives its input, so all-same inputs decide normally.
+        let outcome = MpSystem::new(3)
+            .seed(8)
+            .fault_plan(crash_after_initial_broadcast(3, 0))
+            .run_with(|_| ProtocolA::boxed(3, 1, 5u64, DEFAULT))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.correct_decision_set(), vec![5]);
+        // Process 0 crashed before it could decide.
+        assert!(!outcome.decisions.contains_key(&0));
+    }
+
+    #[test]
+    fn crash_mid_broadcast_cuts_the_tail() {
+        // Process 0 sends only to itself (recipient 0), then crashes:
+        // processes 1 and 2 never see its value.
+        let outcome = MpSystem::new(3)
+            .seed(8)
+            .fault_plan(crash_mid_broadcast(3, 0, 1))
+            .run_with(|p| ProtocolA::boxed(3, 1, if p == 0 { 9u64 } else { 5 }, DEFAULT))
+            .unwrap();
+        assert!(outcome.terminated);
+        // 1 and 2 each see {5, 5}: unanimous 5.
+        assert_eq!(outcome.correct_decision_set(), vec![5]);
+    }
+
+    #[test]
+    fn bulk_plans_have_the_right_shape() {
+        let p = last_t_silent(6, 2);
+        assert_eq!(p.faulty_set(), vec![4, 5]);
+        let p = first_t_byzantine(6, 2);
+        assert_eq!(p.faulty_set(), vec![0, 1]);
+        assert!(all_correct(4).failure_free());
+        assert_eq!(silent_crashes(4, &[1]).fault_count(), 1);
+        assert_eq!(byzantine(4, &[2]).fault_count(), 1);
+        assert_eq!(
+            crash_after_first_write(4, 3).remaining_budget(3, 0),
+            Some(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash more processes than exist")]
+    fn last_t_silent_rejects_overflow() {
+        let _ = last_t_silent(3, 4);
+    }
+}

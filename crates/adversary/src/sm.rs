@@ -1,0 +1,207 @@
+//! Shared-memory Byzantine strategies.
+//!
+//! The shared-memory Byzantine model is deliberately narrow: the memory
+//! preserves its integrity and access restrictions, so a Byzantine process
+//! can only corrupt state reachable through the legitimate interface — its
+//! *own* single-writer registers. These strategies explore that surface.
+
+use std::marker::PhantomData;
+
+use kset_core::Value;
+use kset_shmem::{RegisterId, SmContext, SmProcess};
+
+/// Never writes, never reads, never decides — the shared-memory analogue
+/// of [`crate::Silent`].
+#[derive(Clone, Copy, Debug)]
+pub struct SmSilent<V, O> {
+    _marker: PhantomData<(V, O)>,
+}
+
+impl<V, O> SmSilent<V, O> {
+    /// Creates the silent strategy.
+    pub fn new() -> Self {
+        SmSilent {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V, O> Default for SmSilent<V, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone, O> SmProcess for SmSilent<V, O> {
+    type Val = V;
+    type Output = O;
+
+    fn on_start(&mut self, _ctx: &mut SmContext<'_, V, O>) {}
+
+    fn on_read(&mut self, _reg: RegisterId, _value: Option<V>, _ctx: &mut SmContext<'_, V, O>) {}
+}
+
+/// Writes a stream of misleading values into its own registers, repeatedly
+/// overwriting slot 0 (the slot the paper's protocols scan) — the
+/// strongest interference the SWMR model permits.
+///
+/// Each value in `values` is written in order; `on_write_ack` triggers the
+/// next write, so the overwrites are spread across the schedule rather
+/// than batched, maximizing the chance different scanners read different
+/// values.
+#[derive(Clone, Debug)]
+pub struct Scribbler<V, O> {
+    values: Vec<V>,
+    next: usize,
+    slot: usize,
+    _marker: PhantomData<O>,
+}
+
+impl<V: Value, O> Scribbler<V, O> {
+    /// Creates a scribbler cycling through `values` on register slot 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<V>) -> Self {
+        Self::on_slot(values, 0)
+    }
+
+    /// Creates a scribbler targeting a specific slot of its own registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn on_slot(values: Vec<V>, slot: usize) -> Self {
+        assert!(!values.is_empty(), "scribbler needs at least one value");
+        Scribbler {
+            values,
+            next: 0,
+            slot,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V: Value, O> SmProcess for Scribbler<V, O> {
+    type Val = V;
+    type Output = O;
+
+    fn on_start(&mut self, ctx: &mut SmContext<'_, V, O>) {
+        let v = self.values[0].clone();
+        self.next = 1;
+        ctx.write(self.slot, v);
+    }
+
+    fn on_read(&mut self, _reg: RegisterId, _value: Option<V>, _ctx: &mut SmContext<'_, V, O>) {}
+
+    fn on_write_ack(&mut self, _slot: usize, ctx: &mut SmContext<'_, V, O>) {
+        if self.next < self.values.len() {
+            let v = self.values[self.next].clone();
+            self.next += 1;
+            ctx.write(self.slot, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_protocols::{ProtocolE, ProtocolF};
+    use kset_shmem::{DynSmProcess, SmSystem};
+    use kset_sim::FaultPlan;
+
+    const DEFAULT: u64 = u64::MAX;
+
+    #[test]
+    fn silent_behaves_like_an_unwritten_register() {
+        let outcome = SmSystem::new(4)
+            .seed(1)
+            .fault_plan(FaultPlan::byzantine(4, &[3]))
+            .run_with(|p| -> DynSmProcess<u64, u64> {
+                if p == 3 {
+                    Box::new(SmSilent::new())
+                } else {
+                    ProtocolE::boxed(4, 1, 6u64, DEFAULT)
+                }
+            })
+            .unwrap();
+        assert!(outcome.terminated);
+        // ⊥ registers are skipped by Protocol E's scan, so the unanimous
+        // correct value goes through.
+        assert_eq!(outcome.correct_decision_set(), vec![6]);
+        assert!(!outcome.memory.contains_key(&RegisterId::new(3, 0)));
+    }
+
+    #[test]
+    fn scribbler_can_split_protocol_e_scans_but_never_past_two_values() {
+        // Different scanners may catch different scribbles, but Lemma 4.10's
+        // argument (first correct write is seen by everyone) still caps the
+        // correct decision set at {v, v0}.
+        for seed in 0..30 {
+            let outcome = SmSystem::new(5)
+                .seed(seed)
+                .fault_plan(FaultPlan::byzantine(5, &[0]))
+                .run_with(|p| -> DynSmProcess<u64, u64> {
+                    if p == 0 {
+                        Box::new(Scribbler::new(vec![1, 2, 3, 4, 5]))
+                    } else {
+                        ProtocolE::boxed(5, 1, 7u64, DEFAULT)
+                    }
+                })
+                .unwrap();
+            assert!(outcome.terminated, "seed {seed}");
+            let set = outcome.correct_decision_set();
+            assert!(set.len() <= 2, "seed {seed}: {set:?}");
+            for d in set {
+                assert!(d == 7 || d == DEFAULT, "seed {seed}: decided {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn scribbler_cannot_break_protocol_f_sv2() {
+        for seed in 0..20 {
+            let outcome = SmSystem::new(6)
+                .seed(seed)
+                .fault_plan(FaultPlan::byzantine(6, &[5]))
+                .run_with(|p| -> DynSmProcess<u64, u64> {
+                    if p == 5 {
+                        Box::new(Scribbler::new(vec![100, 200, 300]))
+                    } else {
+                        ProtocolF::boxed(6, 1, 9u64, DEFAULT)
+                    }
+                })
+                .unwrap();
+            assert!(outcome.terminated, "seed {seed}");
+            assert_eq!(outcome.correct_decision_set(), vec![9], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scribbler_writes_land_in_its_own_registers_only() {
+        let outcome = SmSystem::new(3)
+            .seed(4)
+            .fault_plan(FaultPlan::byzantine(3, &[1]))
+            .run_with(|p| -> DynSmProcess<u64, u64> {
+                if p == 1 {
+                    Box::new(Scribbler::on_slot(vec![13, 14], 2))
+                } else {
+                    ProtocolE::boxed(3, 1, 5u64, DEFAULT)
+                }
+            })
+            .unwrap();
+        // Slot 2 of process 1 holds a scribble (how many landed depends on
+        // when the run ended); nobody else's registers were touched.
+        let scribble = outcome.memory.get(&RegisterId::new(1, 2));
+        assert!(scribble == Some(&13) || scribble == Some(&14));
+        assert_eq!(outcome.memory.get(&RegisterId::new(0, 0)), Some(&5));
+        assert_eq!(outcome.memory.get(&RegisterId::new(2, 0)), Some(&5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scribbler needs at least one value")]
+    fn scribbler_rejects_empty_values() {
+        let _ = Scribbler::<u64, u64>::new(vec![]);
+    }
+}

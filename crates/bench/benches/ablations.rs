@@ -1,0 +1,218 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! * **help-forever vs halting** (paper §5): Protocol C with processes
+//!   that keep echoing after deciding, against the naive halting variant —
+//!   in benign runs halting is cheaper, which is exactly the temptation;
+//!   the liveness loss only shows under adversarial schedules (see the
+//!   protocol tests).
+//! * **Protocol D decision rules**: the proof-consistent broadcaster rule
+//!   vs the paper's literal `p_1..p_k` rule.
+//! * **l-echo amplification sweep**: Protocol C at `l = 1, 2, 3` — higher
+//!   `l` buys fault range at constant message complexity per run.
+//! * **Scheduler machinery overhead**: a FloodMin run under a bare random
+//!   scheduler vs the same run wrapped in (never-triggering) delay rules
+//!   and vs FIFO-per-channel delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_bench::DEFAULT_VALUE;
+use kset_net::{DynMpProcess, MpSystem};
+use kset_protocols::{CMsg, DecisionRule, FloodMin, ProtocolC, ProtocolD};
+use kset_sim::{ChannelFifo, DelayRule, RandomScheduler, Until};
+
+fn bench_halting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/c_help_vs_halt");
+    group.sample_size(10);
+    let (n, t, l) = (24usize, 2usize, 1usize);
+    for halting in [false, true] {
+        let name = if halting { "halting" } else { "help-forever" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &halting, |b, &halting| {
+            b.iter(|| {
+                let outcome = MpSystem::new(n)
+                    .seed(1)
+                    .run_with(|p| -> DynMpProcess<CMsg<u64>, u64> {
+                        let proto = ProtocolC::new(n, t, l, p as u64 % 2, DEFAULT_VALUE);
+                        Box::new(if halting { proto.with_halting() } else { proto })
+                    })
+                    .unwrap();
+                assert!(outcome.terminated);
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_d_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/d_decision_rule");
+    group.sample_size(10);
+    let (n, t) = (32usize, 3usize);
+    group.bench_function("broadcasters", |b| {
+        b.iter(|| {
+            let outcome = MpSystem::new(n)
+                .seed(1)
+                .run_with(|p| ProtocolD::boxed(n, t, p as u64))
+                .unwrap();
+            black_box(outcome)
+        })
+    });
+    group.bench_function("first_k_literal", |b| {
+        b.iter(|| {
+            let outcome = MpSystem::new(n)
+                .seed(1)
+                .run_with(|p| -> DynMpProcess<_, u64> {
+                    Box::new(ProtocolD::with_rule(
+                        n,
+                        t,
+                        p as u64,
+                        DecisionRule::FirstK(t + 3),
+                    ))
+                })
+                .unwrap();
+            black_box(outcome)
+        })
+    });
+    group.finish();
+}
+
+fn bench_l_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/c_l_sweep");
+    group.sample_size(10);
+    let (n, t) = (24usize, 3usize);
+    for l in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("l{l}")), &l, |b, &l| {
+            b.iter(|| {
+                let outcome = MpSystem::new(n)
+                    .seed(1)
+                    .run_with(|_| ProtocolC::boxed(n, t, l, 5u64, DEFAULT_VALUE))
+                    .unwrap();
+                assert!(outcome.terminated);
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/scheduler_machinery");
+    group.sample_size(10);
+    let n = 48usize;
+    group.bench_function("bare_random", |b| {
+        b.iter(|| {
+            let outcome = MpSystem::new(n)
+                .seed(1)
+                .run_with(|p| FloodMin::boxed(n, 4, p as u64))
+                .unwrap();
+            black_box(outcome)
+        })
+    });
+    group.bench_function("gated_noop_rules", |b| {
+        b.iter(|| {
+            // Rules that never hold anything: pure gate overhead.
+            let rules = (0..4)
+                .map(|_| {
+                    DelayRule::new(
+                        "noop",
+                        Box::new(|_: &kset_sim::EventMeta| false),
+                        Until::Forever,
+                    )
+                })
+                .collect::<Vec<_>>();
+            let outcome = MpSystem::new(n)
+                .seed(1)
+                .delay_rules(rules)
+                .run_with(|p| FloodMin::boxed(n, 4, p as u64))
+                .unwrap();
+            black_box(outcome)
+        })
+    });
+    group.bench_function("channel_fifo", |b| {
+        b.iter(|| {
+            let outcome = MpSystem::new(n)
+                .scheduler(ChannelFifo::new(RandomScheduler::from_seed(1)))
+                .run_with(|p| FloodMin::boxed(n, 4, p as u64))
+                .unwrap();
+            black_box(outcome)
+        })
+    });
+    group.finish();
+}
+
+fn bench_substrate_transforms(c: &mut Criterion) {
+    use kset_protocols::{ByzEmulated, Emulated, ProtocolE, Simulated};
+    use kset_shmem::SmSystem;
+
+    // The same protocol (E) over four substrates: native registers, the
+    // SIMULATION-compiled form is not applicable (E is already SM), the
+    // crash ABD emulation, and the Byzantine masking-quorum emulation.
+    let mut group = c.benchmark_group("ablation/e_substrates");
+    group.sample_size(10);
+    let n = 16usize;
+    group.bench_function("native_registers", |b| {
+        b.iter(|| {
+            let o = SmSystem::new(n)
+                .seed(1)
+                .run_with(|p| ProtocolE::boxed(n, 3, p as u64, DEFAULT_VALUE))
+                .unwrap();
+            black_box(o)
+        })
+    });
+    group.bench_function("abd_emulation", |b| {
+        b.iter(|| {
+            let o = MpSystem::new(n)
+                .seed(1)
+                .run_with(|p| Emulated::boxed(n, 3, ProtocolE::new(n, 3, p as u64, DEFAULT_VALUE)))
+                .unwrap();
+            black_box(o)
+        })
+    });
+    group.bench_function("masking_quorum_emulation", |b| {
+        b.iter(|| {
+            let o = MpSystem::new(n)
+                .seed(1)
+                .run_with(|p| {
+                    ByzEmulated::boxed(n, 3, ProtocolE::new(n, 3, p as u64, DEFAULT_VALUE))
+                })
+                .unwrap();
+            black_box(o)
+        })
+    });
+    group.finish();
+
+    // SIMULATION cost: FloodMin native vs compiled onto registers.
+    let mut group = c.benchmark_group("ablation/sim_transform");
+    group.sample_size(10);
+    let n = 8usize;
+    group.bench_function("floodmin_native", |b| {
+        b.iter(|| {
+            let o = MpSystem::new(n)
+                .seed(1)
+                .run_with(|p| FloodMin::boxed(n, 2, p as u64))
+                .unwrap();
+            black_box(o)
+        })
+    });
+    group.bench_function("floodmin_simulated", |b| {
+        b.iter(|| {
+            let o = SmSystem::new(n)
+                .seed(1)
+                .event_limit(50_000_000)
+                .run_with(|p| Simulated::boxed(n, FloodMin::new(n, 2, p as u64)))
+                .unwrap();
+            black_box(o)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_halting,
+    bench_d_rules,
+    bench_l_sweep,
+    bench_scheduler_overhead,
+    bench_substrate_transforms
+);
+criterion_main!(benches);

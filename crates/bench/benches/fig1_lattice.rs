@@ -1,0 +1,48 @@
+//! Figure 1 bench: deriving the validity lattice by exhaustive
+//! enumeration, across universe sizes, plus the closure-based paper
+//! transcription and lattice queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_core::lattice::Lattice;
+use kset_core::ValidityCondition;
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/derive");
+    group.sample_size(10);
+    for (n, vals) in [(3usize, 3usize), (4, 3), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_v{vals}")),
+            &(n, vals),
+            |b, &(n, vals)| b.iter(|| black_box(Lattice::derive_over(n, vals))),
+        );
+    }
+    group.finish();
+
+    c.bench_function("fig1/paper_closure", |b| {
+        b.iter(|| black_box(Lattice::paper()))
+    });
+
+    let lattice = Lattice::paper();
+    c.bench_function("fig1/hasse_reduction", |b| {
+        b.iter(|| black_box(lattice.hasse_edges()))
+    });
+
+    c.bench_function("fig1/implication_queries", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for c1 in ValidityCondition::ALL {
+                for c2 in ValidityCondition::ALL {
+                    if lattice.implies(c1, c2) {
+                        count += 1;
+                    }
+                }
+            }
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

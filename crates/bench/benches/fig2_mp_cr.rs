@@ -1,0 +1,51 @@
+//! Figure 2 bench: the MP/CR protocols behind the panels, at the paper's
+//! `n = 64`, sweeping the fault budget `t` across each solvable region,
+//! plus the analytic classification of the whole figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_bench::{run_floodmin, run_protocol_a, run_protocol_b};
+use kset_regions::{Atlas, Model};
+
+const N: usize = 64;
+
+fn bench_protocols(c: &mut Criterion) {
+    // RV1 panel: FloodMin, solvable for t < k; sweep t.
+    let mut group = c.benchmark_group("fig2/floodmin_rv1");
+    group.sample_size(10);
+    for t in [1usize, 7, 15, 31] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| black_box(run_floodmin(N, t, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    // RV2/WV2 panels: Protocol A, solvable for t < (k-1)n/k.
+    let mut group = c.benchmark_group("fig2/protocol_a_rv2");
+    group.sample_size(10);
+    for t in [1usize, 8, 16, 31] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| black_box(run_protocol_a(N, t, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    // SV2 panel: Protocol B, solvable for t < (k-1)n/(2k).
+    let mut group = c.benchmark_group("fig2/protocol_b_sv2");
+    group.sample_size(10);
+    for t in [1usize, 5, 10, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| black_box(run_protocol_b(N, t, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    // The analytic figure itself: classifying all six panels at n = 64.
+    c.bench_function("fig2/atlas_classification_n64", |b| {
+        b.iter(|| black_box(Atlas::compute(Model::MpCrash, N)))
+    });
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 4 bench: the MP/Byz protocols — Protocol C(l) over the l-echo
+//! broadcast (SV2/RV2 panels) and Protocol D (WV1 panel) — with silent
+//! Byzantine prefixes, plus the analytic classification of the figure.
+//!
+//! Echo traffic is cubic in `n`, so the protocol sweeps run at `n = 32`
+//! and a single paper-scale `n = 64` point is included for the record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_bench::{run_protocol_c, run_protocol_d};
+use kset_regions::{Atlas, Model};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/protocol_c_sv2");
+    group.sample_size(10);
+    for (n, t, l) in [(32usize, 2usize, 1usize), (32, 6, 1), (32, 9, 2), (64, 4, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}_l{l}")),
+            &(n, t, l),
+            |b, &(n, t, l)| b.iter(|| black_box(run_protocol_c(n, t, l, 1).unwrap())),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig4/protocol_d_wv1");
+    group.sample_size(10);
+    for (n, t) in [(32usize, 2usize), (32, 8), (64, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| b.iter(|| black_box(run_protocol_d(n, t, 1).unwrap())),
+        );
+    }
+    group.finish();
+
+    c.bench_function("fig4/atlas_classification_n64", |b| {
+        b.iter(|| black_box(Atlas::compute(Model::MpByzantine, 64)))
+    });
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 5 bench: the SM/CR protocols — Protocol E (RV2/WV2 panels, any
+//! `t`), Protocol F (SV2 panel, `k > t+1`), and the SIMULATION transform
+//! that carries the message-passing protocols into shared memory — plus
+//! the analytic classification of the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_bench::{run_protocol_e, run_protocol_f};
+use kset_protocols::{FloodMin, Simulated};
+use kset_regions::{Atlas, Model};
+use kset_shmem::SmSystem;
+use kset_sim::FaultPlan;
+
+const N: usize = 64;
+
+fn bench_protocols(c: &mut Criterion) {
+    // RV2 panel: Protocol E at arbitrary t, including t = n - 1.
+    let mut group = c.benchmark_group("fig5/protocol_e_rv2");
+    group.sample_size(10);
+    for t in [1usize, 16, 32, 63] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| black_box(run_protocol_e(N, t, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    // SV2 panel: Protocol F for k > t + 1.
+    let mut group = c.benchmark_group("fig5/protocol_f_sv2");
+    group.sample_size(10);
+    for t in [1usize, 8, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| black_box(run_protocol_f(N, t, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    // RV1 panel: the SIMULATION transform (Lemma 4.4). Polling makes it
+    // quadratic-with-retries, so sweep n at fixed t.
+    let mut group = c.benchmark_group("fig5/sim_floodmin_rv1");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &n, |b, &n| {
+            b.iter(|| {
+                let ins: Vec<u64> = (0..n as u64).collect();
+                let outcome = SmSystem::new(n)
+                    .seed(1)
+                    .event_limit(50_000_000)
+                    .fault_plan(FaultPlan::silent_crashes(n, &[0]))
+                    .run_with(|p| Simulated::boxed(n, FloodMin::new(n, 1, ins[p])))
+                    .unwrap();
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("fig5/atlas_classification_n64", |b| {
+        b.iter(|| black_box(Atlas::compute(Model::SmCrash, N)))
+    });
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6 bench: the SM/Byz protocols — Protocol E against register
+//! scribblers (WV2 panel) and Protocol F against silent Byzantine slots
+//! (SV2/RV2 panels) — plus the analytic classification of the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_adversary::{plans, SmSilent};
+use kset_bench::{inputs, run_protocol_e_byz, DEFAULT_VALUE};
+use kset_protocols::ProtocolF;
+use kset_regions::{Atlas, Model};
+use kset_shmem::{DynSmProcess, SmSystem};
+
+const N: usize = 64;
+
+fn bench_protocols(c: &mut Criterion) {
+    // WV2 panel: Protocol E vs scribbling adversaries.
+    let mut group = c.benchmark_group("fig6/protocol_e_wv2_byz");
+    group.sample_size(10);
+    for t in [1usize, 8, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| black_box(run_protocol_e_byz(N, t, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    // SV2 panel: Protocol F with silent Byzantine prefixes, k > t + 1.
+    let mut group = c.benchmark_group("fig6/protocol_f_sv2_byz");
+    group.sample_size(10);
+    for t in [1usize, 8, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}")), &t, |b, &t| {
+            b.iter(|| {
+                let ins = inputs(N);
+                let outcome = SmSystem::new(N)
+                    .seed(1)
+                    .fault_plan(plans::first_t_byzantine(N, t))
+                    .run_with(|p| -> DynSmProcess<u64, u64> {
+                        if p < t {
+                            Box::new(SmSilent::new())
+                        } else {
+                            ProtocolF::boxed(N, t, ins[p], DEFAULT_VALUE)
+                        }
+                    })
+                    .unwrap();
+                black_box(outcome)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("fig6/atlas_classification_n64", |b| {
+        b.iter(|| black_box(Atlas::compute(Model::SmByzantine, N)))
+    });
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

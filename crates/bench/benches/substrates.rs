@@ -1,0 +1,108 @@
+//! Substrate microbenchmarks: kernel event dispatch, network delivery,
+//! register operations, the gated scheduler, and the region classifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_core::ValidityCondition;
+use kset_regions::{classify, math, Model};
+use kset_sim::{
+    DelayRule, EventKind, EventMeta, FifoScheduler, GatedScheduler, Kernel, RandomScheduler,
+};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/kernel_drain");
+    for &events in &[1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("random", events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let mut k: Kernel<u64> = Kernel::new(RandomScheduler::from_seed(1));
+                    for i in 0..events {
+                        k.post(EventMeta::new(EventKind::LocalStep, i % 64), i as u64);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((_, p)) = k.next_event() {
+                        acc = acc.wrapping_add(p);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fifo", events), &events, |b, &events| {
+            b.iter(|| {
+                let mut k: Kernel<u64> = Kernel::new(FifoScheduler::new());
+                for i in 0..events {
+                    k.post(EventMeta::new(EventKind::LocalStep, i % 64), i as u64);
+                }
+                let mut acc = 0u64;
+                while let Some((_, p)) = k.next_event() {
+                    acc = acc.wrapping_add(p);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("substrate/gated_drain_2000", |b| {
+        b.iter(|| {
+            let rules = vec![DelayRule::isolate_until_decided((0..8).collect())];
+            let mut k: Kernel<u64> =
+                Kernel::new(GatedScheduler::new(FifoScheduler::new(), rules));
+            for i in 0..2_000usize {
+                k.post(
+                    EventMeta::new(EventKind::MessageDelivery, i % 64).from_process((i + 9) % 64),
+                    i as u64,
+                );
+            }
+            let mut acc = 0u64;
+            while let Some((_, p)) = k.next_event() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    c.bench_function("substrate/classify_cell", |b| {
+        b.iter(|| {
+            black_box(classify(
+                Model::MpByzantine,
+                ValidityCondition::WV2,
+                64,
+                17,
+                23,
+            ))
+        })
+    });
+
+    c.bench_function("substrate/z_function_n64", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in 0..=64 {
+                acc += math::z_function(64, t);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("substrate/protocol_c_witness_sweep", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for k in 2..64 {
+                for t in 1..=64 {
+                    if math::protocol_c_covers(64, k, t) {
+                        found += 1;
+                    }
+                }
+            }
+            black_box(found)
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernel, bench_classifier);
+criterion_main!(benches);

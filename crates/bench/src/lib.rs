@@ -1,0 +1,176 @@
+//! # kset-bench — shared workload builders for the Criterion benches
+//!
+//! One bench target per figure of the paper (`fig1_lattice`, `fig2_mp_cr`,
+//! `fig4_mp_byz`, `fig5_sm_cr`, `fig6_sm_byz`) plus substrate
+//! microbenchmarks (`substrates`). The workloads here are the runnable
+//! form of each figure's solvable regions: for a figure's panel, the bench
+//! sweeps `t` across the region and runs the designated protocol at the
+//! paper's scale, reporting wall-clock per full consensus run and the
+//! message/operation counts behind it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use kset_adversary::{plans, Silent, SmSilent};
+use kset_net::{DynMpProcess, MpOutcome, MpSystem};
+use kset_protocols::{
+    CMsg, DMsg, FloodMin, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ProtocolE, ProtocolF,
+};
+use kset_shmem::{DynSmProcess, SmOutcome, SmSystem};
+use kset_sim::SimError;
+
+/// Default decision value for the default-deciding protocols.
+pub const DEFAULT_VALUE: u64 = u64::MAX;
+
+/// Spread inputs `0..n` used by all workloads.
+pub fn inputs(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// One FloodMin run at `(n, t)` with `t` silent crashes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_floodmin(n: usize, t: usize, seed: u64) -> Result<MpOutcome<u64>, SimError> {
+    let ins = inputs(n);
+    MpSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::last_t_silent(n, t))
+        .run_with(|p| FloodMin::boxed(n, t, ins[p]))
+}
+
+/// One Protocol A run at `(n, t)` with `t` silent crashes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_a(n: usize, t: usize, seed: u64) -> Result<MpOutcome<u64>, SimError> {
+    let ins = inputs(n);
+    MpSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::last_t_silent(n, t))
+        .run_with(|p| ProtocolA::boxed(n, t, ins[p], DEFAULT_VALUE))
+}
+
+/// One Protocol B run at `(n, t)` with `t` silent crashes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_b(n: usize, t: usize, seed: u64) -> Result<MpOutcome<u64>, SimError> {
+    let ins = inputs(n);
+    MpSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::last_t_silent(n, t))
+        .run_with(|p| ProtocolB::boxed(n, t, ins[p], DEFAULT_VALUE))
+}
+
+/// One Protocol C(l) run at `(n, t)` with `t` silent Byzantine slots.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_c(n: usize, t: usize, l: usize, seed: u64) -> Result<MpOutcome<u64>, SimError> {
+    let ins = inputs(n);
+    MpSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::first_t_byzantine(n, t))
+        .run_with(|p| -> DynMpProcess<CMsg<u64>, u64> {
+            if p < t {
+                Box::new(Silent::new())
+            } else {
+                ProtocolC::boxed(n, t, l, ins[p], DEFAULT_VALUE)
+            }
+        })
+}
+
+/// One Protocol D run at `(n, t)` with `t` silent Byzantine slots.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_d(n: usize, t: usize, seed: u64) -> Result<MpOutcome<u64>, SimError> {
+    let ins = inputs(n);
+    MpSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::first_t_byzantine(n, t))
+        .run_with(|p| -> DynMpProcess<DMsg<u64>, u64> {
+            if p < t {
+                Box::new(Silent::new())
+            } else {
+                ProtocolD::boxed(n, t, ins[p])
+            }
+        })
+}
+
+/// One Protocol E run at `(n, t)` with `t` silent crashes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_e(n: usize, t: usize, seed: u64) -> Result<SmOutcome<u64, u64>, SimError> {
+    let ins = inputs(n);
+    SmSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::last_t_silent(n, t))
+        .run_with(|p| ProtocolE::boxed(n, t, ins[p], DEFAULT_VALUE))
+}
+
+/// One Protocol E run with `t` Byzantine register scribblers.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_e_byz(n: usize, t: usize, seed: u64) -> Result<SmOutcome<u64, u64>, SimError> {
+    use kset_adversary::Scribbler;
+    let ins = inputs(n);
+    SmSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::first_t_byzantine(n, t))
+        .run_with(|p| -> DynSmProcess<u64, u64> {
+            if p < t {
+                if p % 2 == 0 {
+                    Box::new(Scribbler::new(vec![seed, seed + 1, seed + 2]))
+                } else {
+                    Box::new(SmSilent::new())
+                }
+            } else {
+                ProtocolE::boxed(n, t, ins[p], DEFAULT_VALUE)
+            }
+        })
+}
+
+/// One Protocol F run at `(n, t)` with `t` silent crashes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_protocol_f(n: usize, t: usize, seed: u64) -> Result<SmOutcome<u64, u64>, SimError> {
+    let ins = inputs(n);
+    SmSystem::new(n)
+        .seed(seed)
+        .fault_plan(plans::last_t_silent(n, t))
+        .run_with(|p| ProtocolF::boxed(n, t, ins[p], DEFAULT_VALUE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_terminate_at_paper_scale() {
+        assert!(run_floodmin(64, 7, 1).unwrap().terminated);
+        assert!(run_protocol_a(64, 16, 1).unwrap().terminated);
+        assert!(run_protocol_b(64, 10, 1).unwrap().terminated);
+        assert!(run_protocol_e(64, 32, 1).unwrap().terminated);
+        assert!(run_protocol_f(64, 8, 1).unwrap().terminated);
+    }
+
+    #[test]
+    fn byzantine_workloads_terminate_at_mid_scale() {
+        assert!(run_protocol_c(32, 4, 1, 1).unwrap().terminated);
+        assert!(run_protocol_d(32, 4, 1).unwrap().terminated);
+        assert!(run_protocol_e_byz(32, 4, 1).unwrap().terminated);
+    }
+}

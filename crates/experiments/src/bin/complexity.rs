@@ -1,0 +1,143 @@
+//! Message / operation complexity of every protocol across system sizes —
+//! the quantitative face of the paper's qualitative hierarchy (plain
+//! quorum protocols are O(n²) messages, the Byzantine echo machinery is
+//! O(n³), shared-memory protocols are O(n) operations per scan, and the
+//! register emulations pay O(n) messages per emulated operation).
+//!
+//! Usage: `complexity [max_n]` (default 32; sweeps n in powers of two).
+
+use kset_adversary::plans;
+use kset_net::MpSystem;
+use kset_protocols::{
+    Emulated, FloodMin, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ProtocolE, ProtocolF,
+};
+use kset_shmem::SmSystem;
+
+const DEFAULT: u64 = u64::MAX;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("max_n must be a number"))
+        .unwrap_or(32);
+    assert!(max_n >= 4, "max_n must be at least 4");
+
+    let sizes: Vec<usize> = std::iter::successors(Some(4usize), |&n| Some(n * 2))
+        .take_while(|&n| n <= max_n)
+        .collect();
+
+    println!("=== Message / operation complexity per full consensus run ===\n");
+    println!("(messages delivered for MP protocols; register ops for SM; t = n/4, seed 1)\n");
+    print!("{:<16}", "protocol");
+    for &n in &sizes {
+        print!("{:>10}", format!("n={n}"));
+    }
+    println!();
+    print!("{:<16}", "-".repeat(16));
+    for _ in &sizes {
+        print!("{:>10}", "-".repeat(8));
+    }
+    println!();
+
+    let row = |name: &str, counts: &[u64]| {
+        print!("{name:<16}");
+        for c in counts {
+            print!("{c:>10}");
+        }
+        println!();
+    };
+
+    let mut counts = Vec::new();
+    for &n in &sizes {
+        let t = n / 4;
+        let o = MpSystem::new(n)
+            .seed(1)
+            .fault_plan(plans::last_t_silent(n, t))
+            .run_with(|p| FloodMin::boxed(n, t, p as u64))
+            .unwrap();
+        counts.push(o.stats.messages_delivered);
+    }
+    row("FloodMin", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let t = n / 4;
+        let o = MpSystem::new(n)
+            .seed(1)
+            .fault_plan(plans::last_t_silent(n, t))
+            .run_with(|p| ProtocolA::boxed(n, t, p as u64, DEFAULT))
+            .unwrap();
+        counts.push(o.stats.messages_delivered);
+    }
+    row("Protocol A", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let t = n / 4;
+        let o = MpSystem::new(n)
+            .seed(1)
+            .fault_plan(plans::last_t_silent(n, t))
+            .run_with(|p| ProtocolB::boxed(n, t, p as u64, DEFAULT))
+            .unwrap();
+        counts.push(o.stats.messages_delivered);
+    }
+    row("Protocol B", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let t = (n / 8).max(1);
+        let o = MpSystem::new(n)
+            .seed(1)
+            .run_with(|_| ProtocolC::boxed(n, t, 1, 5u64, DEFAULT))
+            .unwrap();
+        counts.push(o.stats.messages_delivered);
+    }
+    row("Protocol C(1)", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let t = (n / 8).max(1);
+        let o = MpSystem::new(n)
+            .seed(1)
+            .run_with(|p| ProtocolD::boxed(n, t, p as u64))
+            .unwrap();
+        counts.push(o.stats.messages_delivered);
+    }
+    row("Protocol D", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let o = SmSystem::new(n)
+            .seed(1)
+            .run_with(|p| ProtocolE::boxed(n, n - 1, p as u64, DEFAULT))
+            .unwrap();
+        counts.push(o.stats.ops_completed);
+    }
+    row("Protocol E*", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let t = n / 4;
+        let o = SmSystem::new(n)
+            .seed(1)
+            .run_with(|p| ProtocolF::boxed(n, t, p as u64, DEFAULT))
+            .unwrap();
+        counts.push(o.stats.ops_completed);
+    }
+    row("Protocol F*", &counts);
+
+    counts.clear();
+    for &n in &sizes {
+        let t = (n / 4).min((n - 1) / 2);
+        let o = MpSystem::new(n)
+            .seed(1)
+            .run_with(|p| Emulated::boxed(n, t, ProtocolE::new(n, t, p as u64, DEFAULT)))
+            .unwrap();
+        counts.push(o.stats.messages_delivered);
+    }
+    row("ABD(Protocol E)", &counts);
+
+    println!("\n* register operations rather than messages");
+    println!("shapes: quorum protocols ~ n^2 messages; echo protocols ~ n^3;");
+    println!("Protocol E ~ n ops/process; the ABD emulation pays ~ n messages per op");
+}

@@ -1,0 +1,90 @@
+//! Empirically validates the solvable regions of all four atlases.
+//!
+//! For every solvable cell of every panel at a test-scale `n`, runs the
+//! cell's designated protocol in the simulator across several seeds, fault
+//! plans (crash budgets, silent and active Byzantine strategies), and
+//! checks Termination / Agreement / Validity on each run.
+//!
+//! Usage: `empirical_atlas [n] [seeds]` (defaults: n = 8, seeds = 4).
+//! Exits nonzero if any run violates its specification.
+
+use crossbeam::thread;
+use kset_core::ValidityCondition;
+use kset_experiments::cells::{validate_cell, CellValidation};
+use kset_experiments::report;
+use kset_regions::Model;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("n must be a number"))
+        .unwrap_or(8);
+    let seeds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seeds must be a number"))
+        .unwrap_or(5);
+    assert!(n >= 3, "n must be at least 3");
+
+    // One worker per model: the cells inside a model are run sequentially
+    // (each run is itself single-threaded and deterministic).
+    let results: Vec<Vec<CellValidation>> = thread::scope(|scope| {
+        let handles: Vec<_> = Model::ALL
+            .iter()
+            .map(|&model| {
+                scope.spawn(move |_| {
+                    let mut rows = Vec::new();
+                    for validity in ValidityCondition::ALL {
+                        for k in 2..n {
+                            for t in 1..=n {
+                                match validate_cell(model, validity, n, k, t, 0..seeds) {
+                                    Ok(Some(row)) => rows.push(row),
+                                    Ok(None) => {}
+                                    Err(e) => panic!(
+                                        "simulator failure at {model} {validity} k={k} t={t}: {e}"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker panicked");
+
+    let rows: Vec<CellValidation> = results.into_iter().flatten().collect();
+    let total_runs: usize = rows.iter().map(|r| r.runs).sum();
+    let violations: usize = rows.iter().map(|r| r.violations).sum();
+
+    println!("=== Empirical atlas validation (n = {n}, {seeds} seeds/cell) ===\n");
+    println!("per-protocol rollup:");
+    println!("protocol          cells  runs   violations");
+    println!("----------------  -----  -----  ----------");
+    for (protocol, cells, runs, viol) in report::rollup(&rows) {
+        println!("{protocol:<16}  {cells:<5}  {runs:<5}  {viol}");
+    }
+    println!(
+        "\ntotal: {} solvable cells, {} runs, {} violations",
+        rows.len(),
+        total_runs,
+        violations
+    );
+
+    for r in rows.iter().filter(|r| !r.clean()) {
+        println!(
+            "VIOLATION: {} {} k={} t={}: {}",
+            r.model,
+            r.validity,
+            r.k,
+            r.t,
+            r.first_violation.as_deref().unwrap_or("?")
+        );
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    println!("all runs satisfied SC(k, t, C): OK");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 2: the MP/CR solvability atlas.
+//!
+//! Usage: `fig2_mp_cr [n] [--csv FILE]` (default n = 64, as in the paper).
+
+use kset_experiments::figures::run_figure;
+use kset_regions::Model;
+
+fn main() {
+    if let Err(msg) = run_figure(Model::MpCrash, std::env::args().skip(1)) {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+}

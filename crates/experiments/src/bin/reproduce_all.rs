@@ -1,0 +1,108 @@
+//! One-shot reproduction driver: Figure 1, all four atlases at `n = 64`,
+//! the empirical validation pass, and the impossibility re-enactments.
+//!
+//! Usage: `reproduce_all [--empirical-n N] [--seeds S]`
+//! (defaults: N = 8, S = 3). Atlas CSVs are written to `target/figures/`.
+
+use std::fs;
+use std::io::Write as _;
+
+use kset_core::lattice::Lattice;
+use kset_core::ValidityCondition;
+use kset_experiments::cells::validate_cell;
+use kset_experiments::{counterexamples, report};
+use kset_regions::{render, Atlas, Model};
+
+fn main() {
+    let mut empirical_n = 8usize;
+    let mut seeds = 5u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--empirical-n" => {
+                empirical_n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--empirical-n needs a number")
+            }
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds needs a number")
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Figure 1.
+    println!("==================== FIGURE 1 ====================");
+    assert_eq!(
+        Lattice::derive(),
+        Lattice::paper(),
+        "derived lattice must equal the paper's Figure 1"
+    );
+    print!("{}", Lattice::paper().render_ascii());
+    println!("derived == paper: OK\n");
+
+    // Figures 2, 4, 5, 6 at the paper's n = 64.
+    fs::create_dir_all("target/figures").expect("create target/figures");
+    for model in Model::ALL {
+        println!(
+            "==================== FIGURE {} ({model}) ====================",
+            model.figure()
+        );
+        let atlas = Atlas::compute(model, 64);
+        print!("{}", render::atlas_ascii(&atlas));
+        let path = format!("target/figures/fig{}_{}.csv", model.figure(), slug(model));
+        let mut f = fs::File::create(&path).expect("create csv");
+        f.write_all(render::atlas_csv(&atlas).as_bytes())
+            .expect("write csv");
+        println!("(csv written to {path})\n");
+    }
+
+    // Empirical validation.
+    println!("==================== EMPIRICAL VALIDATION ====================");
+    let mut rows = Vec::new();
+    for model in Model::ALL {
+        for validity in ValidityCondition::ALL {
+            for k in 2..empirical_n {
+                for t in 1..=empirical_n {
+                    match validate_cell(model, validity, empirical_n, k, t, 0..seeds) {
+                        Ok(Some(row)) => rows.push(row),
+                        Ok(None) => {}
+                        Err(e) => panic!("simulator failure: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    print!("{}", report::validation_table(&rows));
+    let violations: usize = rows.iter().map(|r| r.violations).sum();
+    assert_eq!(violations, 0, "empirical validation found violations");
+    let json = serde_json::to_string_pretty(&rows).expect("serialize validations");
+    fs::write("target/figures/empirical_validation.json", json).expect("write json artifact");
+    println!("(per-cell results written to target/figures/empirical_validation.json)");
+    println!("empirical validation: OK\n");
+
+    // Counterexamples.
+    println!("==================== IMPOSSIBILITY RE-ENACTMENTS ====================");
+    let list = counterexamples::all().expect("constructions run");
+    for cx in &list {
+        println!("{cx}\n");
+        assert_ne!(cx.report, "ok", "{} must violate its property", cx.lemma);
+    }
+    println!("{} constructions re-enacted: OK", list.len());
+}
+
+fn slug(model: Model) -> &'static str {
+    match model {
+        Model::MpCrash => "mp_cr",
+        Model::MpByzantine => "mp_byz",
+        Model::SmCrash => "sm_cr",
+        Model::SmByzantine => "sm_byz",
+    }
+}

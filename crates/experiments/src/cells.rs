@@ -1,0 +1,483 @@
+//! Per-cell empirical validation: run the designated protocol of a
+//! solvable atlas cell and check all three `SC` conditions.
+//!
+//! For every cell the analytic atlas classifies as solvable, the citation
+//! names the protocol (Protocol A, FloodMin, C(ℓ), ...). This module maps
+//! the citation back to an executable configuration, runs it across a mix
+//! of fault plans and schedules, and checks each completed run against
+//! `SC(k, t, C)` with the `kset-core` checker.
+
+use kset_adversary::{plans, EchoSplitter, GroupMimic, Scribbler, Silent, SmSilent};
+use kset_core::{ProblemSpec, RunRecord, ValidityCondition};
+use kset_net::{DynMpProcess, MpOutcome, MpSystem};
+use kset_protocols::{
+    CMsg, FloodMin, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ProtocolE, ProtocolF, SimSlot,
+    Simulated,
+};
+use kset_regions::{classify, math, CellClass, Model};
+use kset_shmem::{DynSmProcess, SmOutcome, SmSystem};
+use kset_sim::{DelayRule, FaultPlan, SimError, Until};
+
+/// The default decision value used by the default-deciding protocols.
+/// Drawn far outside the input domain `0..n` used by the sweeps.
+pub const DEFAULT_VALUE: u64 = u64::MAX;
+
+/// Result of empirically validating one cell.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize)]
+pub struct CellValidation {
+    /// The model of the cell.
+    pub model: Model,
+    /// The validity condition.
+    pub validity: ValidityCondition,
+    /// System size.
+    pub n: usize,
+    /// Agreement bound.
+    pub k: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Which protocol ran, e.g. `"Protocol A"`.
+    pub protocol: &'static str,
+    /// Completed runs.
+    pub runs: usize,
+    /// Runs violating any `SC` condition (should be 0).
+    pub violations: usize,
+    /// First violation message, if any.
+    pub first_violation: Option<String>,
+}
+
+impl CellValidation {
+    /// True when every run satisfied the specification.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Fault-plan variants cycled through per seed, crash models.
+fn crash_plan(n: usize, t: usize, seed: u64) -> FaultPlan {
+    match seed % 3 {
+        0 => plans::all_correct(n),
+        1 => plans::last_t_silent(n, t),
+        _ => {
+            // Crash the first t processes with staggered budgets so that
+            // partial broadcasts occur.
+            let mut plan = plans::all_correct(n);
+            for (i, pid) in (0..t).enumerate() {
+                plan.set(
+                    pid,
+                    kset_sim::FaultSpec::Crash {
+                        after_actions: 1 + (seed + i as u64) % (n as u64 + 2),
+                    },
+                );
+            }
+            plan
+        }
+    }
+}
+
+/// Fault-plan variants for Byzantine models (strategies chosen by caller).
+fn byz_plan(n: usize, t: usize, seed: u64) -> FaultPlan {
+    match seed % 2 {
+        0 => plans::all_correct(n),
+        _ => plans::first_t_byzantine(n, t),
+    }
+}
+
+/// Partition-style delay rules for a message-passing run: on every fifth
+/// seed, split the processes into groups, each isolated (except from the
+/// faulty set) until it decides — legal asynchronous behaviour that mirrors
+/// the paper's proof schedules. Other seeds run unshaped.
+fn mp_schedule_rules(n: usize, seed: u64, faulty: &[usize]) -> Vec<DelayRule> {
+    if seed % 5 != 4 {
+        return Vec::new();
+    }
+    let groups = 2 + (seed as usize / 5) % 2;
+    let mut rules = Vec::new();
+    for g in 0..groups {
+        let members: Vec<usize> = (0..n).filter(|p| p % groups == g).collect();
+        if !members.is_empty() {
+            rules.push(DelayRule::isolate_with_allies(members, faulty.to_vec()));
+        }
+    }
+    rules
+}
+
+/// Freeze-style delay rules for a shared-memory run: on every fifth seed,
+/// the top half of the processes is frozen until the bottom half decided
+/// (the Lemma 4.3 / 4.9 shape). The rules carry an expiry deadline because
+/// shared-memory protocols busy-wait: when the bottom half *cannot* decide
+/// alone (e.g. it is below a quorum), its polling keeps the run "live"
+/// forever and only a finite delay bound lets the frozen half proceed.
+fn sm_schedule_rules(n: usize, seed: u64) -> Vec<DelayRule> {
+    if seed % 5 != 4 || n < 2 {
+        return Vec::new();
+    }
+    let first: Vec<usize> = (0..n / 2).collect();
+    (n / 2..n)
+        .map(|p| {
+            DelayRule::freeze_process(p, Until::AllDecided(first.clone())).expires_at(5_000)
+        })
+        .collect()
+}
+
+fn check_outcome(
+    spec: &ProblemSpec,
+    inputs: &[u64],
+    decisions: std::collections::BTreeMap<usize, u64>,
+    faulty: &[usize],
+    terminated: bool,
+) -> Result<(), String> {
+    let record = RunRecord::new(inputs.to_vec())
+        .with_faulty(faulty.iter().copied())
+        .with_decisions(decisions)
+        .with_terminated(terminated);
+    let report = spec.check(&record);
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(report.to_string())
+    }
+}
+
+fn check_mp(spec: &ProblemSpec, inputs: &[u64], outcome: &MpOutcome<u64>) -> Result<(), String> {
+    check_outcome(
+        spec,
+        inputs,
+        outcome.decisions.clone(),
+        &outcome.faulty,
+        outcome.terminated,
+    )
+}
+
+fn check_sm<Val>(
+    spec: &ProblemSpec,
+    inputs: &[u64],
+    outcome: &SmOutcome<Val, u64>,
+) -> Result<(), String> {
+    check_outcome(
+        spec,
+        inputs,
+        outcome.decisions.clone(),
+        &outcome.faulty,
+        outcome.terminated,
+    )
+}
+
+/// Inputs for a run: unanimous on even seeds (exercising the V2-style
+/// premises), spread otherwise.
+fn inputs_for(n: usize, seed: u64) -> Vec<u64> {
+    if seed.is_multiple_of(2) {
+        vec![seed % 7; n]
+    } else {
+        (0..n).map(|p| (p as u64 + seed) % (n as u64)).collect()
+    }
+}
+
+/// Validates one solvable cell with `seeds` randomized runs.
+///
+/// Returns `None` when the cell is not classified solvable, or when its
+/// citation has no executable runner (the trivial fringes).
+///
+/// # Errors
+///
+/// Propagates simulator errors (event-limit exhaustion etc.) — these are
+/// harness failures, distinct from specification violations, which are
+/// *counted* in the returned [`CellValidation`].
+pub fn validate_cell(
+    model: Model,
+    validity: ValidityCondition,
+    n: usize,
+    k: usize,
+    t: usize,
+    seeds: std::ops::Range<u64>,
+) -> Result<Option<CellValidation>, SimError> {
+    let CellClass::Solvable(citation) = classify(model, validity, n, k, t) else {
+        return Ok(None);
+    };
+    let spec = ProblemSpec::new(n, k, t, validity).expect("domain-checked parameters");
+
+    let protocol = protocol_name(citation.lemma);
+    let Some(protocol) = protocol else {
+        return Ok(None); // fringe citations have no single runner
+    };
+
+    let mut runs = 0;
+    let mut violations = 0;
+    let mut first_violation = None;
+    for seed in seeds {
+        let inputs = inputs_for(n, seed);
+        let result = run_cell(model, protocol, &spec, &inputs, n, k, t, seed)?;
+        runs += 1;
+        if let Err(msg) = result {
+            violations += 1;
+            if first_violation.is_none() {
+                first_violation = Some(format!("seed {seed}: {msg}"));
+            }
+        }
+    }
+    Ok(Some(CellValidation {
+        model,
+        validity,
+        n,
+        k,
+        t,
+        protocol,
+        runs,
+        violations,
+        first_violation,
+    }))
+}
+
+/// Maps a lemma citation to the protocol it names.
+fn protocol_name(lemma: &str) -> Option<&'static str> {
+    Some(match lemma {
+        "Lemma 3.1" => "FloodMin",
+        "Lemma 4.4" => "SIM(FloodMin)",
+        "Lemma 3.7" | "Lemma 3.12" | "Lemma 3.13" => "Protocol A",
+        "Lemma 3.8" => "Protocol B",
+        "Lemma 4.6" => "SIM(Protocol B)",
+        "Lemma 3.15" => "Protocol C",
+        "Lemma 4.11" => "SIM(Protocol C)",
+        "Lemma 3.16" => "Protocol D",
+        "Lemma 4.13" => "SIM(Protocol D)",
+        "Lemma 4.5" | "Lemma 4.10" => "Protocol E",
+        "Lemma 4.7" | "Lemma 4.12" => "Protocol F",
+        _ => return None,
+    })
+}
+
+/// Event limit for SIMULATION runs (polling-heavy).
+const SIM_EVENT_LIMIT: u64 = 20_000_000;
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    model: Model,
+    protocol: &'static str,
+    spec: &ProblemSpec,
+    inputs: &[u64],
+    n: usize,
+    _k: usize,
+    t: usize,
+    seed: u64,
+) -> Result<Result<(), String>, SimError> {
+    let byz = model.is_byzantine();
+    let plan = if byz {
+        byz_plan(n, t, seed)
+    } else {
+        crash_plan(n, t, seed)
+    };
+    let faulty = plan.faulty_set();
+    let is_byz_slot = |p: usize| faulty.contains(&p) && byz;
+
+    match protocol {
+        "FloodMin" => {
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(mp_schedule_rules(n, seed, &faulty))
+                .run_with(|p| FloodMin::boxed(n, t, inputs[p]))?;
+            Ok(check_mp(spec, inputs, &outcome))
+        }
+        "Protocol A" => {
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(mp_schedule_rules(n, seed, &faulty))
+                .run_with(|p| -> DynMpProcess<u64, u64> {
+                    if is_byz_slot(p) {
+                        // Alternate silent and group-mimicking adversaries.
+                        if seed % 4 < 2 {
+                            Box::new(Silent::new())
+                        } else {
+                            Box::new(GroupMimic::from_assignment(
+                                (0..n).map(|q| (q as u64 + seed) % 5).collect(),
+                            ))
+                        }
+                    } else {
+                        ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE)
+                    }
+                })?;
+            Ok(check_mp(spec, inputs, &outcome))
+        }
+        "Protocol B" => {
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(mp_schedule_rules(n, seed, &faulty))
+                .run_with(|p| ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
+            Ok(check_mp(spec, inputs, &outcome))
+        }
+        "Protocol C" => {
+            let l = math::protocol_c_witness(n, spec.k(), t)
+                .expect("cell classified solvable by Lemma 3.15");
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(mp_schedule_rules(n, seed, &faulty))
+                .run_with(|p| -> DynMpProcess<CMsg<u64>, u64> {
+                    if is_byz_slot(p) {
+                        if seed % 4 < 2 {
+                            Box::new(Silent::new())
+                        } else {
+                            Box::new(EchoSplitter::new(vec![seed, seed + 1]))
+                        }
+                    } else {
+                        ProtocolC::boxed(n, t, l, inputs[p], DEFAULT_VALUE)
+                    }
+                })?;
+            Ok(check_mp(spec, inputs, &outcome))
+        }
+        "Protocol D" => {
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(mp_schedule_rules(n, seed, &faulty))
+                .run_with(|p| -> DynMpProcess<kset_protocols::DMsg<u64>, u64> {
+                    if is_byz_slot(p) {
+                        Box::new(Silent::new())
+                    } else {
+                        ProtocolD::boxed(n, t, inputs[p])
+                    }
+                })?;
+            Ok(check_mp(spec, inputs, &outcome))
+        }
+        "Protocol E" => {
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(sm_schedule_rules(n, seed))
+                .run_with(|p| -> DynSmProcess<u64, u64> {
+                    if is_byz_slot(p) {
+                        if seed % 4 < 2 {
+                            Box::new(SmSilent::new())
+                        } else {
+                            Box::new(Scribbler::new(vec![seed, seed + 1, seed + 2]))
+                        }
+                    } else {
+                        ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE)
+                    }
+                })?;
+            Ok(check_sm(spec, inputs, &outcome))
+        }
+        "Protocol F" => {
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .fault_plan(plan)
+                .delay_rules(sm_schedule_rules(n, seed))
+                .run_with(|p| -> DynSmProcess<u64, u64> {
+                    if is_byz_slot(p) {
+                        if seed % 4 < 2 {
+                            Box::new(SmSilent::new())
+                        } else {
+                            Box::new(Scribbler::new(vec![seed, seed + 1]))
+                        }
+                    } else {
+                        ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE)
+                    }
+                })?;
+            Ok(check_sm(spec, inputs, &outcome))
+        }
+        "SIM(FloodMin)" => {
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .event_limit(SIM_EVENT_LIMIT)
+                .fault_plan(plan)
+                .delay_rules(sm_schedule_rules(n, seed))
+                .run_with(|p| Simulated::boxed(n, FloodMin::new(n, t, inputs[p])))?;
+            Ok(check_sm(spec, inputs, &outcome))
+        }
+        "SIM(Protocol B)" => {
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .event_limit(SIM_EVENT_LIMIT)
+                .fault_plan(plan)
+                .delay_rules(sm_schedule_rules(n, seed))
+                .run_with(|p| {
+                    Simulated::boxed(n, ProtocolB::new(n, t, inputs[p], DEFAULT_VALUE))
+                })?;
+            Ok(check_sm(spec, inputs, &outcome))
+        }
+        "SIM(Protocol C)" => {
+            let l = math::protocol_c_witness(n, spec.k(), t)
+                .expect("cell classified solvable by Lemma 4.11");
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .event_limit(SIM_EVENT_LIMIT)
+                .fault_plan(plan)
+                .delay_rules(sm_schedule_rules(n, seed))
+                .run_with(|p| -> DynSmProcess<SimSlot<CMsg<u64>>, u64> {
+                    if is_byz_slot(p) {
+                        Box::new(SmSilent::new())
+                    } else {
+                        Simulated::boxed(n, ProtocolC::new(n, t, l, inputs[p], DEFAULT_VALUE))
+                    }
+                })?;
+            Ok(check_sm(spec, inputs, &outcome))
+        }
+        "SIM(Protocol D)" => {
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .event_limit(SIM_EVENT_LIMIT)
+                .fault_plan(plan)
+                .delay_rules(sm_schedule_rules(n, seed))
+                .run_with(|p| -> DynSmProcess<SimSlot<kset_protocols::DMsg<u64>>, u64> {
+                    if is_byz_slot(p) {
+                        Box::new(SmSilent::new())
+                    } else {
+                        Simulated::boxed(n, ProtocolD::new(n, t, inputs[p]))
+                    }
+                })?;
+            Ok(check_sm(spec, inputs, &outcome))
+        }
+        other => unreachable!("no runner for {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floodmin_cell_validates_cleanly() {
+        let v = validate_cell(Model::MpCrash, ValidityCondition::RV1, 8, 4, 3, 0..6)
+            .unwrap()
+            .expect("cell is solvable");
+        assert_eq!(v.protocol, "FloodMin");
+        assert_eq!(v.runs, 6);
+        assert!(v.clean(), "{:?}", v.first_violation);
+    }
+
+    #[test]
+    fn impossible_cell_returns_none() {
+        let v = validate_cell(Model::MpCrash, ValidityCondition::RV1, 8, 4, 4, 0..2).unwrap();
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn protocol_e_cell_validates_at_huge_t() {
+        let v = validate_cell(Model::SmCrash, ValidityCondition::RV2, 8, 2, 7, 0..6)
+            .unwrap()
+            .expect("Protocol E cell");
+        assert_eq!(v.protocol, "Protocol E");
+        assert!(v.clean(), "{:?}", v.first_violation);
+    }
+
+    #[test]
+    fn byzantine_wv2_cell_validates() {
+        // MP/Byz WV2 via Protocol A: n = 8, t = 2 (2t < n), need
+        // (k-1)(n-2t) >= n-t: (k-1)*4 >= 6 -> k >= 3.
+        let v = validate_cell(Model::MpByzantine, ValidityCondition::WV2, 8, 3, 2, 0..6)
+            .unwrap()
+            .expect("Protocol A byz cell");
+        assert_eq!(v.protocol, "Protocol A");
+        assert!(v.clean(), "{:?}", v.first_violation);
+    }
+
+    #[test]
+    fn simulated_cell_validates() {
+        let v = validate_cell(Model::SmCrash, ValidityCondition::RV1, 6, 3, 2, 0..3)
+            .unwrap()
+            .expect("SIM(FloodMin) cell");
+        assert_eq!(v.protocol, "SIM(FloodMin)");
+        assert!(v.clean(), "{:?}", v.first_violation);
+    }
+}

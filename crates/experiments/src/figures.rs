@@ -1,0 +1,107 @@
+//! Shared driver for the four atlas figure binaries.
+
+use std::io::Write as _;
+
+use kset_regions::{render, Atlas, Model};
+
+/// Options of a figure binary, parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct FigureOptions {
+    /// System size (the paper's figures use 64).
+    pub n: usize,
+    /// Optional path for a CSV dump of the atlas.
+    pub csv: Option<String>,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions { n: 64, csv: None }
+    }
+}
+
+impl FigureOptions {
+    /// Parses `[n] [--csv FILE]` from an argument iterator (without the
+    /// program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on malformed arguments.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = FigureOptions::default();
+        let mut args = args.peekable();
+        if let Some(first) = args.peek() {
+            if !first.starts_with("--") {
+                let n: usize = first
+                    .parse()
+                    .map_err(|_| format!("expected a number for n, got {first:?}"))?;
+                if n < 3 {
+                    return Err("n must be at least 3".into());
+                }
+                opts.n = n;
+                args.next();
+            }
+        }
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--csv" => {
+                    opts.csv = Some(args.next().ok_or("--csv requires a file path")?);
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Computes and prints the atlas of `model`; writes the CSV if requested.
+///
+/// This is the whole body of the `fig2_mp_cr` / `fig4_mp_byz` /
+/// `fig5_sm_cr` / `fig6_sm_byz` binaries.
+///
+/// # Errors
+///
+/// Returns an error string for bad arguments or CSV I/O failures.
+pub fn run_figure(model: Model, args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = FigureOptions::parse(args)?;
+    let atlas = Atlas::compute(model, opts.n);
+    print!("{}", render::atlas_ascii(&atlas));
+    if let Some(path) = opts.csv {
+        let csv = render::atlas_csv(&atlas);
+        let mut f = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        f.write_all(csv.as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<FigureOptions, String> {
+        FigureOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_is_paper_n() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.n, 64);
+        assert!(opts.csv.is_none());
+    }
+
+    #[test]
+    fn parses_n_and_csv() {
+        let opts = parse(&["16", "--csv", "/tmp/out.csv"]).unwrap();
+        assert_eq!(opts.n, 16);
+        assert_eq!(opts.csv.as_deref(), Some("/tmp/out.csv"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&["abc"]).is_err());
+        assert!(parse(&["2"]).is_err());
+        assert!(parse(&["--csv"]).is_err());
+        assert!(parse(&["--what"]).is_err());
+    }
+}

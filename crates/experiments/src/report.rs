@@ -1,0 +1,94 @@
+//! Plain-text table formatting for experiment summaries.
+
+use crate::cells::CellValidation;
+
+/// Formats a batch of cell validations as an aligned text table with a
+/// totals row.
+pub fn validation_table(rows: &[CellValidation]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "model   validity  n   k   t   protocol          runs  violations\n\
+         ------  --------  --  --  --  ----------------  ----  ----------\n",
+    );
+    let mut total_runs = 0;
+    let mut total_viol = 0;
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6}  {:<8}  {:<2}  {:<2}  {:<2}  {:<16}  {:<4}  {}\n",
+            r.model.shorthand(),
+            r.validity.name(),
+            r.n,
+            r.k,
+            r.t,
+            r.protocol,
+            r.runs,
+            r.violations
+        ));
+        total_runs += r.runs;
+        total_viol += r.violations;
+    }
+    out.push_str(&format!(
+        "total: {} cells, {} runs, {} violations\n",
+        rows.len(),
+        total_runs,
+        total_viol
+    ));
+    out
+}
+
+/// Compact per-protocol rollup: `(protocol, cells, runs, violations)`.
+pub fn rollup(rows: &[CellValidation]) -> Vec<(&'static str, usize, usize, usize)> {
+    let mut agg: Vec<(&'static str, usize, usize, usize)> = Vec::new();
+    for r in rows {
+        if let Some(e) = agg.iter_mut().find(|e| e.0 == r.protocol) {
+            e.1 += 1;
+            e.2 += r.runs;
+            e.3 += r.violations;
+        } else {
+            agg.push((r.protocol, 1, r.runs, r.violations));
+        }
+    }
+    agg.sort_by_key(|e| e.0);
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_core::ValidityCondition;
+    use kset_regions::Model;
+
+    fn row(protocol: &'static str, runs: usize, violations: usize) -> CellValidation {
+        CellValidation {
+            model: Model::MpCrash,
+            validity: ValidityCondition::RV1,
+            n: 8,
+            k: 3,
+            t: 2,
+            protocol,
+            runs,
+            violations,
+            first_violation: None,
+        }
+    }
+
+    #[test]
+    fn table_has_header_rows_and_totals() {
+        let rows = vec![row("FloodMin", 5, 0), row("Protocol A", 5, 1)];
+        let table = validation_table(&rows);
+        assert!(table.contains("FloodMin"));
+        assert!(table.contains("Protocol A"));
+        assert!(table.contains("total: 2 cells, 10 runs, 1 violations"));
+    }
+
+    #[test]
+    fn rollup_aggregates_by_protocol() {
+        let rows = vec![
+            row("FloodMin", 5, 0),
+            row("FloodMin", 3, 0),
+            row("Protocol A", 2, 1),
+        ];
+        let agg = rollup(&rows);
+        assert_eq!(agg, vec![("FloodMin", 2, 8, 0), ("Protocol A", 1, 2, 1)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The message-passing process trait and its effect context.
+
+use kset_sim::ProcessId;
+
+/// Buffered effect produced by a process callback.
+///
+/// Public so that *custom runtimes* — most importantly the SIMULATION
+/// transform in `kset-protocols`, which executes message-passing protocols
+/// over shared memory — can build an [`MpContext`], run a callback, and
+/// translate the buffered effects into their own substrate's operations.
+#[derive(Clone, Debug)]
+pub enum RawAction<M, V> {
+    /// Send a message to a process.
+    Send(ProcessId, M),
+    /// Irreversibly decide a value.
+    Decide(V),
+    /// Request a spontaneous `on_step` callback.
+    ScheduleStep,
+}
+
+/// The effect interface handed to every [`MpProcess`] callback.
+///
+/// Effects are buffered while the callback runs and applied by the runtime
+/// afterwards, each costing one atomic action against the process's crash
+/// budget. A process whose budget runs out mid-buffer has the remaining
+/// effects silently dropped — that *is* the crash.
+#[derive(Debug)]
+pub struct MpContext<'a, M, V> {
+    me: ProcessId,
+    n: usize,
+    now: u64,
+    decided: bool,
+    actions: &'a mut Vec<RawAction<M, V>>,
+}
+
+impl<'a, M: Clone, V> MpContext<'a, M, V> {
+    /// Builds a context over a caller-owned action buffer.
+    ///
+    /// Normally only the [`crate::MpSystem`] runtime does this; custom
+    /// runtimes (the SIMULATION transform) may construct contexts to drive
+    /// an [`MpProcess`] over a different substrate, applying the buffered
+    /// [`RawAction`]s themselves afterwards.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        now: u64,
+        decided: bool,
+        actions: &'a mut Vec<RawAction<M, V>>,
+    ) -> Self {
+        MpContext {
+            me,
+            n,
+            now,
+            decided,
+            actions,
+        }
+    }
+
+    /// This process's identifier, in `0..n`.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time (events fired so far). Protocols in this
+    /// workspace never branch on it; it exists for logging and debugging.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether this process has already decided in this run.
+    ///
+    /// Deciding is irreversible but not terminal: the paper's Byzantine
+    /// protocols require processes to keep echoing after deciding.
+    pub fn has_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// Sends `msg` to process `to` over the reliable network.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(RawAction::Send(to, msg));
+    }
+
+    /// Sends `msg` to every process, *including itself*.
+    ///
+    /// The paper's protocols count the sender's own message among those it
+    /// waits for ("one of these `n - t` messages is the process' own
+    /// message"), so self-delivery is part of the broadcast.
+    pub fn broadcast(&mut self, msg: M) {
+        for to in 0..self.n {
+            self.actions.push(RawAction::Send(to, msg.clone()));
+        }
+    }
+
+    /// Irreversibly decides `value`.
+    ///
+    /// Subsequent `decide` calls in the same run are ignored by the runtime
+    /// (the first decision wins), matching the designated single "decide"
+    /// instruction of the problem statement.
+    pub fn decide(&mut self, value: V) {
+        self.decided = true;
+        self.actions.push(RawAction::Decide(value));
+    }
+
+    /// Requests another spontaneous [`MpProcess::on_step`] callback, at a
+    /// time of the scheduler's choosing. Byzantine strategies use this to
+    /// act without external stimulus.
+    pub fn schedule_step(&mut self) {
+        self.actions.push(RawAction::ScheduleStep);
+    }
+}
+
+/// A process of the asynchronous message-passing model.
+///
+/// Implementations are *state machines*: each callback runs to completion
+/// (atomically, as one process step plus its buffered effects) and must not
+/// block. The runtime guarantees:
+///
+/// * [`MpProcess::on_start`] is invoked exactly once, before any other
+///   callback of this process;
+/// * [`MpProcess::on_message`] is invoked exactly once per message sent to
+///   this process (reliable, unforgeable, possibly reordered delivery);
+/// * [`MpProcess::on_step`] is invoked once per
+///   [`MpContext::schedule_step`] request.
+pub trait MpProcess {
+    /// The message alphabet of the protocol.
+    type Msg: Clone;
+    /// The decision value type.
+    type Output;
+
+    /// The process's first step.
+    fn on_start(&mut self, ctx: &mut MpContext<'_, Self::Msg, Self::Output>);
+
+    /// Delivery of `msg` from `from`.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut MpContext<'_, Self::Msg, Self::Output>,
+    );
+
+    /// A spontaneous local step (only delivered if previously requested via
+    /// [`MpContext::schedule_step`]). Default: do nothing.
+    fn on_step(&mut self, ctx: &mut MpContext<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+}
+
+/// Boxed process with erased concrete type, the unit the runtime stores.
+///
+/// Correct processes and Byzantine strategies share this shape, which is
+/// what lets a [`crate::MpSystem`] mix them freely in one run.
+pub type DynMpProcess<M, V> = Box<dyn MpProcess<Msg = M, Output = V>>;
+
+impl<M: Clone, V> MpProcess for DynMpProcess<M, V> {
+    type Msg = M;
+    type Output = V;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, M, V>) {
+        (**self).on_start(ctx)
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut MpContext<'_, M, V>) {
+        (**self).on_message(from, msg, ctx)
+    }
+
+    fn on_step(&mut self, ctx: &mut MpContext<'_, M, V>) {
+        (**self).on_step(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_targets_every_process_including_self() {
+        let mut buf: Vec<RawAction<u8, u8>> = Vec::new();
+        let mut ctx = MpContext::new(1, 3, 0, false, &mut buf);
+        ctx.broadcast(7);
+        let targets: Vec<ProcessId> = buf
+            .iter()
+            .map(|a| match a {
+                RawAction::Send(to, 7) => *to,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(targets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn decide_is_reflected_in_context_view() {
+        let mut buf: Vec<RawAction<u8, u8>> = Vec::new();
+        let mut ctx = MpContext::new(0, 1, 0, false, &mut buf);
+        assert!(!ctx.has_decided());
+        ctx.decide(3);
+        assert!(ctx.has_decided());
+        assert!(matches!(buf[0], RawAction::Decide(3)));
+    }
+
+    #[test]
+    fn context_reports_identity() {
+        let mut buf: Vec<RawAction<u8, u8>> = Vec::new();
+        let ctx = MpContext::new(2, 5, 17, true, &mut buf);
+        assert_eq!(ctx.me(), 2);
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.now(), 17);
+        assert!(ctx.has_decided());
+    }
+
+    #[test]
+    fn schedule_step_buffers_a_step_request() {
+        let mut buf: Vec<RawAction<u8, u8>> = Vec::new();
+        let mut ctx = MpContext::new(0, 1, 0, false, &mut buf);
+        ctx.schedule_step();
+        assert!(matches!(buf[0], RawAction::ScheduleStep));
+    }
+}

@@ -1,0 +1,575 @@
+//! The message-passing runtime: builder and run loop.
+
+use std::collections::BTreeMap;
+
+use kset_sim::{
+    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, ProcessId,
+    RandomScheduler, Scheduler, SimError,
+};
+
+use crate::outcome::MpOutcome;
+use crate::process::{DynMpProcess, MpContext, RawAction};
+
+/// Kernel payloads of the message-passing model.
+#[derive(Clone, Debug)]
+enum Payload<M> {
+    /// The process's initial step.
+    Start,
+    /// A requested spontaneous step.
+    Step,
+    /// A message in transit.
+    Msg(M),
+}
+
+/// Builder/runtime for one run of a message-passing system.
+///
+/// Configure the fault plan, scheduler, delay rules, and limits, then call
+/// [`MpSystem::run`] with one process per slot. Byzantine slots (per the
+/// fault plan) are filled by the caller with strategy objects — see the
+/// `kset-adversary` crate.
+///
+/// # Examples
+///
+/// See the crate-level documentation.
+pub struct MpSystem {
+    n: usize,
+    plan: FaultPlan,
+    scheduler: Option<Box<dyn Scheduler>>,
+    rules: Vec<DelayRule>,
+    event_limit: Option<u64>,
+    trace_capacity: usize,
+}
+
+impl std::fmt::Debug for MpSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpSystem")
+            .field("n", &self.n)
+            .field("plan", &self.plan)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+impl MpSystem {
+    /// A system of `n` processes, all correct, randomly scheduled (seed 0).
+    pub fn new(n: usize) -> Self {
+        MpSystem {
+            n,
+            plan: FaultPlan::all_correct(n),
+            scheduler: None,
+            rules: Vec::new(),
+            event_limit: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the fault plan. Its size must equal `n` (checked at run time).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Uses an explicit scheduler (adversary).
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Some(Box::new(scheduler));
+        self
+    }
+
+    /// Shorthand for a [`RandomScheduler`] with the given seed.
+    pub fn seed(self, seed: u64) -> Self {
+        self.scheduler(RandomScheduler::from_seed(seed))
+    }
+
+    /// Adds a delay rule; the scheduler is wrapped in a
+    /// [`GatedScheduler`] when any rules are present.
+    pub fn delay_rule(mut self, rule: DelayRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds several delay rules at once.
+    pub fn delay_rules(mut self, rules: impl IntoIterator<Item = DelayRule>) -> Self {
+        self.rules.extend(rules);
+        self
+    }
+
+    /// Overrides the kernel event limit.
+    pub fn event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Enables trace recording with the given capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Runs the system with one boxed process per slot, taken from an
+    /// iterator in process-id order.
+    ///
+    /// # Errors
+    ///
+    /// See [`MpSystem::run`].
+    pub fn run_boxed<M: Clone, V>(
+        self,
+        procs: impl IntoIterator<Item = DynMpProcess<M, V>>,
+    ) -> Result<MpOutcome<V>, SimError> {
+        self.run(procs.into_iter().collect())
+    }
+
+    /// Runs the system, building each process from a factory closure.
+    ///
+    /// # Errors
+    ///
+    /// See [`MpSystem::run`].
+    pub fn run_with<M: Clone, V>(
+        self,
+        mut factory: impl FnMut(ProcessId) -> DynMpProcess<M, V>,
+    ) -> Result<MpOutcome<V>, SimError> {
+        let procs = (0..self.n).map(&mut factory).collect();
+        self.run(procs)
+    }
+
+    /// Runs the system to completion.
+    ///
+    /// The run ends when every correct process has decided, when no events
+    /// remain (in which case `terminated` is `false` if some correct process
+    /// is still undecided), or with an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] if `procs.len()` or the fault plan size
+    ///   differ from `n`, or `n == 0`.
+    /// * [`SimError::EventLimitExceeded`] if the protocol livelocks.
+    /// * [`SimError::ProcessOutOfRange`] if a process sends to an index
+    ///   outside `0..n`.
+    pub fn run<M: Clone, V>(
+        self,
+        mut procs: Vec<DynMpProcess<M, V>>,
+    ) -> Result<MpOutcome<V>, SimError> {
+        if self.n == 0 {
+            return Err(SimError::InvalidConfig("n must be positive".into()));
+        }
+        if procs.len() != self.n {
+            return Err(SimError::InvalidConfig(format!(
+                "expected {} processes, got {}",
+                self.n,
+                procs.len()
+            )));
+        }
+        if self.plan.n() != self.n {
+            return Err(SimError::InvalidConfig(format!(
+                "fault plan covers {} processes, system has {}",
+                self.plan.n(),
+                self.n
+            )));
+        }
+
+        let n = self.n;
+        let plan = self.plan;
+        let inner: Box<dyn Scheduler> = self
+            .scheduler
+            .unwrap_or_else(|| Box::new(RandomScheduler::from_seed(0)));
+        let mut kernel: Kernel<Payload<M>> = if self.rules.is_empty() {
+            Kernel::with_processes(inner, n)
+        } else {
+            Kernel::with_processes(GatedScheduler::new(inner, self.rules), n)
+        };
+        if let Some(limit) = self.event_limit {
+            kernel = kernel.event_limit(limit);
+        }
+        if self.trace_capacity > 0 {
+            kernel = kernel.trace_capacity(self.trace_capacity);
+        }
+
+        for pid in 0..n {
+            if plan.spec(pid).kind() == kset_sim::FaultKind::Byzantine {
+                kernel.state_mut().mark_byzantine(pid);
+            }
+        }
+        for pid in 0..n {
+            kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Start);
+        }
+
+        let mut decisions: Vec<Option<V>> = (0..n).map(|_| None).collect();
+        let mut started = vec![false; n];
+
+        // Dispatches one callback to `pid` under its crash budget, then
+        // drains the buffered effects. Returns early (after marking the
+        // crash) when the budget runs out.
+        #[allow(clippy::too_many_arguments)]
+        fn dispatch<M: Clone, V>(
+            kernel: &mut Kernel<Payload<M>>,
+            procs: &mut [DynMpProcess<M, V>],
+            decisions: &mut [Option<V>],
+            plan: &FaultPlan,
+            n: usize,
+            pid: ProcessId,
+            call: impl FnOnce(&mut DynMpProcess<M, V>, &mut MpContext<'_, M, V>),
+        ) -> Result<(), SimError> {
+            let done = kernel.state().actions_of(pid);
+            if plan.remaining_budget(pid, done) == Some(0) {
+                crash(kernel, pid);
+                return Ok(());
+            }
+            kernel.state_mut().charge_action(pid);
+
+            let mut buf: Vec<RawAction<M, V>> = Vec::new();
+            {
+                let mut ctx =
+                    MpContext::new(pid, n, kernel.now(), decisions[pid].is_some(), &mut buf);
+                call(&mut procs[pid], &mut ctx);
+            }
+
+            for action in buf {
+                let done = kernel.state().actions_of(pid);
+                if plan.remaining_budget(pid, done) == Some(0) {
+                    crash(kernel, pid);
+                    break;
+                }
+                kernel.state_mut().charge_action(pid);
+                match action {
+                    RawAction::Send(to, m) => {
+                        if to >= n {
+                            return Err(SimError::ProcessOutOfRange { pid: to, n });
+                        }
+                        kernel.post(
+                            EventMeta::new(EventKind::MessageDelivery, to).from_process(pid),
+                            Payload::Msg(m),
+                        );
+                    }
+                    RawAction::Decide(v) => {
+                        if decisions[pid].is_none() {
+                            decisions[pid] = Some(v);
+                            kernel.state_mut().mark_decided(pid);
+                        }
+                    }
+                    RawAction::ScheduleStep => {
+                        kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Step);
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        loop {
+            if kernel.state().all_correct_decided() {
+                break;
+            }
+            let Some((meta, payload)) = kernel.next_checked()? else {
+                break;
+            };
+            let pid = meta.target;
+            if kernel.state().has_crashed(pid) {
+                continue;
+            }
+            // A process's first step is always its `on_start`: if another
+            // event (an early delivery) reaches it before its explicit
+            // start event fired, start it lazily first.
+            if !started[pid] {
+                started[pid] = true;
+                dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
+                    p.on_start(ctx)
+                })?;
+                if matches!(payload, Payload::Start) {
+                    continue;
+                }
+                if kernel.state().has_crashed(pid) {
+                    continue;
+                }
+            } else if matches!(payload, Payload::Start) {
+                // Explicit start event arriving after a lazy start: spent.
+                continue;
+            }
+            match payload {
+                Payload::Start => unreachable!("start handled above"),
+                Payload::Step => {
+                    dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
+                        p.on_step(ctx)
+                    })?;
+                }
+                Payload::Msg(m) => {
+                    let from = meta.source.expect("message delivery has a source");
+                    dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
+                        p.on_message(from, m, ctx)
+                    })?;
+                }
+            }
+        }
+
+        let terminated = kernel.state().all_correct_decided();
+        let decisions: BTreeMap<ProcessId, V> = decisions
+            .into_iter()
+            .enumerate()
+            .filter_map(|(p, d)| d.map(|v| (p, v)))
+            .collect();
+        Ok(MpOutcome {
+            decisions,
+            correct: plan.correct_set(),
+            faulty: plan.faulty_set(),
+            terminated,
+            stats: *kernel.stats(),
+            trace: kernel.trace().clone(),
+        })
+    }
+}
+
+fn crash<M>(kernel: &mut Kernel<Payload<M>>, pid: ProcessId) {
+    kernel.state_mut().mark_crashed(pid);
+    // Steps and deliveries *to* the crashed process will never be handled;
+    // messages it already sent stay in flight (the network is reliable).
+    kernel.cancel_where(|m| m.target == pid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::MpProcess;
+    use kset_sim::FaultSpec;
+
+    /// Broadcasts the input; decides the multiset minimum of the first
+    /// `quorum` values received (its own included).
+    struct MinOfQuorum {
+        input: u64,
+        quorum: usize,
+        seen: Vec<u64>,
+    }
+
+    impl MinOfQuorum {
+        fn boxed(input: u64, quorum: usize) -> DynMpProcess<u64, u64> {
+            Box::new(MinOfQuorum {
+                input,
+                quorum,
+                seen: Vec::new(),
+            })
+        }
+    }
+
+    impl MpProcess for MinOfQuorum {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut MpContext<'_, u64, u64>) {
+            ctx.broadcast(self.input);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut MpContext<'_, u64, u64>) {
+            if ctx.has_decided() {
+                return;
+            }
+            self.seen.push(msg);
+            if self.seen.len() >= self.quorum {
+                ctx.decide(*self.seen.iter().min().expect("quorum >= 1"));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_free_run_decides_everywhere() {
+        let outcome = MpSystem::new(4)
+            .seed(3)
+            .run_boxed((0..4).map(|i| MinOfQuorum::boxed(10 + i, 4)))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.decisions.len(), 4);
+        // Everyone waited for all four values, so everyone decided min = 10.
+        assert_eq!(outcome.correct_decision_set(), vec![10]);
+        assert_eq!(outcome.stats.messages_delivered, 16);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = |seed| {
+            MpSystem::new(5)
+                .seed(seed)
+                .fault_plan(FaultPlan::silent_crashes(5, &[4]))
+                .run_boxed((0..5).map(|i| MinOfQuorum::boxed(i, 4)))
+                .unwrap()
+        };
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn silent_crash_means_no_messages_from_that_process() {
+        let outcome = MpSystem::new(3)
+            .seed(9)
+            .fault_plan(FaultPlan::silent_crashes(3, &[0]))
+            .run_boxed((0..3).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap();
+        assert!(outcome.terminated);
+        // Process 0 never started: only 1 and 2 decided, and neither can
+        // have seen 0's input.
+        assert!(!outcome.decisions.contains_key(&0));
+        assert!(outcome.correct_decision_set().iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn waiting_for_too_many_messages_fails_termination() {
+        // 3 processes, one silent: waiting for all 3 inputs can never finish.
+        let outcome = MpSystem::new(3)
+            .seed(1)
+            .fault_plan(FaultPlan::silent_crashes(3, &[2]))
+            .run_boxed((0..3).map(|i| MinOfQuorum::boxed(i, 3)))
+            .unwrap();
+        assert!(!outcome.terminated);
+        assert!(outcome.decisions.is_empty());
+    }
+
+    #[test]
+    fn crash_budget_cuts_a_broadcast() {
+        // Process 0 may perform 2 actions: handling its start event and
+        // sending to process 0 (itself). Its sends to 1 and 2 are cut.
+        let mut plan = FaultPlan::all_correct(3);
+        plan.set(0, FaultSpec::Crash { after_actions: 2 });
+        let outcome = MpSystem::new(3)
+            .seed(5)
+            .fault_plan(plan)
+            .run_boxed((0..3).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap();
+        assert!(outcome.terminated);
+        // 1 and 2 decide from {1, 2}: 0's input never reached them.
+        assert_eq!(outcome.correct_decision_set(), vec![1]);
+    }
+
+    #[test]
+    fn mismatched_process_count_is_rejected() {
+        let err = MpSystem::new(3)
+            .run_boxed((0..2).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn mismatched_plan_size_is_rejected() {
+        let err = MpSystem::new(3)
+            .fault_plan(FaultPlan::all_correct(2))
+            .run_boxed((0..3).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_processes_is_rejected() {
+        let err = MpSystem::new(0)
+            .run_boxed(std::iter::empty::<DynMpProcess<u64, u64>>())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn event_limit_surfaces_as_error() {
+        /// Pathological protocol: every step schedules another step.
+        struct Spinner;
+        impl MpProcess for Spinner {
+            type Msg = ();
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut MpContext<'_, (), ()>) {
+                ctx.schedule_step();
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: (), _c: &mut MpContext<'_, (), ()>) {}
+            fn on_step(&mut self, ctx: &mut MpContext<'_, (), ()>) {
+                ctx.schedule_step();
+            }
+        }
+        let err = MpSystem::new(1)
+            .event_limit(100)
+            .run_boxed(std::iter::once(
+                Box::new(Spinner) as DynMpProcess<(), ()>
+            ))
+            .unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn trace_capacity_records_schedule() {
+        let outcome = MpSystem::new(2)
+            .seed(2)
+            .trace_capacity(64)
+            .run_boxed((0..2).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap();
+        assert!(!outcome.trace.entries().is_empty());
+    }
+
+    #[test]
+    fn delay_rule_shapes_the_run() {
+        use kset_sim::DelayRule;
+        // Isolate {0,1}: they must decide before hearing from {2,3}.
+        let outcome = MpSystem::new(4)
+            .seed(4)
+            .delay_rule(DelayRule::isolate_until_decided(vec![0, 1]))
+            .run_boxed((0..4).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap();
+        assert!(outcome.terminated);
+        // 0 and 1 can only have seen inputs from {0, 1}.
+        for p in [0usize, 1] {
+            assert!(outcome.decisions[&p] <= 1);
+        }
+    }
+
+    #[test]
+    fn on_start_always_precedes_deliveries() {
+        /// Records whether a message ever arrived before on_start.
+        struct StartGuard {
+            started: bool,
+        }
+        impl MpProcess for StartGuard {
+            type Msg = u8;
+            type Output = bool;
+            fn on_start(&mut self, ctx: &mut MpContext<'_, u8, bool>) {
+                self.started = true;
+                ctx.broadcast(1);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: u8, ctx: &mut MpContext<'_, u8, bool>) {
+                if !ctx.has_decided() {
+                    // A delivery firing before our start would see
+                    // started == false.
+                    ctx.decide(self.started);
+                }
+            }
+        }
+        // LIFO maximally perturbs start ordering: late starts, early
+        // deliveries. Every process must still observe its own start first.
+        for seed in 0..20u64 {
+            let outcome = MpSystem::new(5)
+                .seed(seed)
+                .run_boxed((0..5).map(|_| {
+                    Box::new(StartGuard { started: false }) as DynMpProcess<u8, bool>
+                }))
+                .unwrap();
+            assert!(
+                outcome.decisions.values().all(|&ok| ok),
+                "seed {seed}: a delivery fired before on_start"
+            );
+        }
+    }
+
+    #[test]
+    fn first_decision_wins() {
+        /// Decides twice; the second decision must be ignored.
+        struct DoubleDecider;
+        impl MpProcess for DoubleDecider {
+            type Msg = ();
+            type Output = u32;
+            fn on_start(&mut self, ctx: &mut MpContext<'_, (), u32>) {
+                ctx.decide(1);
+                ctx.decide(2);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: (), _c: &mut MpContext<'_, (), u32>) {}
+        }
+        let outcome = MpSystem::new(1)
+            .run_boxed(std::iter::once(
+                Box::new(DoubleDecider) as DynMpProcess<(), u32>
+            ))
+            .unwrap();
+        assert_eq!(outcome.decisions[&0], 1);
+    }
+}

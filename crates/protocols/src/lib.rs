@@ -1,0 +1,82 @@
+//! # kset-protocols — every protocol of the paper, executable
+//!
+//! This crate implements the protocols of *"On k-Set Consensus Problems in
+//! Asynchronous Systems"* against the `kset-net` (message passing) and
+//! `kset-shmem` (shared memory) substrates:
+//!
+//! | Protocol | Model | Solves | Bound | Paper |
+//! |---|---|---|---|---|
+//! | [`FloodMin`] | MP/CR | `SC(k, RV1)` | `t < k` | Lemma 3.1 \[13\] |
+//! | [`ProtocolA`] | MP/CR | `SC(k, RV2)` | `t < (k-1)n/k` | Lemma 3.7 |
+//! | [`ProtocolA`] | MP/Byz | `SC(k, WV2)` | Lemmas 3.12 / 3.13 | §3.2.2 |
+//! | [`ProtocolB`] | MP/CR | `SC(k, SV2)` | `t < (k-1)n/2k` | Lemma 3.8 |
+//! | [`ProtocolC`] | MP/Byz | `SC(k, SV2)` | `t < (k-1)n/(2k+l-1)`, `t < ln/(2l+1)` | Lemma 3.15 |
+//! | [`ProtocolD`] | MP/Byz | `SC(k, WV1)` | `k >= Z(n,t)` | Lemma 3.16 |
+//! | [`ProtocolE`] | SM/CR | `SC(k, RV2)` | `k >= 2`, any `t` | Lemma 4.5 |
+//! | [`ProtocolE`] | SM/Byz | `SC(k, WV2)` | `k >= 2`, any `t` | Lemma 4.10 |
+//! | [`ProtocolF`] | SM/CR+Byz | `SC(k, SV2)` | `k > t+1` | Lemmas 4.7 / 4.12 |
+//! | [`Simulated`] | MP → SM | transform | — | §4 SIMULATION |
+//!
+//! plus the [`echo::LEcho`] broadcast — the `l`-echo generalization of
+//! Bracha–Toueg's echo broadcast (Lemma 3.14) that powers `ProtocolC`.
+//!
+//! All protocols are *one-shot*: construct one instance per process with
+//! the system parameters `(n, t)`, the process's input, and (where the
+//! paper uses one) the default decision value `v0`, then hand the boxed
+//! instances to `MpSystem::run` / `SmSystem::run`.
+//!
+//! ```
+//! use kset_net::MpSystem;
+//! use kset_protocols::FloodMin;
+//! use kset_sim::FaultPlan;
+//!
+//! // SC(3, 2, RV1) with n = 5: FloodMin tolerates t < k.
+//! let (n, t) = (5, 2);
+//! let outcome = MpSystem::new(n)
+//!     .seed(42)
+//!     .fault_plan(FaultPlan::silent_crashes(n, &[0, 4]))
+//!     .run_with(|p| FloodMin::boxed(n, t, 100 + p as u64))?;
+//! assert!(outcome.terminated);
+//! assert!(outcome.correct_decision_set().len() <= t + 1);
+//! # Ok::<(), kset_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod echo;
+mod emulation;
+mod flood_min;
+mod protocol_a;
+mod protocol_b;
+mod protocol_c;
+mod protocol_d;
+mod protocol_e;
+mod protocol_f;
+mod simulation;
+mod trivial;
+
+pub use emulation::{AbdMsg, ByzEmulated, Emulated};
+pub use flood_min::FloodMin;
+pub use protocol_a::ProtocolA;
+pub use protocol_b::ProtocolB;
+pub use protocol_c::{CMsg, ProtocolC};
+pub use protocol_d::{DMsg, DecisionRule, ProtocolD};
+pub use protocol_e::ProtocolE;
+pub use protocol_f::ProtocolF;
+pub use simulation::{SimSlot, Simulated};
+pub use trivial::{CollectAll, SelfDecide};
+
+/// Checks the common preconditions shared by every protocol constructor.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `t >= n` (no protocol here can wait on an empty
+/// quorum).
+pub(crate) fn check_params(n: usize, t: usize) {
+    assert!(n > 0, "n must be positive");
+    assert!(
+        t < n,
+        "t must be smaller than n (quorums of n - t must be non-empty)"
+    );
+}

@@ -1,0 +1,166 @@
+//! The trivial fringe protocols (paper §2).
+//!
+//! The paper dismisses two corners of the parameter space before the
+//! analysis starts, and both deserve runnable witnesses:
+//!
+//! * `k = n`: *"each process decides its own value"* — [`SelfDecide`]
+//!   solves `SC(n, t, SV1)` for **any** `t`, even Byzantine, because a
+//!   correct process's own input is trivially a correct process's input.
+//! * `t = 0`: with no failures a process may wait for everybody —
+//!   [`CollectAll`] gathers all `n` inputs and decides the minimum,
+//!   giving a single decision that satisfies SV1 (and hence everything).
+
+use kset_core::Value;
+use kset_net::{DynMpProcess, MpContext, MpProcess};
+use kset_sim::ProcessId;
+
+/// Decides its own input immediately: the `k = n` fringe protocol.
+#[derive(Clone, Debug)]
+pub struct SelfDecide<V> {
+    input: V,
+}
+
+impl<V: Value> SelfDecide<V> {
+    /// Creates the process with its input.
+    pub fn new(input: V) -> Self {
+        SelfDecide { input }
+    }
+
+    /// Boxed form for [`kset_net::MpSystem::run_with`].
+    pub fn boxed(input: V) -> DynMpProcess<V, V>
+    where
+        V: 'static,
+    {
+        Box::new(Self::new(input))
+    }
+}
+
+impl<V: Value> MpProcess for SelfDecide<V> {
+    type Msg = V;
+    type Output = V;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
+        ctx.decide(self.input.clone());
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: V, _ctx: &mut MpContext<'_, V, V>) {}
+}
+
+/// Waits for all `n` inputs and decides the minimum: the `t = 0` fringe
+/// protocol (FloodMin with a full quorum).
+///
+/// With any actual failure this loses termination — which is exactly the
+/// observation that opens the paper's impossibility arguments ("a process
+/// must be able to decide after communicating with at most `n - t`
+/// processes").
+#[derive(Clone, Debug)]
+pub struct CollectAll<V> {
+    n: usize,
+    input: V,
+    seen: Vec<V>,
+}
+
+impl<V: Value> CollectAll<V> {
+    /// Creates the process for a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, input: V) -> Self {
+        assert!(n > 0, "n must be positive");
+        CollectAll {
+            n,
+            input,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Boxed form for [`kset_net::MpSystem::run_with`].
+    pub fn boxed(n: usize, input: V) -> DynMpProcess<V, V>
+    where
+        V: 'static,
+    {
+        Box::new(Self::new(n, input))
+    }
+}
+
+impl<V: Value> MpProcess for CollectAll<V> {
+    type Msg = V;
+    type Output = V;
+
+    fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
+        ctx.broadcast(self.input.clone());
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: V, ctx: &mut MpContext<'_, V, V>) {
+        if ctx.has_decided() {
+            return;
+        }
+        self.seen.push(msg);
+        if self.seen.len() == self.n {
+            ctx.decide(self.seen.iter().min().expect("n >= 1").clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_core::{ProblemSpec, RunRecord, ValidityCondition};
+    use kset_net::MpSystem;
+    use kset_sim::FaultPlan;
+
+    #[test]
+    fn self_decide_solves_sc_n_even_with_maximal_byzantine_budget() {
+        let n = 5;
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let outcome = MpSystem::new(n)
+            .seed(1)
+            .run_with(|p| SelfDecide::boxed(inputs[p]))
+            .unwrap();
+        assert!(outcome.terminated);
+        let spec = ProblemSpec::new(n, n, n, ValidityCondition::SV1).unwrap();
+        let record = RunRecord::new(inputs)
+            .with_decisions(outcome.decisions.clone())
+            .with_terminated(outcome.terminated);
+        assert!(spec.check(&record).is_ok());
+    }
+
+    #[test]
+    fn collect_all_yields_one_sv1_decision_without_failures() {
+        let n = 6;
+        let inputs: Vec<u64> = vec![9, 3, 7, 5, 3, 8];
+        for seed in 0..10 {
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .run_with(|p| CollectAll::boxed(n, inputs[p]))
+                .unwrap();
+            assert!(outcome.terminated);
+            assert_eq!(outcome.correct_decision_set(), vec![3]);
+            let spec = ProblemSpec::new(n, 2, 0, ValidityCondition::SV1).unwrap();
+            let record = RunRecord::new(inputs.clone())
+                .with_decisions(outcome.decisions.clone())
+                .with_terminated(outcome.terminated);
+            assert!(spec.check(&record).is_ok());
+        }
+    }
+
+    #[test]
+    fn collect_all_loses_termination_under_a_single_crash() {
+        // The observation behind every n - t quorum in the paper.
+        let n = 4;
+        let outcome = MpSystem::new(n)
+            .seed(2)
+            .fault_plan(FaultPlan::silent_crashes(n, &[3]))
+            .run_with(|p| CollectAll::boxed(n, p as u64))
+            .unwrap();
+        assert!(!outcome.terminated);
+        assert!(outcome.decisions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn collect_all_rejects_empty_system() {
+        let _ = CollectAll::new(0, 0u64);
+    }
+}

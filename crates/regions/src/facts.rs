@@ -1,0 +1,433 @@
+//! The base lemma facts: each possibility/impossibility lemma of the paper
+//! as an exact region predicate.
+//!
+//! Facts are stated exactly where the paper states them; the closure in
+//! [`crate::classify`] propagates them along the validity lattice, the
+//! crash→Byzantine containment, and the MP→SM SIMULATION. Keeping the base
+//! table minimal and literal makes each entry auditable against the paper.
+
+use kset_core::ValidityCondition as VC;
+
+use crate::math::{protocol_c_covers, z_function};
+use crate::model::Model;
+
+/// A lemma-backed region of the `(n, k, t)` parameter space.
+#[derive(Clone, Copy, Debug)]
+pub struct Fact {
+    /// Model the lemma is stated in.
+    pub model: Model,
+    /// Validity condition the lemma is stated for.
+    pub validity: VC,
+    /// Citation, e.g. `"Lemma 3.7"`.
+    pub lemma: &'static str,
+    /// The protocol or proof technique behind the lemma.
+    pub means: &'static str,
+    /// The paper's bounding formula, as displayed in the figure legends.
+    pub formula: &'static str,
+    /// The region, as an exact integer predicate over `(n, k, t)`.
+    pub region: fn(usize, usize, usize) -> bool,
+}
+
+impl Fact {
+    /// Whether the fact's region contains the cell.
+    pub fn covers(&self, n: usize, k: usize, t: usize) -> bool {
+        (self.region)(n, k, t)
+    }
+}
+
+/// Possibility results: "there is a protocol for ...".
+pub const SOLVABLE: &[Fact] = &[
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::RV1,
+        lemma: "Lemma 3.1",
+        means: "Chaudhuri's k-set consensus protocol (FloodMin)",
+        formula: "t < k",
+        // t < k
+        region: |_n, k, t| t < k,
+    },
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::RV2,
+        lemma: "Lemma 3.7",
+        means: "Protocol A",
+        formula: "t < (k-1)n/k",
+        // t < (k-1) n / k
+        region: |n, k, t| k * t < (k - 1) * n,
+    },
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::SV2,
+        lemma: "Lemma 3.8",
+        means: "Protocol B",
+        formula: "t < (k-1)n/2k",
+        // t < (k-1) n / (2k)
+        region: |n, k, t| 2 * k * t < (k - 1) * n,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::WV2,
+        lemma: "Lemma 3.12",
+        means: "Protocol A",
+        formula: "t < n/2 and k >= (n-t)/(n-2t) + 1",
+        // t < n/2  and  k >= (n-t)/(n-2t) + 1
+        region: |n, k, t| 2 * t < n && (k - 1) * (n - 2 * t) >= n - t,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::WV2,
+        lemma: "Lemma 3.13",
+        means: "Protocol A",
+        formula: "t >= n/2 and k >= t+1",
+        // t >= n/2  and  k >= t + 1
+        region: |n, k, t| 2 * t >= n && k > t,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::SV2,
+        lemma: "Lemma 3.15",
+        means: "Protocol C(l) over the l-echo broadcast",
+        formula: "exists l: t < (k-1)n/(2k+l-1) and t < ln/(2l+1)",
+        // exists l >= 1: t < (k-1)n/(2k+l-1) and t < ln/(2l+1)
+        region: protocol_c_covers,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::WV1,
+        lemma: "Lemma 3.16",
+        means: "Protocol D",
+        formula: "k >= Z(n,t)",
+        // k >= Z(n, t)
+        region: |n, k, t| k >= z_function(n, t),
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::RV1,
+        lemma: "Lemma 4.4",
+        means: "SIMULATION of Chaudhuri's protocol",
+        formula: "t < k",
+        region: |_n, k, t| t < k,
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::RV2,
+        lemma: "Lemma 4.5",
+        means: "Protocol E",
+        formula: "any t (k >= 2)",
+        // any t, once k >= 2
+        region: |_n, k, _t| k >= 2,
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::SV2,
+        lemma: "Lemma 4.6",
+        means: "SIMULATION of Protocol B",
+        formula: "t < (k-1)n/2k",
+        region: |n, k, t| 2 * k * t < (k - 1) * n,
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::SV2,
+        lemma: "Lemma 4.7",
+        means: "Protocol F",
+        formula: "k > t+1",
+        // k > t + 1
+        region: |_n, k, t| k > t + 1,
+    },
+    Fact {
+        model: Model::SmByzantine,
+        validity: VC::WV2,
+        lemma: "Lemma 4.10",
+        means: "Protocol E",
+        formula: "any t (k >= 2)",
+        region: |_n, k, _t| k >= 2,
+    },
+    Fact {
+        model: Model::SmByzantine,
+        validity: VC::SV2,
+        lemma: "Lemma 4.11",
+        means: "SIMULATION of Protocol C(l)",
+        formula: "exists l: t < (k-1)n/(2k+l-1) and t < ln/(2l+1)",
+        region: protocol_c_covers,
+    },
+    Fact {
+        model: Model::SmByzantine,
+        validity: VC::SV2,
+        lemma: "Lemma 4.12",
+        means: "Protocol F",
+        formula: "k > t+1",
+        region: |_n, k, t| k > t + 1,
+    },
+    Fact {
+        model: Model::SmByzantine,
+        validity: VC::WV1,
+        lemma: "Lemma 4.13",
+        means: "SIMULATION of Protocol D",
+        formula: "k >= Z(n,t)",
+        region: |n, k, t| k >= z_function(n, t),
+    },
+];
+
+/// Impossibility results: "there is no protocol for ...".
+pub const IMPOSSIBLE: &[Fact] = &[
+    Fact {
+        // Stated for both crash models ("In the crash models, ...").
+        model: Model::SmCrash,
+        validity: VC::RV1,
+        lemma: "Lemma 3.2",
+        means: "topological lower bound [9], [20], [30]",
+        formula: "t >= k",
+        // t >= k
+        region: |_n, k, t| t >= k,
+    },
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::WV2,
+        lemma: "Lemma 3.3",
+        means: "partition run (Fig. 3 of the paper)",
+        formula: "t >= ((k-1)n+1)/k",
+        // t >= ((k-1) n + 1) / k  <=>  k t > (k-1) n
+        region: |n, k, t| k * t > (k - 1) * n,
+    },
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::WV1,
+        lemma: "Lemma 3.4",
+        means: "reduction to RV1 (delay messages of the faulty)",
+        formula: "t >= k",
+        region: |_n, k, t| t >= k,
+    },
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::SV1,
+        lemma: "Lemma 3.5",
+        means: "crash right after the last send",
+        formula: "all t >= 1",
+        region: |_n, _k, _t| true,
+    },
+    Fact {
+        model: Model::MpCrash,
+        validity: VC::SV2,
+        lemma: "Lemma 3.6",
+        means: "two-group / (k+1)-group partition runs",
+        formula: "t >= kn/(2k+1)",
+        // t >= k n / (2k + 1)
+        region: |n, k, t| (2 * k + 1) * t >= k * n,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::WV2,
+        lemma: "Lemma 3.9",
+        means: "Byzantine group-mimicry runs",
+        formula: "t >= kn/(2k+1) and t >= k",
+        // t >= k n / (2k+1)  and  t >= k
+        region: |n, k, t| (2 * k + 1) * t >= k * n && t >= k,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::RV1,
+        lemma: "Lemma 3.10",
+        means: "a faulty process lies about its input",
+        formula: "all t >= 1",
+        region: |_n, _k, _t| true,
+    },
+    Fact {
+        model: Model::MpByzantine,
+        validity: VC::RV2,
+        lemma: "Lemma 3.11",
+        means: "partitioned Byzantine mimicry",
+        formula: "t >= kn/2(k+1)",
+        // t >= k n / (2 (k+1))
+        region: |n, k, t| 2 * (k + 1) * t >= k * n,
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::WV1,
+        lemma: "Lemma 4.1",
+        means: "reduction to RV1 (delay writes of the faulty)",
+        formula: "k <= t",
+        // k <= t
+        region: |_n, k, t| k <= t,
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::SV1,
+        lemma: "Lemma 4.2",
+        means: "crash right after the last write",
+        formula: "all t >= 1",
+        region: |_n, _k, _t| true,
+    },
+    Fact {
+        model: Model::SmCrash,
+        validity: VC::SV2,
+        lemma: "Lemma 4.3",
+        means: "frozen-majority runs",
+        formula: "t >= n/2 and t >= k",
+        // t >= n/2  and  t >= k
+        region: |n, k, t| 2 * t >= n && t >= k,
+    },
+    Fact {
+        model: Model::SmByzantine,
+        validity: VC::RV1,
+        lemma: "Lemma 4.8",
+        means: "as Lemma 3.10 (proof is model-independent)",
+        formula: "all t >= 1",
+        region: |_n, _k, _t| true,
+    },
+    Fact {
+        model: Model::SmByzantine,
+        validity: VC::RV2,
+        lemma: "Lemma 4.9",
+        means: "frozen group with lying inputs",
+        formula: "t >= n/2 and t >= k",
+        region: |n, k, t| 2 * t >= n && t >= k,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(table: &'static [Fact], lemma: &str) -> &'static Fact {
+        table
+            .iter()
+            .find(|f| f.lemma == lemma)
+            .unwrap_or_else(|| panic!("{lemma} not in table"))
+    }
+
+    #[test]
+    fn every_lemma_with_a_region_is_present_exactly_once() {
+        let mut lemmas: Vec<&str> = SOLVABLE
+            .iter()
+            .chain(IMPOSSIBLE.iter())
+            .map(|f| f.lemma)
+            .collect();
+        lemmas.sort();
+        let before = lemmas.len();
+        lemmas.dedup();
+        assert_eq!(before, lemmas.len(), "duplicate lemma entries");
+        // 15 possibility + 13 impossibility lemmas carried as base facts.
+        assert_eq!(SOLVABLE.len(), 15);
+        assert_eq!(IMPOSSIBLE.len(), 13);
+    }
+
+    #[test]
+    fn lemma_3_1_and_3_2_tile_the_rv1_plane() {
+        let s = find(SOLVABLE, "Lemma 3.1");
+        let i = find(IMPOSSIBLE, "Lemma 3.2");
+        for k in 2..64 {
+            for t in 1..=64 {
+                assert!(
+                    s.covers(64, k, t) ^ i.covers(64, k, t),
+                    "RV1 split must be exact at k={k}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_and_3_7_leave_only_multiples_of_k_open() {
+        let s = find(SOLVABLE, "Lemma 3.7");
+        let i = find(IMPOSSIBLE, "Lemma 3.3");
+        for k in 2..64usize {
+            for t in 1..=64usize {
+                let gap = !s.covers(64, k, t) && !i.covers(64, k, t);
+                // Open exactly on the line k t = (k-1) n, i.e. where k | n
+                // (the "isolated points" the paper describes).
+                assert_eq!(gap, k * t == (k - 1) * 64, "gap at k={k}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_8_region_is_half_of_protocol_a() {
+        let a = find(SOLVABLE, "Lemma 3.7");
+        let b = find(SOLVABLE, "Lemma 3.8");
+        for k in 2..64 {
+            for t in 1..=64 {
+                if b.covers(64, k, t) {
+                    assert!(a.covers(64, k, t), "B region must lie inside A region");
+                }
+            }
+        }
+        // And strictly: t = 20, k = 3 is in A (60 < 128) not in B (120 >= 128... wait 2kt = 120 < 128).
+        assert!(b.covers(64, 3, 20));
+        assert!(a.covers(64, 3, 30) && !b.covers(64, 3, 30));
+    }
+
+    #[test]
+    fn byzantine_wv2_protocol_a_facts_partition_by_half() {
+        let lo = find(SOLVABLE, "Lemma 3.12");
+        let hi = find(SOLVABLE, "Lemma 3.13");
+        for k in 2..64 {
+            for t in 1..=64 {
+                assert!(
+                    !(lo.covers(64, k, t) && hi.covers(64, k, t)),
+                    "the two Protocol A regimes are disjoint (t < n/2 vs t >= n/2)"
+                );
+            }
+        }
+        assert!(lo.covers(64, 5, 20)); // 2t=40 < 64 and 4*24 = 96 >= 44
+        assert!(hi.covers(64, 40, 33)); // 2t=66 >= 64 and 40 >= 34
+    }
+
+    #[test]
+    fn impossibility_totals_for_sv1_and_byzantine_rv1() {
+        for lemma in ["Lemma 3.5", "Lemma 4.2"] {
+            let f = find(IMPOSSIBLE, lemma);
+            assert!(f.covers(64, 2, 1) && f.covers(64, 63, 64));
+        }
+        for lemma in ["Lemma 3.10", "Lemma 4.8"] {
+            let f = find(IMPOSSIBLE, lemma);
+            assert!(f.covers(64, 2, 1) && f.covers(64, 63, 64));
+        }
+    }
+
+    #[test]
+    fn every_fact_has_a_nonempty_formula() {
+        for f in SOLVABLE.iter().chain(IMPOSSIBLE.iter()) {
+            assert!(!f.formula.is_empty(), "{} lacks a formula", f.lemma);
+        }
+    }
+
+    #[test]
+    fn formulas_agree_with_predicates_at_spot_points() {
+        // Literal sanity of the formula strings against the predicates at
+        // hand-computed points (n = 64).
+        let f = find(SOLVABLE, "Lemma 3.7"); // t < (k-1)n/k
+        assert!(f.covers(64, 2, 31) && !f.covers(64, 2, 32));
+        let f = find(SOLVABLE, "Lemma 3.8"); // t < (k-1)n/2k
+        assert!(f.covers(64, 2, 15) && !f.covers(64, 2, 16));
+        let f = find(IMPOSSIBLE, "Lemma 3.6"); // t >= kn/(2k+1)
+        assert!(!f.covers(64, 2, 25) && f.covers(64, 2, 26));
+        let f = find(IMPOSSIBLE, "Lemma 3.11"); // t >= kn/2(k+1)
+        assert!(!f.covers(64, 2, 21) && f.covers(64, 2, 22));
+        let f = find(SOLVABLE, "Lemma 4.7"); // k > t+1
+        assert!(f.covers(64, 10, 8) && !f.covers(64, 10, 9));
+    }
+
+    #[test]
+    fn base_facts_never_contradict_each_other_directly() {
+        // For every cell, no (model, validity) pair has both a solvable and
+        // an impossible *base* fact (closure consistency is tested in
+        // classify.rs; this checks the raw table).
+        for n in [8usize, 64] {
+            for k in 2..n {
+                for t in 1..=n {
+                    for s in SOLVABLE {
+                        for i in IMPOSSIBLE {
+                            if s.model == i.model && s.validity == i.validity {
+                                assert!(
+                                    !(s.covers(n, k, t) && i.covers(n, k, t)),
+                                    "{} vs {} clash at n={n} k={k} t={t}",
+                                    s.lemma,
+                                    i.lemma
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

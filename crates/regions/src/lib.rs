@@ -1,0 +1,51 @@
+//! # kset-regions — the solvability atlases of Figures 2, 4, 5 and 6
+//!
+//! Every lemma of the paper demarcates a region of the `(t, k)` plane where
+//! `SC(k, t, C)` is solvable or impossible in one of the four models. This
+//! crate encodes each lemma as an exact integer predicate ([`facts`]), then
+//! classifies every cell by closing the base facts under the paper's own
+//! propagation rules ([`classify`]):
+//!
+//! * **Validity lattice** (Figure 1): a protocol for a stronger validity
+//!   solves every weaker one; an impossibility for a weaker validity kills
+//!   every stronger one.
+//! * **Failure models**: a Byzantine-tolerant protocol tolerates crashes;
+//!   a crash impossibility holds a fortiori under Byzantine failures.
+//! * **Communication models**: the SIMULATION transform compiles any
+//!   message-passing protocol into a shared-memory one; shared-memory
+//!   impossibilities apply to message passing.
+//!
+//! The result of classifying a full grid is an [`Atlas`], rendered to ASCII
+//! or CSV by [`render`] — one atlas per model reproduces one figure of the
+//! paper at `n = 64`.
+//!
+//! ```
+//! use kset_core::ValidityCondition;
+//! use kset_regions::{classify, CellClass, Model};
+//!
+//! // The original k-set consensus split (Lemmas 3.1 / 3.2) at n = 64:
+//! let c = classify(Model::MpCrash, ValidityCondition::RV1, 64, 5, 4);
+//! assert!(matches!(c, CellClass::Solvable(_)));
+//! let c = classify(Model::MpCrash, ValidityCondition::RV1, 64, 5, 5);
+//! assert!(matches!(c, CellClass::Impossible(_)));
+//!
+//! // Allowing default decisions changes everything: RV2 in shared memory
+//! // is solvable for every t once k >= 2 (Protocol E, Lemma 4.5).
+//! let c = classify(Model::SmCrash, ValidityCondition::RV2, 64, 2, 63);
+//! assert!(matches!(c, CellClass::Solvable(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod atlas;
+mod classify;
+pub mod facts;
+pub mod gaps;
+pub mod math;
+mod model;
+pub mod render;
+
+pub use atlas::{Atlas, Panel};
+pub use classify::{classify, CellClass, Citation};
+pub use model::Model;

@@ -1,0 +1,104 @@
+//! Result of a shared-memory run.
+
+use std::collections::BTreeMap;
+
+use kset_sim::{ProcessId, RunStats, Trace};
+
+use crate::register::RegisterId;
+
+/// Everything observable at the end of a shared-memory run.
+///
+/// Mirrors [`kset_net::MpOutcome`](https://docs.rs) for the message-passing
+/// model, with the final register contents added for inspection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SmOutcome<Val, Out> {
+    /// Decision of each process that decided, keyed by process id.
+    pub decisions: BTreeMap<ProcessId, Out>,
+    /// Processes that followed the protocol to the end of the run.
+    pub correct: Vec<ProcessId>,
+    /// Processes planned faulty (crash or Byzantine), ascending.
+    pub faulty: Vec<ProcessId>,
+    /// Whether every correct process decided before events ran out.
+    pub terminated: bool,
+    /// Final contents of every written register.
+    pub memory: BTreeMap<RegisterId, Val>,
+    /// Kernel counters (operations completed, steps, ...).
+    pub stats: RunStats,
+    /// Recorded schedule, if tracing was enabled.
+    pub trace: Trace,
+}
+
+impl<Val, Out: Clone + Ord> SmOutcome<Val, Out> {
+    /// The set of distinct values decided by correct processes.
+    pub fn correct_decision_set(&self) -> Vec<Out> {
+        let mut vals: Vec<Out> = self
+            .correct
+            .iter()
+            .filter_map(|p| self.decisions.get(p).cloned())
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// The set of distinct values decided by *any* process.
+    pub fn decision_set(&self) -> Vec<Out> {
+        let mut vals: Vec<Out> = self.decisions.values().cloned().collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Restriction of the decision map to correct processes.
+    pub fn correct_decisions(&self) -> BTreeMap<ProcessId, Out> {
+        self.correct
+            .iter()
+            .filter_map(|p| self.decisions.get(p).map(|v| (*p, v.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> SmOutcome<u8, u32> {
+        let mut decisions = BTreeMap::new();
+        decisions.insert(0, 1);
+        decisions.insert(1, 2);
+        decisions.insert(2, 2);
+        let mut memory = BTreeMap::new();
+        memory.insert(RegisterId::new(0, 0), 9u8);
+        SmOutcome {
+            decisions,
+            correct: vec![0, 1],
+            faulty: vec![2],
+            terminated: true,
+            memory,
+            stats: RunStats::default(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    #[test]
+    fn correct_decision_set_excludes_faulty() {
+        assert_eq!(outcome().correct_decision_set(), vec![1, 2]);
+    }
+
+    #[test]
+    fn decision_set_covers_everyone() {
+        assert_eq!(outcome().decision_set(), vec![1, 2]);
+    }
+
+    #[test]
+    fn memory_snapshot_is_preserved() {
+        assert_eq!(outcome().memory[&RegisterId::new(0, 0)], 9);
+    }
+
+    #[test]
+    fn correct_decisions_restricts_map() {
+        let m = outcome().correct_decisions();
+        assert_eq!(m.len(), 2);
+        assert!(!m.contains_key(&2));
+    }
+}

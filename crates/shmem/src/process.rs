@@ -1,0 +1,228 @@
+//! The shared-memory process trait and its effect context.
+
+use kset_sim::ProcessId;
+
+use crate::register::RegisterId;
+
+/// Buffered effect produced by a shared-memory process callback.
+///
+/// Public so that *custom runtimes* — most importantly the ABD register
+/// emulation in `kset-protocols`, which executes shared-memory protocols
+/// over message passing — can build an [`SmContext`], run a callback, and
+/// translate the buffered effects into their own substrate's operations.
+#[derive(Clone, Debug)]
+pub enum RawSmAction<Val, Out> {
+    /// Read a register (any owner's).
+    Read(RegisterId),
+    /// Write a value to the caller's own register at the given slot.
+    Write(usize, Val),
+    /// Irreversibly decide a value.
+    Decide(Out),
+    /// Request a spontaneous `on_step` callback.
+    ScheduleStep,
+}
+
+/// The effect interface handed to every [`SmProcess`] callback.
+///
+/// As in the message-passing model, effects are buffered and applied after
+/// the callback returns, each costing one atomic action against the
+/// process's crash budget.
+#[derive(Debug)]
+pub struct SmContext<'a, Val, Out> {
+    me: ProcessId,
+    n: usize,
+    now: u64,
+    decided: bool,
+    actions: &'a mut Vec<RawSmAction<Val, Out>>,
+}
+
+impl<'a, Val: Clone, Out> SmContext<'a, Val, Out> {
+    /// Builds a context over a caller-owned action buffer.
+    ///
+    /// Normally only the [`crate::SmSystem`] runtime does this; custom
+    /// runtimes (the ABD emulation) may construct contexts to drive an
+    /// [`SmProcess`] over a different substrate, applying the buffered
+    /// [`RawSmAction`]s themselves afterwards.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        now: u64,
+        decided: bool,
+        actions: &'a mut Vec<RawSmAction<Val, Out>>,
+    ) -> Self {
+        SmContext {
+            me,
+            n,
+            now,
+            decided,
+            actions,
+        }
+    }
+
+    /// This process's identifier, in `0..n`.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time (events fired so far).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether this process has already decided in this run.
+    pub fn has_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// Issues an asynchronous read of `reg`; the result arrives via
+    /// [`SmProcess::on_read`] whenever the scheduler fires the response.
+    pub fn read(&mut self, reg: RegisterId) {
+        self.actions.push(RawSmAction::Read(reg));
+    }
+
+    /// Issues a read of every process's register at `slot` — one *scan* in
+    /// the paper's sense. Responses arrive individually and unordered.
+    pub fn read_all(&mut self, slot: usize) {
+        for owner in 0..self.n {
+            self.actions.push(RawSmAction::Read(RegisterId::new(owner, slot)));
+        }
+    }
+
+    /// Writes `value` into this process's own register at `slot`.
+    ///
+    /// The value becomes visible immediately (the write's linearization
+    /// point); [`SmProcess::on_write_ack`] fires later when the operation
+    /// response is scheduled. Only the caller's own registers are reachable
+    /// through this API — single-writer by construction.
+    pub fn write(&mut self, slot: usize, value: Val) {
+        self.actions.push(RawSmAction::Write(slot, value));
+    }
+
+    /// Irreversibly decides `value` (first decision wins).
+    pub fn decide(&mut self, value: Out) {
+        self.decided = true;
+        self.actions.push(RawSmAction::Decide(value));
+    }
+
+    /// Requests another spontaneous [`SmProcess::on_step`] callback.
+    pub fn schedule_step(&mut self) {
+        self.actions.push(RawSmAction::ScheduleStep);
+    }
+}
+
+/// A process of the asynchronous shared-memory model.
+///
+/// The runtime guarantees: [`SmProcess::on_start`] exactly once and first;
+/// one [`SmProcess::on_read`] per issued read, carrying the register content
+/// at the response's firing time (`None` = never written); one
+/// [`SmProcess::on_write_ack`] per issued write, after the value is visible.
+pub trait SmProcess {
+    /// The type stored in registers.
+    type Val: Clone;
+    /// The decision value type.
+    type Output;
+
+    /// The process's first step.
+    fn on_start(&mut self, ctx: &mut SmContext<'_, Self::Val, Self::Output>);
+
+    /// Completion of a read of `reg` returning `value`.
+    fn on_read(
+        &mut self,
+        reg: RegisterId,
+        value: Option<Self::Val>,
+        ctx: &mut SmContext<'_, Self::Val, Self::Output>,
+    );
+
+    /// Completion of this process's write to its own register `slot`.
+    /// Default: do nothing.
+    fn on_write_ack(&mut self, slot: usize, ctx: &mut SmContext<'_, Self::Val, Self::Output>) {
+        let _ = (slot, ctx);
+    }
+
+    /// A spontaneous local step (only if requested). Default: do nothing.
+    fn on_step(&mut self, ctx: &mut SmContext<'_, Self::Val, Self::Output>) {
+        let _ = ctx;
+    }
+}
+
+/// Boxed process with erased concrete type, the unit the runtime stores.
+pub type DynSmProcess<Val, Out> = Box<dyn SmProcess<Val = Val, Output = Out>>;
+
+impl<Val: Clone, Out> SmProcess for DynSmProcess<Val, Out> {
+    type Val = Val;
+    type Output = Out;
+
+    fn on_start(&mut self, ctx: &mut SmContext<'_, Val, Out>) {
+        (**self).on_start(ctx)
+    }
+
+    fn on_read(&mut self, reg: RegisterId, value: Option<Val>, ctx: &mut SmContext<'_, Val, Out>) {
+        (**self).on_read(reg, value, ctx)
+    }
+
+    fn on_write_ack(&mut self, slot: usize, ctx: &mut SmContext<'_, Val, Out>) {
+        (**self).on_write_ack(slot, ctx)
+    }
+
+    fn on_step(&mut self, ctx: &mut SmContext<'_, Val, Out>) {
+        (**self).on_step(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_all_scans_every_owner_at_slot() {
+        let mut buf: Vec<RawSmAction<u8, u8>> = Vec::new();
+        let mut ctx = SmContext::new(1, 3, 0, false, &mut buf);
+        ctx.read_all(2);
+        let regs: Vec<RegisterId> = buf
+            .iter()
+            .map(|a| match a {
+                RawSmAction::Read(r) => *r,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            regs,
+            vec![
+                RegisterId::new(0, 2),
+                RegisterId::new(1, 2),
+                RegisterId::new(2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn write_buffers_own_slot_only() {
+        let mut buf: Vec<RawSmAction<u8, u8>> = Vec::new();
+        let mut ctx = SmContext::new(2, 3, 0, false, &mut buf);
+        ctx.write(1, 9);
+        assert!(matches!(buf[0], RawSmAction::Write(1, 9)));
+    }
+
+    #[test]
+    fn decide_updates_view() {
+        let mut buf: Vec<RawSmAction<u8, u8>> = Vec::new();
+        let mut ctx = SmContext::new(0, 1, 0, false, &mut buf);
+        assert!(!ctx.has_decided());
+        ctx.decide(4);
+        assert!(ctx.has_decided());
+    }
+
+    #[test]
+    fn identity_accessors() {
+        let mut buf: Vec<RawSmAction<u8, u8>> = Vec::new();
+        let ctx = SmContext::new(2, 7, 42, false, &mut buf);
+        assert_eq!(ctx.me(), 2);
+        assert_eq!(ctx.n(), 7);
+        assert_eq!(ctx.now(), 42);
+    }
+}

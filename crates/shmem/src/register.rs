@@ -1,0 +1,115 @@
+//! Register naming and the shared store.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kset_sim::ProcessId;
+
+/// Name of a single-writer multi-reader register.
+///
+/// Every register is owned by exactly one process; the owner addresses its
+/// own registers by `slot`, readers address them by `(owner, slot)`.
+/// Protocols typically use slot `0` for "my input" and higher slots for
+/// later rounds or simulated message sequence numbers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegisterId {
+    /// The process allowed to write this register.
+    pub owner: ProcessId,
+    /// Owner-local index of the register.
+    pub slot: usize,
+}
+
+impl RegisterId {
+    /// The register `slot` owned by `owner`.
+    pub fn new(owner: ProcessId, slot: usize) -> Self {
+        RegisterId { owner, slot }
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r[{}.{}]", self.owner, self.slot)
+    }
+}
+
+/// The shared register store.
+///
+/// Unwritten registers read as `None` (the conventional `⊥`). The store
+/// itself never fails, matching the paper's model where only processes fail.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Memory<V> {
+    cells: BTreeMap<RegisterId, V>,
+    writes: u64,
+}
+
+impl<V: Clone> Memory<V> {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Memory {
+            cells: BTreeMap::new(),
+            writes: 0,
+        }
+    }
+
+    /// Stores `value` into `reg`, overwriting any previous value.
+    pub fn write(&mut self, reg: RegisterId, value: V) {
+        self.writes += 1;
+        self.cells.insert(reg, value);
+    }
+
+    /// Current content of `reg`, or `None` if never written.
+    pub fn read(&self, reg: RegisterId) -> Option<V> {
+        self.cells.get(&reg).cloned()
+    }
+
+    /// Total number of writes ever applied (for statistics).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Snapshot of all written registers, for post-run inspection.
+    pub fn snapshot(&self) -> BTreeMap<RegisterId, V> {
+        self.cells.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_registers_read_bottom() {
+        let mem: Memory<u8> = Memory::new();
+        assert_eq!(mem.read(RegisterId::new(0, 0)), None);
+    }
+
+    #[test]
+    fn writes_overwrite_and_count() {
+        let mut mem = Memory::new();
+        let r = RegisterId::new(1, 2);
+        mem.write(r, 5u8);
+        assert_eq!(mem.read(r), Some(5));
+        mem.write(r, 6);
+        assert_eq!(mem.read(r), Some(6));
+        assert_eq!(mem.write_count(), 2);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut mem = Memory::new();
+        mem.write(RegisterId::new(0, 0), 'a');
+        mem.write(RegisterId::new(0, 1), 'b');
+        mem.write(RegisterId::new(1, 0), 'c');
+        assert_eq!(mem.read(RegisterId::new(0, 0)), Some('a'));
+        assert_eq!(mem.read(RegisterId::new(0, 1)), Some('b'));
+        assert_eq!(mem.read(RegisterId::new(1, 0)), Some('c'));
+        assert_eq!(mem.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn register_id_display_and_order() {
+        assert_eq!(RegisterId::new(2, 3).to_string(), "r[2.3]");
+        assert!(RegisterId::new(0, 5) < RegisterId::new(1, 0));
+        assert!(RegisterId::new(1, 0) < RegisterId::new(1, 1));
+    }
+}

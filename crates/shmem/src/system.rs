@@ -1,0 +1,511 @@
+//! The shared-memory runtime: builder and run loop.
+
+use std::collections::BTreeMap;
+
+use kset_sim::{
+    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, ProcessId,
+    RandomScheduler, Scheduler, SimError,
+};
+
+use crate::outcome::SmOutcome;
+use crate::process::{DynSmProcess, RawSmAction, SmContext};
+use crate::register::{Memory, RegisterId};
+
+/// Kernel payloads of the shared-memory model.
+#[derive(Clone, Copy, Debug)]
+enum Payload {
+    /// The process's initial step.
+    Start,
+    /// A requested spontaneous step.
+    Step,
+    /// Response to a read of the named register (content resolved when the
+    /// response fires — its linearization point).
+    ReadResp(RegisterId),
+    /// Response to a write to the named own-register slot.
+    WriteAck(usize),
+}
+
+/// Builder/runtime for one run of a shared-memory system.
+///
+/// Mirrors [`kset_net::MpSystem`](https://docs.rs) in configuration style;
+/// see the crate-level documentation for an end-to-end example.
+pub struct SmSystem {
+    n: usize,
+    plan: FaultPlan,
+    scheduler: Option<Box<dyn Scheduler>>,
+    rules: Vec<DelayRule>,
+    event_limit: Option<u64>,
+    trace_capacity: usize,
+}
+
+impl std::fmt::Debug for SmSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmSystem")
+            .field("n", &self.n)
+            .field("plan", &self.plan)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+impl SmSystem {
+    /// A system of `n` processes, all correct, randomly scheduled (seed 0).
+    pub fn new(n: usize) -> Self {
+        SmSystem {
+            n,
+            plan: FaultPlan::all_correct(n),
+            scheduler: None,
+            rules: Vec::new(),
+            event_limit: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the fault plan (size must equal `n`, checked at run time).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Uses an explicit scheduler (adversary).
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Some(Box::new(scheduler));
+        self
+    }
+
+    /// Shorthand for a [`RandomScheduler`] with the given seed.
+    pub fn seed(self, seed: u64) -> Self {
+        self.scheduler(RandomScheduler::from_seed(seed))
+    }
+
+    /// Adds a delay rule.
+    pub fn delay_rule(mut self, rule: DelayRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds several delay rules at once.
+    pub fn delay_rules(mut self, rules: impl IntoIterator<Item = DelayRule>) -> Self {
+        self.rules.extend(rules);
+        self
+    }
+
+    /// Overrides the kernel event limit.
+    pub fn event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Enables trace recording with the given capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Runs the system, building each process from a factory closure.
+    ///
+    /// # Errors
+    ///
+    /// See [`SmSystem::run`].
+    pub fn run_with<Val: Clone, Out>(
+        self,
+        mut factory: impl FnMut(ProcessId) -> DynSmProcess<Val, Out>,
+    ) -> Result<SmOutcome<Val, Out>, SimError> {
+        let procs = (0..self.n).map(&mut factory).collect();
+        self.run(procs)
+    }
+
+    /// Runs the system to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] for size mismatches or `n == 0`.
+    /// * [`SimError::EventLimitExceeded`] if the protocol livelocks.
+    pub fn run<Val: Clone, Out>(
+        self,
+        mut procs: Vec<DynSmProcess<Val, Out>>,
+    ) -> Result<SmOutcome<Val, Out>, SimError> {
+        if self.n == 0 {
+            return Err(SimError::InvalidConfig("n must be positive".into()));
+        }
+        if procs.len() != self.n {
+            return Err(SimError::InvalidConfig(format!(
+                "expected {} processes, got {}",
+                self.n,
+                procs.len()
+            )));
+        }
+        if self.plan.n() != self.n {
+            return Err(SimError::InvalidConfig(format!(
+                "fault plan covers {} processes, system has {}",
+                self.plan.n(),
+                self.n
+            )));
+        }
+
+        let n = self.n;
+        let plan = self.plan;
+        let inner: Box<dyn Scheduler> = self
+            .scheduler
+            .unwrap_or_else(|| Box::new(RandomScheduler::from_seed(0)));
+        let mut kernel: Kernel<Payload> = if self.rules.is_empty() {
+            Kernel::with_processes(inner, n)
+        } else {
+            Kernel::with_processes(GatedScheduler::new(inner, self.rules), n)
+        };
+        if let Some(limit) = self.event_limit {
+            kernel = kernel.event_limit(limit);
+        }
+        if self.trace_capacity > 0 {
+            kernel = kernel.trace_capacity(self.trace_capacity);
+        }
+
+        for pid in 0..n {
+            if plan.spec(pid).kind() == kset_sim::FaultKind::Byzantine {
+                kernel.state_mut().mark_byzantine(pid);
+            }
+        }
+        for pid in 0..n {
+            kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Start);
+        }
+
+        let mut memory: Memory<Val> = Memory::new();
+        let mut decisions: Vec<Option<Out>> = (0..n).map(|_| None).collect();
+        let mut buf: Vec<RawSmAction<Val, Out>> = Vec::new();
+
+        loop {
+            if kernel.state().all_correct_decided() {
+                break;
+            }
+            let Some((meta, payload)) = kernel.next_checked()? else {
+                break;
+            };
+            let pid = meta.target;
+            if kernel.state().has_crashed(pid) {
+                continue;
+            }
+            let done = kernel.state().actions_of(pid);
+            if plan.remaining_budget(pid, done) == Some(0) {
+                crash(&mut kernel, pid);
+                continue;
+            }
+            kernel.state_mut().charge_action(pid);
+
+            buf.clear();
+            {
+                let mut ctx = SmContext::new(
+                    pid,
+                    n,
+                    kernel.now(),
+                    decisions[pid].is_some(),
+                    &mut buf,
+                );
+                match payload {
+                    Payload::Start => procs[pid].on_start(&mut ctx),
+                    Payload::Step => procs[pid].on_step(&mut ctx),
+                    Payload::ReadResp(reg) => {
+                        // Linearization point of the read: right now.
+                        let value = memory.read(reg);
+                        procs[pid].on_read(reg, value, &mut ctx)
+                    }
+                    Payload::WriteAck(slot) => procs[pid].on_write_ack(slot, &mut ctx),
+                }
+            }
+
+            for action in buf.drain(..) {
+                let done = kernel.state().actions_of(pid);
+                if plan.remaining_budget(pid, done) == Some(0) {
+                    crash(&mut kernel, pid);
+                    break;
+                }
+                kernel.state_mut().charge_action(pid);
+                match action {
+                    RawSmAction::Read(reg) => {
+                        kernel.post(
+                            EventMeta::new(EventKind::OpResponse, pid).from_process(reg.owner),
+                            Payload::ReadResp(reg),
+                        );
+                    }
+                    RawSmAction::Write(slot, value) => {
+                        // Linearization point of the write: right now.
+                        memory.write(RegisterId::new(pid, slot), value);
+                        kernel.post(
+                            EventMeta::new(EventKind::OpResponse, pid).from_process(pid),
+                            Payload::WriteAck(slot),
+                        );
+                    }
+                    RawSmAction::Decide(v) => {
+                        if decisions[pid].is_none() {
+                            decisions[pid] = Some(v);
+                            kernel.state_mut().mark_decided(pid);
+                        }
+                    }
+                    RawSmAction::ScheduleStep => {
+                        kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Step);
+                    }
+                }
+            }
+        }
+
+        let terminated = kernel.state().all_correct_decided();
+        let decisions: BTreeMap<ProcessId, Out> = decisions
+            .into_iter()
+            .enumerate()
+            .filter_map(|(p, d)| d.map(|v| (p, v)))
+            .collect();
+        Ok(SmOutcome {
+            decisions,
+            correct: plan.correct_set(),
+            faulty: plan.faulty_set(),
+            terminated,
+            memory: memory.snapshot(),
+            stats: *kernel.stats(),
+            trace: kernel.trace().clone(),
+        })
+    }
+}
+
+fn crash(kernel: &mut Kernel<Payload>, pid: ProcessId) {
+    kernel.state_mut().mark_crashed(pid);
+    kernel.cancel_where(|m| m.target == pid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SmProcess;
+    use kset_sim::FaultSpec;
+
+    /// Writes its input to slot 0, scans everyone's slot 0 once, and decides
+    /// the smallest value it managed to read.
+    struct ScanOnceMin {
+        input: u64,
+        pending: usize,
+        best: Option<u64>,
+    }
+
+    impl ScanOnceMin {
+        fn boxed(input: u64) -> DynSmProcess<u64, u64> {
+            Box::new(ScanOnceMin {
+                input,
+                pending: 0,
+                best: None,
+            })
+        }
+    }
+
+    impl SmProcess for ScanOnceMin {
+        type Val = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut SmContext<'_, u64, u64>) {
+            ctx.write(0, self.input);
+            self.pending = ctx.n();
+            ctx.read_all(0);
+        }
+
+        fn on_read(&mut self, _reg: RegisterId, value: Option<u64>, ctx: &mut SmContext<'_, u64, u64>) {
+            if let Some(v) = value {
+                self.best = Some(self.best.map_or(v, |b| b.min(v)));
+            }
+            self.pending -= 1;
+            if self.pending == 0 {
+                // Own write precedes the scan, so best is never empty.
+                ctx.decide(self.best.expect("scan saw at least own value"));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_free_scan_terminates_and_sees_own_write() {
+        let outcome = SmSystem::new(4)
+            .seed(8)
+            .run_with(|p| ScanOnceMin::boxed(100 + p as u64))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.decisions.len(), 4);
+        // Every decision is one of the written inputs.
+        for v in outcome.decisions.values() {
+            assert!((100..104).contains(v));
+        }
+        // All four registers hold their writers' inputs at the end.
+        for p in 0..4 {
+            assert_eq!(outcome.memory[&RegisterId::new(p, 0)], 100 + p as u64);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = |seed| {
+            SmSystem::new(5)
+                .seed(seed)
+                .run_with(|p| ScanOnceMin::boxed(p as u64))
+                .unwrap()
+        };
+        assert_eq!(run(3).decisions, run(3).decisions);
+    }
+
+    #[test]
+    fn silent_crash_leaves_register_unwritten() {
+        let outcome = SmSystem::new(3)
+            .seed(1)
+            .fault_plan(FaultPlan::silent_crashes(3, &[1]))
+            .run_with(|p| ScanOnceMin::boxed(p as u64))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert!(!outcome.memory.contains_key(&RegisterId::new(1, 0)));
+        assert!(!outcome.decisions.contains_key(&1));
+    }
+
+    #[test]
+    fn crash_after_write_leaves_value_visible() {
+        // Budget 2: start handler (1) + the write invocation (1). The
+        // process crashes before issuing its scan, but the write landed.
+        let mut plan = FaultPlan::all_correct(3);
+        plan.set(0, FaultSpec::Crash { after_actions: 2 });
+        let outcome = SmSystem::new(3)
+            .seed(2)
+            .fault_plan(plan)
+            .run_with(|p| ScanOnceMin::boxed(10 + p as u64))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.memory[&RegisterId::new(0, 0)], 10);
+        assert!(!outcome.decisions.contains_key(&0));
+    }
+
+    #[test]
+    fn reads_linearize_at_response_time() {
+        use kset_sim::{FifoScheduler, Until};
+        // Freeze process 1 until process 0 decided: by the time 1's reads
+        // fire, 0's write is visible, so 1 must read 0's value.
+        let outcome = SmSystem::new(2)
+            .scheduler(FifoScheduler::new())
+            .delay_rule(DelayRule::freeze_process(1, Until::AllDecided(vec![0])))
+            .run_with(|p| ScanOnceMin::boxed(if p == 0 { 1 } else { 2 }))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.decisions[&1], 1);
+    }
+
+    #[test]
+    fn sequential_reads_by_one_process_never_go_backwards() {
+        /// Writer bumps its register through 0..WRITES; the reader issues
+        /// strictly sequential reads (next read only after the previous
+        /// response) and asserts the observed values are non-decreasing —
+        /// the single-reader face of register atomicity.
+        const WRITES: u64 = 8;
+        struct Bumper {
+            next: u64,
+        }
+        impl SmProcess for Bumper {
+            type Val = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut SmContext<'_, u64, u64>) {
+                ctx.write(0, 0);
+                self.next = 1;
+            }
+            fn on_read(&mut self, _r: RegisterId, _v: Option<u64>, _c: &mut SmContext<'_, u64, u64>) {}
+            fn on_write_ack(&mut self, _s: usize, ctx: &mut SmContext<'_, u64, u64>) {
+                if self.next < WRITES {
+                    ctx.write(0, self.next);
+                    self.next += 1;
+                } else {
+                    ctx.decide(self.next);
+                }
+            }
+        }
+        struct MonotoneReader {
+            last: Option<u64>,
+            reads_left: u32,
+        }
+        impl SmProcess for MonotoneReader {
+            type Val = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut SmContext<'_, u64, u64>) {
+                ctx.read(RegisterId::new(0, 0));
+            }
+            fn on_read(&mut self, reg: RegisterId, v: Option<u64>, ctx: &mut SmContext<'_, u64, u64>) {
+                if let Some(v) = v {
+                    if let Some(last) = self.last {
+                        assert!(v >= last, "read went backwards: {last} then {v}");
+                    }
+                    self.last = Some(v);
+                }
+                self.reads_left -= 1;
+                if self.reads_left == 0 {
+                    ctx.decide(self.last.unwrap_or(0));
+                } else {
+                    ctx.read(reg);
+                }
+            }
+        }
+        for seed in 0..20 {
+            let outcome = SmSystem::new(2)
+                .seed(seed)
+                .run(vec![
+                    Box::new(Bumper { next: 0 }) as DynSmProcess<u64, u64>,
+                    Box::new(MonotoneReader {
+                        last: None,
+                        reads_left: 12,
+                    }),
+                ])
+                .unwrap();
+            assert!(outcome.terminated, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn size_mismatches_are_rejected() {
+        let err = SmSystem::new(2)
+            .run(vec![ScanOnceMin::boxed(0)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        let err = SmSystem::new(0)
+            .run(Vec::<DynSmProcess<u64, u64>>::new())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        let err = SmSystem::new(2)
+            .fault_plan(FaultPlan::all_correct(3))
+            .run_with(|p| ScanOnceMin::boxed(p as u64))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn event_limit_surfaces_as_error() {
+        /// Reads its own register forever without deciding.
+        struct Reader;
+        impl SmProcess for Reader {
+            type Val = ();
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut SmContext<'_, (), ()>) {
+                ctx.read(RegisterId::new(0, 0));
+            }
+            fn on_read(&mut self, reg: RegisterId, _v: Option<()>, ctx: &mut SmContext<'_, (), ()>) {
+                ctx.read(reg);
+            }
+        }
+        let err = SmSystem::new(1)
+            .event_limit(50)
+            .run(vec![Box::new(Reader) as DynSmProcess<(), ()>])
+            .unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let outcome = SmSystem::new(2)
+            .seed(5)
+            .run_with(|p| ScanOnceMin::boxed(p as u64))
+            .unwrap();
+        // Each process: 1 write ack + 2 read responses (some acks may be
+        // skipped if the run stops at the decision point, so use bounds).
+        assert!(outcome.stats.ops_completed >= 4);
+        assert_eq!(outcome.stats.local_steps, 2);
+    }
+}

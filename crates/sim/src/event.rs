@@ -1,0 +1,160 @@
+//! Event identifiers and scheduler-visible event metadata.
+
+use std::fmt;
+
+/// Index of a process in the system, in `0..n`.
+///
+/// The paper names processes `p_1 .. p_n`; we use zero-based indices, so the
+/// paper's `p_i` is `ProcessId` `i - 1`.
+pub type ProcessId = usize;
+
+/// A directed communication channel `(from, to)` between two processes.
+pub type ChannelId = (ProcessId, ProcessId);
+
+/// Unique, monotonically increasing identifier of a posted event.
+///
+/// Ids order events by *creation* time, which is what the FIFO scheduler and
+/// the deterministic tie-breaking of every other scheduler rely on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// Raw numeric value of the id (its creation sequence number).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The kind of step an event represents, as exposed to schedulers.
+///
+/// The kernel never interprets payloads; this classification is what delay
+/// rules key on (e.g. "hold all `MessageDelivery` events crossing a group
+/// boundary").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// Delivery of a point-to-point message to `target`.
+    MessageDelivery,
+    /// Completion of a shared-memory operation issued by `target`
+    /// (the response part of an invocation/response pair).
+    OpResponse,
+    /// A spontaneous local step of `target` (used to start processes and to
+    /// let Byzantine strategies act without external stimulus).
+    LocalStep,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::MessageDelivery => "deliver",
+            EventKind::OpResponse => "op-response",
+            EventKind::LocalStep => "step",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scheduler-visible description of a pending event.
+///
+/// This is everything an adversary is allowed to observe when choosing the
+/// next step: who would take the step, where the event came from, what kind
+/// of step it is, and when it was created. Payload contents are hidden —
+/// the asynchronous adversary of the paper controls *timing*, not state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EventMeta {
+    /// Identifier, assigned by the kernel at post time.
+    pub id: EventId,
+    /// Classification of the step.
+    pub kind: EventKind,
+    /// The process that takes a step when this event fires.
+    pub target: ProcessId,
+    /// The process that caused the event (message sender, op issuer),
+    /// if different from `target`.
+    pub source: Option<ProcessId>,
+    /// Kernel virtual time at which the event was posted.
+    pub posted_at: u64,
+}
+
+impl EventMeta {
+    /// Creates metadata for an event of `kind` targeting `target`.
+    ///
+    /// `id` and `posted_at` are overwritten by the kernel when the event is
+    /// posted, so callers may leave the defaults.
+    pub fn new(kind: EventKind, target: ProcessId) -> Self {
+        EventMeta {
+            id: EventId(0),
+            kind,
+            target,
+            source: None,
+            posted_at: 0,
+        }
+    }
+
+    /// Sets the causing process (builder style).
+    pub fn from_process(mut self, source: ProcessId) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// The directed channel this event travels on, for message deliveries.
+    ///
+    /// Returns `None` for events without a distinct source.
+    pub fn channel(&self) -> Option<ChannelId> {
+        self.source.map(|s| (s, self.target))
+    }
+
+    /// True if this event carries information from `group`'s complement into
+    /// `group` — the pattern held back by the partition schedules used in
+    /// the paper's impossibility constructions.
+    pub fn crosses_into(&self, group: &[ProcessId]) -> bool {
+        match self.source {
+            Some(src) => group.contains(&self.target) && !group.contains(&src),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_orders_by_creation() {
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(EventId(7).as_u64(), 7);
+        assert_eq!(EventId(7).to_string(), "e7");
+    }
+
+    #[test]
+    fn meta_builder_sets_source() {
+        let m = EventMeta::new(EventKind::MessageDelivery, 3).from_process(1);
+        assert_eq!(m.source, Some(1));
+        assert_eq!(m.channel(), Some((1, 3)));
+        assert_eq!(m.target, 3);
+    }
+
+    #[test]
+    fn crosses_into_detects_boundary_crossings() {
+        let g = vec![0, 1, 2];
+        let inbound = EventMeta::new(EventKind::MessageDelivery, 1).from_process(5);
+        let internal = EventMeta::new(EventKind::MessageDelivery, 1).from_process(2);
+        let outbound = EventMeta::new(EventKind::MessageDelivery, 5).from_process(0);
+        let local = EventMeta::new(EventKind::LocalStep, 1);
+        assert!(inbound.crosses_into(&g));
+        assert!(!internal.crosses_into(&g));
+        assert!(!outbound.crosses_into(&g));
+        assert!(!local.crosses_into(&g));
+    }
+
+    #[test]
+    fn kind_display_is_stable() {
+        assert_eq!(EventKind::MessageDelivery.to_string(), "deliver");
+        assert_eq!(EventKind::OpResponse.to_string(), "op-response");
+        assert_eq!(EventKind::LocalStep.to_string(), "step");
+    }
+}

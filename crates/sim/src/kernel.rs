@@ -1,0 +1,302 @@
+//! The event kernel: a pool of pending events drained by a scheduler.
+
+use crate::error::SimError;
+use crate::event::{EventId, EventMeta};
+use crate::sched::Scheduler;
+use crate::state::RunState;
+use crate::trace::{RunStats, Trace, TraceEntry};
+
+/// Default ceiling on the number of fired events per run.
+///
+/// Generous enough for every protocol in this workspace at `n = 64`
+/// (quadratic message complexity, a few phases), small enough to turn
+/// accidental livelock into a fast, diagnosable failure.
+pub const DEFAULT_EVENT_LIMIT: u64 = 2_000_000;
+
+/// A deterministic discrete-event kernel with payloads of type `E`.
+///
+/// The kernel owns the pending-event pool, the virtual clock, the
+/// adversary-observable [`RunState`], the [`Trace`], and the [`RunStats`].
+/// Model runtimes (`kset-net`, `kset-shmem`) post events and drain them with
+/// [`Kernel::next_checked`], dispatching payloads to their process actors.
+///
+/// Determinism: given the same scheduler (including its seed), the same
+/// sequence of `post` calls produces the same sequence of fired events.
+pub struct Kernel<E> {
+    // Parallel vectors: metas[i] describes payloads[i]. Keeping the metas
+    // contiguous and payload-free lets the scheduler see them as a plain
+    // slice with no per-step copying — protocol runs at n = 64 keep tens
+    // of thousands of events pending, and an O(pending) rebuild per pick
+    // would make whole runs quadratic.
+    metas: Vec<EventMeta>,
+    payloads: Vec<E>,
+    scheduler: Box<dyn Scheduler>,
+    state: RunState,
+    trace: Trace,
+    stats: RunStats,
+    time: u64,
+    next_id: u64,
+    event_limit: u64,
+}
+
+impl<E> std::fmt::Debug for Kernel<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("pending", &self.metas.len())
+            .field("time", &self.time)
+            .field("scheduler", &self.scheduler.label())
+            .finish()
+    }
+}
+
+impl<E> Kernel<E> {
+    /// Creates a kernel draining events with `scheduler`.
+    pub fn new(scheduler: impl Scheduler + 'static) -> Self {
+        Kernel {
+            metas: Vec::new(),
+            payloads: Vec::new(),
+            scheduler: Box::new(scheduler),
+            state: RunState::new(0),
+            trace: Trace::disabled(),
+            stats: RunStats::default(),
+            time: 0,
+            next_id: 0,
+            event_limit: DEFAULT_EVENT_LIMIT,
+        }
+    }
+
+    /// Creates a kernel sized for `n` processes up front.
+    pub fn with_processes(scheduler: impl Scheduler + 'static, n: usize) -> Self {
+        let mut k = Kernel::new(scheduler);
+        k.state = RunState::new(n);
+        k
+    }
+
+    /// Sets the event-limit safety valve (builder style).
+    pub fn event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Enables trace recording with the given capacity (builder style).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace = Trace::with_capacity(capacity);
+        self
+    }
+
+    /// Posts an event; returns its assigned id.
+    ///
+    /// The kernel stamps `meta.id` and `meta.posted_at`; whatever the caller
+    /// put there is overwritten.
+    pub fn post(&mut self, mut meta: EventMeta, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        meta.id = id;
+        meta.posted_at = self.time;
+        self.metas.push(meta);
+        self.payloads.push(payload);
+        id
+    }
+
+    /// Fires the next event, or `None` when the pool is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] once more events have fired
+    /// than the configured limit allows.
+    pub fn next_checked(&mut self) -> Result<Option<(EventMeta, E)>, SimError> {
+        if self.metas.is_empty() {
+            return Ok(None);
+        }
+        if self.stats.events_fired >= self.event_limit {
+            return Err(SimError::EventLimitExceeded {
+                limit: self.event_limit,
+            });
+        }
+        self.state.set_now(self.time);
+        let idx = self.scheduler.pick(&self.metas, &self.state);
+        assert!(idx < self.metas.len(), "scheduler returned out-of-range index");
+        let meta = self.metas.swap_remove(idx);
+        let payload = self.payloads.swap_remove(idx);
+        self.time += 1;
+        self.stats.count(meta.kind);
+        self.trace.record(TraceEntry {
+            fired_at: self.time,
+            id: meta.id,
+            kind: meta.kind,
+            target: meta.target,
+            source: meta.source,
+        });
+        Ok(Some((meta, payload)))
+    }
+
+    /// Fires the next event, or `None` when the pool is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event limit is exceeded; runtimes that need to recover
+    /// use [`Kernel::next_checked`] instead.
+    pub fn next_event(&mut self) -> Option<(EventMeta, E)> {
+        self.next_checked().expect("event limit exceeded")
+    }
+
+    /// Removes every pending event matching `pred`; returns how many were
+    /// removed. Used by runtimes to drop undeliverable events (e.g. steps of
+    /// a crashed process). Deliveries *from* a crashed process posted before
+    /// the crash are intentionally left in the pool — the network is
+    /// reliable, and a message sent is a message delivered.
+    pub fn cancel_where(&mut self, mut pred: impl FnMut(&EventMeta) -> bool) -> usize {
+        let before = self.metas.len();
+        let mut i = 0;
+        while i < self.metas.len() {
+            if pred(&self.metas[i]) {
+                self.metas.swap_remove(i);
+                self.payloads.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let removed = before - self.metas.len();
+        self.stats.events_dropped_by_crash += removed as u64;
+        removed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Current virtual time (number of events fired so far).
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Read access to the adversary-observable run state.
+    pub fn state(&self) -> &RunState {
+        &self.state
+    }
+
+    /// Write access to the run state, for the model runtime.
+    pub fn state_mut(&mut self) -> &mut RunState {
+        &mut self.state
+    }
+
+    /// Aggregate counters of the run so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The recorded trace (empty unless [`Kernel::trace_capacity`] was set).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The label of the scheduler in use.
+    pub fn scheduler_label(&self) -> &'static str {
+        self.scheduler.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::sched::{FifoScheduler, RandomScheduler};
+
+    fn step(target: usize) -> EventMeta {
+        EventMeta::new(EventKind::LocalStep, target)
+    }
+
+    #[test]
+    fn fifo_kernel_fires_in_post_order() {
+        let mut k: Kernel<u32> = Kernel::new(FifoScheduler::new());
+        k.post(step(0), 10);
+        k.post(step(1), 20);
+        k.post(step(2), 30);
+        let fired: Vec<u32> = std::iter::from_fn(|| k.next_event().map(|(_, p)| p)).collect();
+        assert_eq!(fired, vec![10, 20, 30]);
+        assert_eq!(k.now(), 3);
+        assert_eq!(k.stats().events_fired, 3);
+        assert_eq!(k.stats().local_steps, 3);
+    }
+
+    #[test]
+    fn random_kernel_is_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let mut k: Kernel<u32> = Kernel::new(RandomScheduler::from_seed(seed));
+            for i in 0..50 {
+                k.post(step(i % 5), i as u32);
+            }
+            std::iter::from_fn(|| k.next_event().map(|(_, p)| p)).collect::<Vec<u32>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn ids_are_assigned_monotonically() {
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new());
+        let a = k.post(step(0), ());
+        let b = k.post(step(0), ());
+        assert!(a < b);
+    }
+
+    #[test]
+    fn event_limit_is_enforced() {
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new()).event_limit(2);
+        for _ in 0..3 {
+            k.post(step(0), ());
+        }
+        assert!(k.next_checked().unwrap().is_some());
+        assert!(k.next_checked().unwrap().is_some());
+        assert_eq!(
+            k.next_checked().unwrap_err(),
+            SimError::EventLimitExceeded { limit: 2 }
+        );
+    }
+
+    #[test]
+    fn cancel_where_removes_matching_events() {
+        let mut k: Kernel<u32> = Kernel::new(FifoScheduler::new());
+        k.post(step(0), 1);
+        k.post(step(1), 2);
+        k.post(step(0), 3);
+        let removed = k.cancel_where(|m| m.target == 0);
+        assert_eq!(removed, 2);
+        assert_eq!(k.pending_len(), 1);
+        assert_eq!(k.stats().events_dropped_by_crash, 2);
+        let (_, p) = k.next_event().unwrap();
+        assert_eq!(p, 2);
+    }
+
+    #[test]
+    fn trace_records_fired_events_when_enabled() {
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new()).trace_capacity(8);
+        k.post(step(3), ());
+        k.post(
+            EventMeta::new(EventKind::MessageDelivery, 1).from_process(0),
+            (),
+        );
+        while k.next_event().is_some() {}
+        let entries = k.trace().entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].target, 3);
+        assert_eq!(entries[1].kind, EventKind::MessageDelivery);
+        assert_eq!(entries[1].source, Some(0));
+    }
+
+    #[test]
+    fn empty_kernel_yields_none() {
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new());
+        assert!(k.next_event().is_none());
+        assert_eq!(k.pending_len(), 0);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let k: Kernel<()> = Kernel::new(FifoScheduler::new());
+        let dbg = format!("{k:?}");
+        assert!(dbg.contains("Kernel"));
+        assert!(dbg.contains("fifo"));
+    }
+}

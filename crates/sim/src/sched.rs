@@ -1,0 +1,335 @@
+//! Pluggable schedulers: the executable form of the asynchronous adversary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::EventMeta;
+use crate::state::RunState;
+
+/// Chooses which pending event fires next.
+///
+/// A scheduler embodies the asynchronous adversary of the paper: it may
+/// reorder process steps and message deliveries arbitrarily, but it must pick
+/// *some* pending event whenever one exists, which is exactly the "arbitrary
+/// but finite delay" assumption.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the arguments; all randomness comes from an internally seeded generator,
+/// so that a run is reproducible from its configuration.
+pub trait Scheduler {
+    /// Returns the index into `pending` of the event to fire next.
+    ///
+    /// `pending` is never empty. `state` is the adversary-observable run
+    /// state (decisions, crashes) — the paper's constructions condition
+    /// delivery on decision progress.
+    fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize;
+
+    /// A short human-readable label used in traces and experiment reports.
+    fn label(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+impl Scheduler for Box<dyn Scheduler> {
+    fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
+        (**self).pick(pending, state)
+    }
+
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+}
+
+/// Uniformly random schedule from a seed; the workhorse for property tests.
+///
+/// Two runs with the same seed and the same protocol configuration produce
+/// identical executions.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler whose choices derive deterministically from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, pending: &[EventMeta], _state: &RunState) -> usize {
+        self.rng.gen_range(0..pending.len())
+    }
+
+    fn label(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Oldest-posted-first schedule: the most benign asynchronous execution.
+///
+/// Useful as a baseline and for protocols whose happy path should terminate
+/// in the minimum number of phases.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    /// Creates the FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn pick(&mut self, pending: &[EventMeta], _state: &RunState) -> usize {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.id)
+            .map(|(i, _)| i)
+            .expect("pending is non-empty")
+    }
+
+    fn label(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Newest-posted-first schedule: maximally reorders causally unrelated
+/// events, a cheap stress test for protocols that accidentally assume FIFO
+/// channels.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LifoScheduler;
+
+impl LifoScheduler {
+    /// Creates the LIFO scheduler.
+    pub fn new() -> Self {
+        LifoScheduler
+    }
+}
+
+impl Scheduler for LifoScheduler {
+    fn pick(&mut self, pending: &[EventMeta], _state: &RunState) -> usize {
+        pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.id)
+            .map(|(i, _)| i)
+            .expect("pending is non-empty")
+    }
+
+    fn label(&self) -> &'static str {
+        "lifo"
+    }
+}
+
+/// Starves a set of victim processes: their events fire only when nothing
+/// else is pending — the canonical "arbitrarily slow process" adversary.
+///
+/// Unlike a [`crate::DelayRule`], starvation needs no release condition:
+/// the victims are simply last in line forever, yet delays stay finite
+/// because their events do fire once the rest of the system has quiesced.
+/// This is the schedule shape behind every "process `p` is slow until the
+/// others decide" step in the paper's proofs.
+#[derive(Debug)]
+pub struct StarvationScheduler<S> {
+    inner: S,
+    victims: Vec<usize>,
+}
+
+impl<S: Scheduler> StarvationScheduler<S> {
+    /// Wraps `inner`, starving `victims`.
+    pub fn new(inner: S, victims: Vec<usize>) -> Self {
+        StarvationScheduler { inner, victims }
+    }
+
+    /// The starved processes.
+    pub fn victims(&self) -> &[usize] {
+        &self.victims
+    }
+}
+
+impl<S: Scheduler> Scheduler for StarvationScheduler<S> {
+    fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
+        let eligible: Vec<usize> = (0..pending.len())
+            .filter(|&i| !self.victims.contains(&pending[i].target))
+            .collect();
+        if eligible.is_empty() {
+            return self.inner.pick(pending, state);
+        }
+        if eligible.len() == pending.len() {
+            return self.inner.pick(pending, state);
+        }
+        let subset: Vec<EventMeta> = eligible.iter().map(|&i| pending[i]).collect();
+        let choice = self.inner.pick(&subset, state);
+        eligible[choice]
+    }
+
+    fn label(&self) -> &'static str {
+        "starvation"
+    }
+}
+
+/// A priority predicate used by [`ScriptedScheduler`].
+///
+/// Returns `true` for events this phase wants to fire.
+pub type PhasePredicate = Box<dyn FnMut(&EventMeta, &RunState) -> bool>;
+
+/// Fires events phase by phase according to a script of predicates.
+///
+/// The scheduler repeatedly fires events matching the current phase
+/// predicate (oldest first); when no pending event matches, it advances to
+/// the next phase. After the script is exhausted it degenerates to FIFO.
+/// This gives impossibility re-enactments precise control: "first run group
+/// `g` to completion, then release the rest".
+pub struct ScriptedScheduler {
+    phases: Vec<PhasePredicate>,
+    current: usize,
+}
+
+impl std::fmt::Debug for ScriptedScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedScheduler")
+            .field("phases", &self.phases.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler from an ordered list of phase predicates.
+    pub fn new(phases: Vec<PhasePredicate>) -> Self {
+        ScriptedScheduler { phases, current: 0 }
+    }
+
+    /// Convenience phase: events whose `target` is in `group`.
+    pub fn targets_in(group: Vec<usize>) -> PhasePredicate {
+        Box::new(move |meta, _| group.contains(&meta.target))
+    }
+
+    fn oldest_matching(&mut self, pending: &[EventMeta], state: &RunState) -> Option<usize> {
+        while self.current < self.phases.len() {
+            let phase = &mut self.phases[self.current];
+            let hit = pending
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| phase(m, state))
+                .min_by_key(|(_, m)| m.id)
+                .map(|(i, _)| i);
+            if hit.is_some() {
+                return hit;
+            }
+            self.current += 1;
+        }
+        None
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
+        self.oldest_matching(pending, state).unwrap_or_else(|| {
+            pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.id)
+                .map(|(i, _)| i)
+                .expect("pending is non-empty")
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventId, EventKind};
+
+    fn meta(id: u64, target: usize) -> EventMeta {
+        let mut m = EventMeta::new(EventKind::LocalStep, target);
+        m.id = EventId(id);
+        m
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let pending = vec![meta(0, 0), meta(1, 1), meta(2, 2), meta(3, 0)];
+        let state = RunState::new(3);
+        let mut a = RandomScheduler::from_seed(42);
+        let mut b = RandomScheduler::from_seed(42);
+        for _ in 0..32 {
+            assert_eq!(a.pick(&pending, &state), b.pick(&pending, &state));
+        }
+    }
+
+    #[test]
+    fn random_scheduler_differs_across_seeds() {
+        let pending: Vec<_> = (0..16).map(|i| meta(i, i as usize % 4)).collect();
+        let state = RunState::new(4);
+        let mut a = RandomScheduler::from_seed(1);
+        let mut b = RandomScheduler::from_seed(2);
+        let picks_a: Vec<_> = (0..32).map(|_| a.pick(&pending, &state)).collect();
+        let picks_b: Vec<_> = (0..32).map(|_| b.pick(&pending, &state)).collect();
+        assert_ne!(picks_a, picks_b);
+    }
+
+    #[test]
+    fn fifo_picks_lowest_id() {
+        let pending = vec![meta(5, 0), meta(2, 1), meta(9, 2)];
+        let mut s = FifoScheduler::new();
+        assert_eq!(s.pick(&pending, &RunState::new(3)), 1);
+    }
+
+    #[test]
+    fn lifo_picks_highest_id() {
+        let pending = vec![meta(5, 0), meta(2, 1), meta(9, 2)];
+        let mut s = LifoScheduler::new();
+        assert_eq!(s.pick(&pending, &RunState::new(3)), 2);
+    }
+
+    #[test]
+    fn scripted_runs_phases_then_fifo() {
+        // Phase 1: only events targeting process 2; then fall back.
+        let mut s = ScriptedScheduler::new(vec![ScriptedScheduler::targets_in(vec![2])]);
+        let state = RunState::new(3);
+        let pending = vec![meta(0, 0), meta(1, 2), meta(2, 2)];
+        assert_eq!(s.pick(&pending, &state), 1); // oldest targeting 2
+        let pending = vec![meta(0, 0), meta(2, 2)];
+        assert_eq!(s.pick(&pending, &state), 1);
+        let pending = vec![meta(0, 0), meta(3, 1)];
+        // no event targets 2 anymore: phase exhausted, FIFO takes over
+        assert_eq!(s.pick(&pending, &state), 0);
+        // and stays FIFO even if a new event for 2 appears later
+        let pending = vec![meta(3, 1), meta(4, 2)];
+        assert_eq!(s.pick(&pending, &state), 0);
+    }
+
+    #[test]
+    fn starvation_defers_victim_events() {
+        let mut s = StarvationScheduler::new(FifoScheduler::new(), vec![1]);
+        let state = RunState::new(3);
+        // Victim's event is older, but the non-victim fires first.
+        let pending = vec![meta(0, 1), meta(5, 2)];
+        assert_eq!(s.pick(&pending, &state), 1);
+        // Only victim events left: they do fire (finite delay).
+        let pending = vec![meta(0, 1)];
+        assert_eq!(s.pick(&pending, &state), 0);
+        assert_eq!(s.victims(), &[1]);
+    }
+
+    #[test]
+    fn scheduler_labels() {
+        assert_eq!(RandomScheduler::from_seed(0).label(), "random");
+        assert_eq!(FifoScheduler::new().label(), "fifo");
+        assert_eq!(LifoScheduler::new().label(), "lifo");
+        assert_eq!(ScriptedScheduler::new(vec![]).label(), "scripted");
+        assert_eq!(
+            StarvationScheduler::new(FifoScheduler::new(), vec![]).label(),
+            "starvation"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: solve 3-set consensus among 6 processes with 2 crash
+//! failures, using Chaudhuri's FloodMin protocol (Lemma 3.1: `t < k`).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kset::core::{ProblemSpec, RunRecord, ValidityCondition};
+use kset::net::MpSystem;
+use kset::protocols::FloodMin;
+use kset::sim::FaultPlan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, k, t) = (6, 3, 2);
+    let inputs: Vec<u64> = vec![42, 17, 99, 8, 63, 25];
+
+    println!("SC(k={k}, t={t}, RV1) over n={n} processes");
+    println!("inputs: {inputs:?}");
+    println!("processes 1 and 4 crash before taking a single step\n");
+
+    // Build the system: seeded random schedule, two silent crashes.
+    let outcome = MpSystem::new(n)
+        .seed(2024)
+        .fault_plan(FaultPlan::silent_crashes(n, &[1, 4]))
+        .trace_capacity(256)
+        .run_with(|p| FloodMin::boxed(n, t, inputs[p]))?;
+
+    println!("terminated: {}", outcome.terminated);
+    for (p, v) in &outcome.decisions {
+        println!("  p{p} decided {v}");
+    }
+    let set = outcome.correct_decision_set();
+    println!("distinct decisions by correct processes: {set:?} (k = {k})");
+
+    // Check the run against the formal specification.
+    let spec = ProblemSpec::new(n, k, t, ValidityCondition::RV1)?;
+    let record = RunRecord::new(inputs)
+        .with_faulty(outcome.faulty.iter().copied())
+        .with_decisions(outcome.decisions.clone())
+        .with_terminated(outcome.terminated);
+    let report = spec.check(&record);
+    println!("checker verdict for {spec}: {report}");
+    assert!(report.is_ok());
+
+    println!(
+        "\n({} messages delivered in {} events)",
+        outcome.stats.messages_delivered, outcome.stats.events_fired
+    );
+    Ok(())
+}

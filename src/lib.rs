@@ -1,0 +1,47 @@
+//! # kset — k-set consensus in asynchronous systems
+//!
+//! Facade crate for the `kset` workspace: a complete executable
+//! reproduction of *"On k-Set Consensus Problems in Asynchronous Systems"*
+//! (De Prisco, Malkhi, Reiter; PODC 1999 / IEEE TPDS 12(1), 2001).
+//!
+//! Each module re-exports one workspace crate:
+//!
+//! * [`sim`] — the deterministic discrete-event kernel (schedulers, delay
+//!   rules, fault plans, traces, replay);
+//! * [`net`] — the asynchronous reliable message-passing model;
+//! * [`shmem`] — single-writer multi-reader atomic registers;
+//! * [`core`] — the `SC(k, t, C)` problem, the six validity conditions,
+//!   the run checker, and the machine-derived Figure-1 lattice;
+//! * [`protocols`] — every protocol of the paper plus the MP→SM SIMULATION
+//!   and the SM→MP register emulations;
+//! * [`adversary`] — Byzantine strategies and crash placements;
+//! * [`regions`] — the solvability atlases of Figures 2/4/5/6.
+//!
+//! ## Example
+//!
+//! ```
+//! use kset::{net::MpSystem, protocols::FloodMin, sim::FaultPlan};
+//!
+//! // SC(3, 2, RV1): 6 processes, 2 of them crashed from the start.
+//! let outcome = MpSystem::new(6)
+//!     .seed(2024)
+//!     .fault_plan(FaultPlan::silent_crashes(6, &[1, 4]))
+//!     .run_with(|p| FloodMin::boxed(6, 2, 100 + p as u64))?;
+//! assert!(outcome.terminated);
+//! assert!(outcome.correct_decision_set().len() <= 3); // k = t + 1
+//! # Ok::<(), kset::sim::SimError>(())
+//! ```
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the lemma-to-module map,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kset_adversary as adversary;
+pub use kset_core as core;
+pub use kset_net as net;
+pub use kset_protocols as protocols;
+pub use kset_regions as regions;
+pub use kset_shmem as shmem;
+pub use kset_sim as sim;

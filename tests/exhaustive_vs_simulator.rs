@@ -1,0 +1,185 @@
+//! Coherence between the two verification methodologies: every decision a
+//! *simulated* run produces must lie inside the per-process achievable set
+//! the *exhaustive model* computes — across protocols, fault patterns,
+//! schedules (random, LIFO, partitioned), and seeds.
+//!
+//! A divergence in either direction would mean one of the two halves of
+//! the reproduction (the event-level simulator or the outcome-level model)
+//! mischaracterizes the asynchronous semantics.
+
+use kset::net::MpSystem;
+use kset::protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
+use kset::shmem::SmSystem;
+use kset::sim::{DelayRule, FaultPlan, LifoScheduler};
+use kset_experiments::exhaustive::{achievable_decisions, QuorumProtocol};
+
+const DEFAULT: u64 = u64::MAX;
+
+fn assert_within_model(
+    protocol: QuorumProtocol,
+    inputs: &[u64],
+    t: usize,
+    crashed: &[usize],
+    decisions: &std::collections::BTreeMap<usize, u64>,
+    context: &str,
+) {
+    let achievable = achievable_decisions(protocol, inputs, t, crashed);
+    for (&p, &d) in decisions {
+        if crashed.contains(&p) {
+            continue;
+        }
+        let (_, set) = achievable
+            .iter()
+            .find(|(q, _)| *q == p)
+            .expect("live process has an achievable set");
+        assert!(
+            set.contains(&d),
+            "{context}: p{p} decided {d}, not in its achievable set {set:?}"
+        );
+    }
+}
+
+#[test]
+fn random_schedules_stay_within_the_exhaustive_model() {
+    let n = 6;
+    let inputs: Vec<u64> = vec![0, 1, 1, 2, 0, 2];
+    for t in 1..=2usize {
+        let crashed: Vec<usize> = (0..t).map(|i| n - 1 - i).collect();
+        for seed in 0..25 {
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(FaultPlan::silent_crashes(n, &crashed))
+                .run_with(|p| FloodMin::boxed(n, t, inputs[p]))
+                .unwrap();
+            assert_within_model(
+                QuorumProtocol::FloodMin,
+                &inputs,
+                t,
+                &crashed,
+                &outcome.decisions,
+                &format!("floodmin t={t} seed={seed}"),
+            );
+
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(FaultPlan::silent_crashes(n, &crashed))
+                .run_with(|p| ProtocolA::boxed(n, t, inputs[p], DEFAULT))
+                .unwrap();
+            assert_within_model(
+                QuorumProtocol::ProtocolA,
+                &inputs,
+                t,
+                &crashed,
+                &outcome.decisions,
+                &format!("protocol A t={t} seed={seed}"),
+            );
+
+            let outcome = MpSystem::new(n)
+                .seed(seed)
+                .fault_plan(FaultPlan::silent_crashes(n, &crashed))
+                .run_with(|p| ProtocolB::boxed(n, t, inputs[p], DEFAULT))
+                .unwrap();
+            assert_within_model(
+                QuorumProtocol::ProtocolB,
+                &inputs,
+                t,
+                &crashed,
+                &outcome.decisions,
+                &format!("protocol B t={t} seed={seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_schedules_stay_within_the_exhaustive_model() {
+    // Partition schedules realize extreme corners of the model; they must
+    // still land inside it.
+    let n = 6;
+    let inputs: Vec<u64> = vec![1, 1, 2, 2, 3, 3];
+    let t = 4;
+    let outcome = MpSystem::new(n)
+        .seed(0)
+        .delay_rule(DelayRule::isolate_until_decided(vec![0, 1]))
+        .delay_rule(DelayRule::isolate_until_decided(vec![2, 3]))
+        .delay_rule(DelayRule::isolate_until_decided(vec![4, 5]))
+        .run_with(|p| ProtocolA::boxed(n, t, inputs[p], DEFAULT))
+        .unwrap();
+    assert_within_model(
+        QuorumProtocol::ProtocolA,
+        &inputs,
+        t,
+        &[],
+        &outcome.decisions,
+        "partitioned protocol A",
+    );
+    // And LIFO.
+    let outcome = MpSystem::new(n)
+        .scheduler(LifoScheduler::new())
+        .run_with(|p| FloodMin::boxed(n, 2, inputs[p]))
+        .unwrap();
+    assert_within_model(
+        QuorumProtocol::FloodMin,
+        &inputs,
+        2,
+        &[],
+        &outcome.decisions,
+        "lifo floodmin",
+    );
+}
+
+#[test]
+fn shared_memory_runs_stay_within_the_exhaustive_model() {
+    let n = 5;
+    let inputs: Vec<u64> = vec![0, 1, 0, 2, 1];
+    for t in [1usize, 2, 4] {
+        let crashed: Vec<usize> = if t >= 2 { vec![n - 1] } else { vec![] };
+        for seed in 0..25 {
+            let outcome = SmSystem::new(n)
+                .seed(seed)
+                .fault_plan(FaultPlan::silent_crashes(n, &crashed))
+                .run_with(|p| ProtocolE::boxed(n, t, inputs[p], DEFAULT))
+                .unwrap();
+            assert_within_model(
+                QuorumProtocol::ProtocolE,
+                &inputs,
+                t,
+                &crashed,
+                &outcome.decisions,
+                &format!("protocol E t={t} seed={seed}"),
+            );
+            if t < n {
+                let outcome = SmSystem::new(n)
+                    .seed(seed)
+                    .fault_plan(FaultPlan::silent_crashes(n, &crashed))
+                    .run_with(|p| ProtocolF::boxed(n, t, inputs[p], DEFAULT))
+                    .unwrap();
+                assert_within_model(
+                    QuorumProtocol::ProtocolF,
+                    &inputs,
+                    t,
+                    &crashed,
+                    &outcome.decisions,
+                    &format!("protocol F t={t} seed={seed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn achievable_sets_have_the_expected_shape() {
+    // FloodMin, spread inputs, no crashes: process p can decide any of the
+    // t+1 smallest inputs... that survive in some (n-t)-subset it sees.
+    let inputs: Vec<u64> = (0..5).collect();
+    let sets = achievable_decisions(QuorumProtocol::FloodMin, &inputs, 2, &[]);
+    for (p, set) in sets {
+        // Minimum over any 3-subset of {0..4}: achievable minima are 0, 1, 2.
+        assert_eq!(set, vec![0, 1, 2], "p{p}");
+    }
+    // Protocol A with spread inputs can only default.
+    let sets = achievable_decisions(QuorumProtocol::ProtocolA, &inputs, 1, &[]);
+    for (_, set) in sets {
+        assert_eq!(set, vec![DEFAULT]);
+    }
+}
