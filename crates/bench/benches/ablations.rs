@@ -12,6 +12,10 @@
 //! * **Scheduler machinery overhead**: a FloodMin run under a bare random
 //!   scheduler vs the same run wrapped in (never-triggering) delay rules
 //!   and vs FIFO-per-channel delivery.
+//! * **Metrics collection overhead**: the same run with metrics disabled
+//!   (the default — one `Option` branch per event), enabled, and enabled
+//!   with sparse depth sampling. The disabled-vs-enabled gap is the price
+//!   of `--json` observability; the OBSERVABILITY.md budget is < 5%.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -19,7 +23,7 @@ use std::hint::black_box;
 use kset_bench::DEFAULT_VALUE;
 use kset_net::{DynMpProcess, MpSystem};
 use kset_protocols::{CMsg, DecisionRule, FloodMin, ProtocolC, ProtocolD};
-use kset_sim::{ChannelFifo, DelayRule, RandomScheduler, Until};
+use kset_sim::{ChannelFifo, DelayRule, MetricsConfig, RandomScheduler, Until};
 
 fn bench_halting(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/c_help_vs_halt");
@@ -140,6 +144,37 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_metrics_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/metrics_collection");
+    group.sample_size(10);
+    let n = 48usize;
+    let run = |config: MetricsConfig| {
+        let outcome = MpSystem::new(n)
+            .seed(1)
+            .metrics(config)
+            .run_with(|p| FloodMin::boxed(n, 4, p as u64))
+            .unwrap();
+        assert!(outcome.terminated);
+        assert_eq!(outcome.metrics.is_some(), config.enabled);
+        outcome
+    };
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(run(MetricsConfig::disabled())))
+    });
+    group.bench_function("enabled", |b| {
+        b.iter(|| black_box(run(MetricsConfig::enabled())))
+    });
+    group.bench_function("enabled_sparse_depth", |b| {
+        b.iter(|| {
+            black_box(run(MetricsConfig {
+                depth_sample_interval: 64,
+                ..MetricsConfig::enabled()
+            }))
+        })
+    });
+    group.finish();
+}
+
 fn bench_substrate_transforms(c: &mut Criterion) {
     use kset_protocols::{ByzEmulated, Emulated, ProtocolE, Simulated};
     use kset_shmem::SmSystem;
@@ -213,6 +248,7 @@ criterion_group!(
     bench_d_rules,
     bench_l_sweep,
     bench_scheduler_overhead,
+    bench_metrics_ablation,
     bench_substrate_transforms
 );
 criterion_main!(benches);

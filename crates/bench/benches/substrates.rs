@@ -7,7 +7,8 @@ use std::hint::black_box;
 use kset_core::ValidityCondition;
 use kset_regions::{classify, math, Model};
 use kset_sim::{
-    DelayRule, EventKind, EventMeta, FifoScheduler, GatedScheduler, Kernel, RandomScheduler,
+    DelayRule, EventKind, EventMeta, FifoScheduler, GatedScheduler, Kernel, MetricsConfig,
+    RandomScheduler,
 };
 
 fn bench_kernel(c: &mut Criterion) {
@@ -40,6 +41,37 @@ fn bench_kernel(c: &mut Criterion) {
                 while let Some((_, p)) = k.next_event() {
                     acc = acc.wrapping_add(p);
                 }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    // The raw hot-loop cost of metrics collection: the same drain with the
+    // collector absent (default — one `Option` branch per event) vs
+    // present. OBSERVABILITY.md budgets the enabled overhead at < 5% of a
+    // full protocol run; this group isolates the per-event cost itself.
+    let mut group = c.benchmark_group("substrate/metrics_ablation");
+    for enabled in [false, true] {
+        let name = if enabled { "enabled" } else { "disabled" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &enabled, |b, &enabled| {
+            b.iter(|| {
+                let mut k: Kernel<u64> = Kernel::with_processes(FifoScheduler::new(), 64);
+                if enabled {
+                    k = k.collect_metrics(MetricsConfig::enabled());
+                }
+                for i in 0..10_000usize {
+                    k.post(
+                        EventMeta::new(EventKind::MessageDelivery, i % 64)
+                            .from_process((i + 1) % 64),
+                        i as u64,
+                    );
+                }
+                let mut acc = 0u64;
+                while let Some((_, p)) = k.next_event() {
+                    acc = acc.wrapping_add(p);
+                }
+                assert_eq!(k.metrics().is_some(), enabled);
                 black_box(acc)
             })
         });

@@ -9,7 +9,7 @@
 //! message/operation counts behind it.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs, missing_debug_implementations)]
 
 use kset_adversary::{plans, Silent, SmSilent};
 use kset_net::{DynMpProcess, MpOutcome, MpSystem};

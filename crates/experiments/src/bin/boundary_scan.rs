@@ -6,22 +6,46 @@
 //! the protocol genuinely fails there — tightness evidence complementing
 //! the hand-staged constructions in the `counterexamples` binary.
 //!
-//! Usage: `boundary_scan [n] [seeds]` (defaults: n = 10, seeds = 12).
+//! Usage: `boundary_scan [n] [seeds] [--json PATH]`
+//! (defaults: n = 10, seeds = 12). With `--json`, every probe run is
+//! emitted as a `RunRecord` JSON line with kernel metrics; violating runs
+//! carry the checker's message in `outcome.violation` (schema:
+//! `OBSERVABILITY.md`).
 
 use kset_core::ValidityCondition;
-use kset_experiments::explorer::probe_cell;
+use kset_experiments::explorer::probe_cell_with;
+use kset_experiments::record_sink::JsonlSink;
 use kset_regions::{classify, CellClass, Model};
+use kset_sim::MetricsConfig;
 
 fn main() {
+    let mut n: Option<usize> = None;
+    let mut seeds: Option<u64> = None;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .map(|a| a.parse().expect("n must be a number"))
-        .unwrap_or(10);
-    let seeds: u64 = args
-        .next()
-        .map(|a| a.parse().expect("seeds must be a number"))
-        .unwrap_or(12);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other if n.is_none() => n = Some(other.parse().expect("n must be a number")),
+            other if seeds.is_none() => {
+                seeds = Some(other.parse().expect("seeds must be a number"))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = n.unwrap_or(10);
+    let seeds = seeds.unwrap_or(12);
+    let metrics = if json_path.is_some() {
+        MetricsConfig::enabled()
+    } else {
+        MetricsConfig::disabled()
+    };
+    let mut sink = json_path
+        .as_ref()
+        .map(|p| JsonlSink::create(p).expect("create --json sink"));
 
     println!("=== Boundary scan: protocols just outside their regions (n = {n}) ===\n");
     println!("model   validity  k   t   class       protocol    violations/runs  first seed");
@@ -52,7 +76,12 @@ fn main() {
                     if !(frontier || deeper) {
                         continue;
                     }
-                    match probe_cell(model, validity, n, k, t, 0..seeds) {
+                    let probe = probe_cell_with(model, validity, n, k, t, 0..seeds, metrics, |r| {
+                        if let Some(sink) = sink.as_mut() {
+                            sink.write(&r).expect("write run record");
+                        }
+                    });
+                    match probe {
                         Ok(Some(p)) => {
                             probed += 1;
                             if p.violations > 0 {
@@ -86,4 +115,8 @@ fn main() {
     println!("\n{probed} frontier cells probed; {with_violations} yielded violation certificates");
     println!("(violations are expected OUTSIDE the regions — they evidence tightness; a probe");
     println!(" finding none proves nothing, since impossibility quantifies over all protocols)");
+    if let (Some(sink), Some(path)) = (sink, &json_path) {
+        let written = sink.finish().expect("flush --json sink");
+        println!("({written} probe run records written to {path})");
+    }
 }

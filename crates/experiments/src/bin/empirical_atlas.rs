@@ -5,39 +5,73 @@
 //! plans (crash budgets, silent and active Byzantine strategies), and
 //! checks Termination / Agreement / Validity on each run.
 //!
-//! Usage: `empirical_atlas [n] [seeds]` (defaults: n = 8, seeds = 4).
-//! Exits nonzero if any run violates its specification.
+//! Usage: `empirical_atlas [n] [seeds] [--json PATH]`
+//! (defaults: n = 8, seeds = 4). With `--json`, every run is emitted as a
+//! `RunRecord` JSON line with kernel metrics (schema: `OBSERVABILITY.md`);
+//! the workers run per-model, but records are written in `Model::ALL`
+//! order so the file is deterministic. Exits nonzero if any run violates
+//! its specification.
 
 use crossbeam::thread;
 use kset_core::ValidityCondition;
-use kset_experiments::cells::{validate_cell, CellValidation};
+use kset_experiments::cells::{validate_cell_with, CellValidation};
+use kset_experiments::record_sink::{JsonlSink, RunRecord};
 use kset_experiments::report;
 use kset_regions::Model;
+use kset_sim::MetricsConfig;
 
 fn main() {
+    let mut n: Option<usize> = None;
+    let mut seeds: Option<u64> = None;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .map(|a| a.parse().expect("n must be a number"))
-        .unwrap_or(8);
-    let seeds: u64 = args
-        .next()
-        .map(|a| a.parse().expect("seeds must be a number"))
-        .unwrap_or(5);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other if n.is_none() => n = Some(other.parse().expect("n must be a number")),
+            other if seeds.is_none() => {
+                seeds = Some(other.parse().expect("seeds must be a number"))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = n.unwrap_or(8);
+    let seeds = seeds.unwrap_or(5);
     assert!(n >= 3, "n must be at least 3");
+    let metrics = if json_path.is_some() {
+        MetricsConfig::enabled()
+    } else {
+        MetricsConfig::disabled()
+    };
 
     // One worker per model: the cells inside a model are run sequentially
-    // (each run is itself single-threaded and deterministic).
-    let results: Vec<Vec<CellValidation>> = thread::scope(|scope| {
+    // (each run is itself single-threaded and deterministic), and each
+    // worker returns its records so the main thread can write them in
+    // model order.
+    let results: Vec<(Vec<CellValidation>, Vec<RunRecord>)> = thread::scope(|scope| {
         let handles: Vec<_> = Model::ALL
             .iter()
             .map(|&model| {
                 scope.spawn(move |_| {
                     let mut rows = Vec::new();
+                    let mut records = Vec::new();
                     for validity in ValidityCondition::ALL {
                         for k in 2..n {
                             for t in 1..=n {
-                                match validate_cell(model, validity, n, k, t, 0..seeds) {
+                                let cell = validate_cell_with(
+                                    model,
+                                    validity,
+                                    n,
+                                    k,
+                                    t,
+                                    0..seeds,
+                                    metrics,
+                                    |r| records.push(r),
+                                );
+                                match cell {
                                     Ok(Some(row)) => rows.push(row),
                                     Ok(None) => {}
                                     Err(e) => panic!(
@@ -47,7 +81,7 @@ fn main() {
                             }
                         }
                     }
-                    rows
+                    (rows, records)
                 })
             })
             .collect();
@@ -55,7 +89,12 @@ fn main() {
     })
     .expect("worker panicked");
 
-    let rows: Vec<CellValidation> = results.into_iter().flatten().collect();
+    let mut rows: Vec<CellValidation> = Vec::new();
+    let mut records: Vec<RunRecord> = Vec::new();
+    for (model_rows, model_records) in results {
+        rows.extend(model_rows);
+        records.extend(model_records);
+    }
     let total_runs: usize = rows.iter().map(|r| r.runs).sum();
     let violations: usize = rows.iter().map(|r| r.violations).sum();
 
@@ -72,6 +111,18 @@ fn main() {
         total_runs,
         violations
     );
+
+    if let Some(path) = &json_path {
+        let mut sink = JsonlSink::create(path).expect("create --json sink");
+        for record in &records {
+            sink.write(record).expect("write run record");
+        }
+        let written = sink.finish().expect("flush --json sink");
+        assert_eq!(written, total_runs, "one record per run");
+        println!("\n{written} run records written to {path}");
+        println!("\nper-protocol metrics rollup:");
+        print!("{}", report::metrics_table(&records));
+    }
 
     for r in rows.iter().filter(|r| !r.clean()) {
         println!(

@@ -1,21 +1,28 @@
 //! One-shot reproduction driver: Figure 1, all four atlases at `n = 64`,
 //! the empirical validation pass, and the impossibility re-enactments.
 //!
-//! Usage: `reproduce_all [--empirical-n N] [--seeds S]`
+//! Usage: `reproduce_all [--empirical-n N] [--seeds S] [--json PATH]`
 //! (defaults: N = 8, S = 3). Atlas CSVs are written to `target/figures/`.
+//! With `--json`, every empirical run is additionally emitted as one
+//! `RunRecord` JSON line (with kernel metrics enabled) to `PATH` — see
+//! `OBSERVABILITY.md` for the schema — and a per-protocol metrics rollup
+//! is printed after the validation table.
 
 use std::fs;
 use std::io::Write as _;
 
 use kset_core::lattice::Lattice;
 use kset_core::ValidityCondition;
-use kset_experiments::cells::validate_cell;
+use kset_experiments::cells::validate_cell_with;
+use kset_experiments::record_sink::JsonlSink;
 use kset_experiments::{counterexamples, report};
 use kset_regions::{render, Atlas, Model};
+use kset_sim::MetricsConfig;
 
 fn main() {
     let mut empirical_n = 8usize;
     let mut seeds = 5u64;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,6 +37,9 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seeds needs a number")
+            }
+            "--json" => {
+                json_path = Some(args.next().expect("--json needs a path"));
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -64,14 +74,40 @@ fn main() {
         println!("(csv written to {path})\n");
     }
 
-    // Empirical validation.
+    // Empirical validation. With --json, collect kernel metrics and stream
+    // one RunRecord per run; the metrics make each run ~equally fast but
+    // carry per-process attribution, so they are opt-in.
     println!("==================== EMPIRICAL VALIDATION ====================");
+    let metrics = if json_path.is_some() {
+        MetricsConfig::enabled()
+    } else {
+        MetricsConfig::disabled()
+    };
+    let mut sink = json_path
+        .as_ref()
+        .map(|p| JsonlSink::create(p).expect("create --json sink"));
+    let mut records = Vec::new();
     let mut rows = Vec::new();
     for model in Model::ALL {
         for validity in ValidityCondition::ALL {
             for k in 2..empirical_n {
                 for t in 1..=empirical_n {
-                    match validate_cell(model, validity, empirical_n, k, t, 0..seeds) {
+                    let cell = validate_cell_with(
+                        model,
+                        validity,
+                        empirical_n,
+                        k,
+                        t,
+                        0..seeds,
+                        metrics,
+                        |record| {
+                            if let Some(sink) = sink.as_mut() {
+                                sink.write(&record).expect("write run record");
+                            }
+                            records.push(record);
+                        },
+                    );
+                    match cell {
                         Ok(Some(row)) => rows.push(row),
                         Ok(None) => {}
                         Err(e) => panic!("simulator failure: {e}"),
@@ -81,11 +117,27 @@ fn main() {
         }
     }
     print!("{}", report::validation_table(&rows));
+    let total_runs: usize = rows.iter().map(|r| r.runs).sum();
+    assert_eq!(
+        records.len(),
+        total_runs,
+        "one record per empirical run, table and JSONL must agree"
+    );
     let violations: usize = rows.iter().map(|r| r.violations).sum();
     assert_eq!(violations, 0, "empirical validation found violations");
     let json = serde_json::to_string_pretty(&rows).expect("serialize validations");
     fs::write("target/figures/empirical_validation.json", json).expect("write json artifact");
     println!("(per-cell results written to target/figures/empirical_validation.json)");
+    if let Some(sink) = sink {
+        let written = sink.finish().expect("flush --json sink");
+        println!(
+            "({} run records written to {})",
+            written,
+            json_path.as_deref().unwrap_or_default()
+        );
+        println!("==================== METRICS ROLLUP ====================");
+        print!("{}", report::metrics_table(&records));
+    }
     println!("empirical validation: OK\n");
 
     // Counterexamples.

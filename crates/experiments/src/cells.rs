@@ -16,7 +16,9 @@ use kset_protocols::{
 };
 use kset_regions::{classify, math, CellClass, Model};
 use kset_shmem::{DynSmProcess, SmOutcome, SmSystem};
-use kset_sim::{DelayRule, FaultPlan, SimError, Until};
+use kset_sim::{DelayRule, FaultPlan, MetricsConfig, RunMetrics, RunStats, SimError, Until};
+
+use crate::record_sink::RunOutcome;
 
 /// The default decision value used by the default-deciding protocols.
 /// Drawn far outside the input domain `0..n` used by the sweeps.
@@ -138,28 +140,54 @@ fn check_outcome(
     }
 }
 
-fn check_mp(spec: &ProblemSpec, inputs: &[u64], outcome: &MpOutcome<u64>) -> Result<(), String> {
-    check_outcome(
-        spec,
-        inputs,
-        outcome.decisions.clone(),
-        &outcome.faulty,
-        outcome.terminated,
-    )
+/// Everything observed about one run of a cell's protocol: the checker's
+/// verdict (folded into `outcome.violation`), the kernel counters, and the
+/// optional metrics. This is what `validate_cell_with` turns into a
+/// [`crate::record_sink::RunRecord`].
+struct RunReport {
+    outcome: RunOutcome,
+    stats: RunStats,
+    metrics: Option<RunMetrics>,
 }
 
-fn check_sm<Val>(
-    spec: &ProblemSpec,
-    inputs: &[u64],
-    outcome: &SmOutcome<Val, u64>,
-) -> Result<(), String> {
-    check_outcome(
-        spec,
-        inputs,
-        outcome.decisions.clone(),
-        &outcome.faulty,
-        outcome.terminated,
-    )
+fn report_mp(spec: &ProblemSpec, inputs: &[u64], outcome: &MpOutcome<u64>) -> RunReport {
+    RunReport {
+        outcome: RunOutcome {
+            terminated: outcome.terminated,
+            decided: outcome.decisions.len(),
+            distinct_decisions: outcome.correct_decision_set().len(),
+            violation: check_outcome(
+                spec,
+                inputs,
+                outcome.decisions.clone(),
+                &outcome.faulty,
+                outcome.terminated,
+            )
+            .err(),
+        },
+        stats: outcome.stats,
+        metrics: outcome.metrics.clone(),
+    }
+}
+
+fn report_sm<Val>(spec: &ProblemSpec, inputs: &[u64], outcome: &SmOutcome<Val, u64>) -> RunReport {
+    RunReport {
+        outcome: RunOutcome {
+            terminated: outcome.terminated,
+            decided: outcome.decisions.len(),
+            distinct_decisions: outcome.correct_decision_set().len(),
+            violation: check_outcome(
+                spec,
+                inputs,
+                outcome.decisions.clone(),
+                &outcome.faulty,
+                outcome.terminated,
+            )
+            .err(),
+        },
+        stats: outcome.stats,
+        metrics: outcome.metrics.clone(),
+    }
 }
 
 /// Inputs for a run: unanimous on even seeds (exercising the V2-style
@@ -190,6 +218,28 @@ pub fn validate_cell(
     t: usize,
     seeds: std::ops::Range<u64>,
 ) -> Result<Option<CellValidation>, SimError> {
+    validate_cell_with(model, validity, n, k, t, seeds, MetricsConfig::disabled(), |_| {})
+}
+
+/// [`validate_cell`] with per-run observability: collects kernel metrics
+/// according to `metrics` and hands every run to `on_record` as a
+/// [`crate::record_sink::RunRecord`] (in seed order), ready for JSONL
+/// emission.
+///
+/// # Errors
+///
+/// See [`validate_cell`].
+#[allow(clippy::too_many_arguments)]
+pub fn validate_cell_with(
+    model: Model,
+    validity: ValidityCondition,
+    n: usize,
+    k: usize,
+    t: usize,
+    seeds: std::ops::Range<u64>,
+    metrics: MetricsConfig,
+    mut on_record: impl FnMut(crate::record_sink::RunRecord),
+) -> Result<Option<CellValidation>, SimError> {
     let CellClass::Solvable(citation) = classify(model, validity, n, k, t) else {
         return Ok(None);
     };
@@ -205,14 +255,26 @@ pub fn validate_cell(
     let mut first_violation = None;
     for seed in seeds {
         let inputs = inputs_for(n, seed);
-        let result = run_cell(model, protocol, &spec, &inputs, n, k, t, seed)?;
+        let report = run_cell(model, protocol, &spec, &inputs, n, k, t, seed, metrics)?;
         runs += 1;
-        if let Err(msg) = result {
+        if let Some(msg) = &report.outcome.violation {
             violations += 1;
             if first_violation.is_none() {
                 first_violation = Some(format!("seed {seed}: {msg}"));
             }
         }
+        on_record(crate::record_sink::RunRecord::new(
+            model,
+            validity,
+            n,
+            k,
+            t,
+            seed,
+            protocol,
+            report.outcome,
+            report.stats,
+            report.metrics,
+        ));
     }
     Ok(Some(CellValidation {
         model,
@@ -258,7 +320,8 @@ fn run_cell(
     _k: usize,
     t: usize,
     seed: u64,
-) -> Result<Result<(), String>, SimError> {
+    metrics: MetricsConfig,
+) -> Result<RunReport, SimError> {
     let byz = model.is_byzantine();
     let plan = if byz {
         byz_plan(n, t, seed)
@@ -272,14 +335,16 @@ fn run_cell(
         "FloodMin" => {
             let outcome = MpSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| FloodMin::boxed(n, t, inputs[p]))?;
-            Ok(check_mp(spec, inputs, &outcome))
+            Ok(report_mp(spec, inputs, &outcome))
         }
         "Protocol A" => {
             let outcome = MpSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| -> DynMpProcess<u64, u64> {
@@ -296,21 +361,23 @@ fn run_cell(
                         ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(check_mp(spec, inputs, &outcome))
+            Ok(report_mp(spec, inputs, &outcome))
         }
         "Protocol B" => {
             let outcome = MpSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-            Ok(check_mp(spec, inputs, &outcome))
+            Ok(report_mp(spec, inputs, &outcome))
         }
         "Protocol C" => {
             let l = math::protocol_c_witness(n, spec.k(), t)
                 .expect("cell classified solvable by Lemma 3.15");
             let outcome = MpSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| -> DynMpProcess<CMsg<u64>, u64> {
@@ -324,11 +391,12 @@ fn run_cell(
                         ProtocolC::boxed(n, t, l, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(check_mp(spec, inputs, &outcome))
+            Ok(report_mp(spec, inputs, &outcome))
         }
         "Protocol D" => {
             let outcome = MpSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| -> DynMpProcess<kset_protocols::DMsg<u64>, u64> {
@@ -338,11 +406,12 @@ fn run_cell(
                         ProtocolD::boxed(n, t, inputs[p])
                     }
                 })?;
-            Ok(check_mp(spec, inputs, &outcome))
+            Ok(report_mp(spec, inputs, &outcome))
         }
         "Protocol E" => {
             let outcome = SmSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
                 .run_with(|p| -> DynSmProcess<u64, u64> {
@@ -356,11 +425,12 @@ fn run_cell(
                         ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(check_sm(spec, inputs, &outcome))
+            Ok(report_sm(spec, inputs, &outcome))
         }
         "Protocol F" => {
             let outcome = SmSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
                 .run_with(|p| -> DynSmProcess<u64, u64> {
@@ -374,33 +444,36 @@ fn run_cell(
                         ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(check_sm(spec, inputs, &outcome))
+            Ok(report_sm(spec, inputs, &outcome))
         }
         "SIM(FloodMin)" => {
             let outcome = SmSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .event_limit(SIM_EVENT_LIMIT)
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
                 .run_with(|p| Simulated::boxed(n, FloodMin::new(n, t, inputs[p])))?;
-            Ok(check_sm(spec, inputs, &outcome))
+            Ok(report_sm(spec, inputs, &outcome))
         }
         "SIM(Protocol B)" => {
             let outcome = SmSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .event_limit(SIM_EVENT_LIMIT)
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
                 .run_with(|p| {
                     Simulated::boxed(n, ProtocolB::new(n, t, inputs[p], DEFAULT_VALUE))
                 })?;
-            Ok(check_sm(spec, inputs, &outcome))
+            Ok(report_sm(spec, inputs, &outcome))
         }
         "SIM(Protocol C)" => {
             let l = math::protocol_c_witness(n, spec.k(), t)
                 .expect("cell classified solvable by Lemma 4.11");
             let outcome = SmSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .event_limit(SIM_EVENT_LIMIT)
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
@@ -411,11 +484,12 @@ fn run_cell(
                         Simulated::boxed(n, ProtocolC::new(n, t, l, inputs[p], DEFAULT_VALUE))
                     }
                 })?;
-            Ok(check_sm(spec, inputs, &outcome))
+            Ok(report_sm(spec, inputs, &outcome))
         }
         "SIM(Protocol D)" => {
             let outcome = SmSystem::new(n)
                 .seed(seed)
+                .metrics(metrics)
                 .event_limit(SIM_EVENT_LIMIT)
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
@@ -426,7 +500,7 @@ fn run_cell(
                         Simulated::boxed(n, ProtocolD::new(n, t, inputs[p]))
                     }
                 })?;
-            Ok(check_sm(spec, inputs, &outcome))
+            Ok(report_sm(spec, inputs, &outcome))
         }
         other => unreachable!("no runner for {other}"),
     }

@@ -16,13 +16,14 @@
 //! violations immediately outside.
 
 use kset_core::{ProblemSpec, RunRecord, ValidityCondition};
-use kset_net::MpSystem;
+use kset_net::{MpOutcome, MpSystem};
 use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
 use kset_regions::{classify, CellClass, Model};
-use kset_shmem::SmSystem;
-use kset_sim::{DelayRule, SimError, Until};
+use kset_shmem::{SmOutcome, SmSystem};
+use kset_sim::{DelayRule, MetricsConfig, RunMetrics, RunStats, SimError, Until};
 
 use crate::cells::DEFAULT_VALUE;
+use crate::record_sink::RunOutcome;
 
 /// Result of probing one non-solvable cell.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -82,6 +83,56 @@ fn probe_rules_sm(n: usize, active: usize) -> Vec<DelayRule> {
         .collect()
 }
 
+/// One probe run distilled for counting and recording.
+struct ProbeRun {
+    violated: bool,
+    outcome: RunOutcome,
+    stats: RunStats,
+    metrics: Option<RunMetrics>,
+}
+
+fn probe_report_mp(spec: &ProblemSpec, inputs: &[u64], outcome: MpOutcome<u64>) -> ProbeRun {
+    let distinct_decisions = outcome.correct_decision_set().len();
+    let decided = outcome.decisions.len();
+    let record = RunRecord::new(inputs.to_vec())
+        .with_decisions(outcome.decisions)
+        .with_terminated(outcome.terminated);
+    let report = spec.check(&record);
+    let violation = (!report.is_ok()).then(|| report.to_string());
+    ProbeRun {
+        violated: violation.is_some(),
+        outcome: RunOutcome {
+            terminated: outcome.terminated,
+            decided,
+            distinct_decisions,
+            violation,
+        },
+        stats: outcome.stats,
+        metrics: outcome.metrics,
+    }
+}
+
+fn probe_report_sm(spec: &ProblemSpec, inputs: &[u64], outcome: SmOutcome<u64, u64>) -> ProbeRun {
+    let distinct_decisions = outcome.correct_decision_set().len();
+    let decided = outcome.decisions.len();
+    let record = RunRecord::new(inputs.to_vec())
+        .with_decisions(outcome.decisions)
+        .with_terminated(outcome.terminated);
+    let report = spec.check(&record);
+    let violation = (!report.is_ok()).then(|| report.to_string());
+    ProbeRun {
+        violated: violation.is_some(),
+        outcome: RunOutcome {
+            terminated: outcome.terminated,
+            decided,
+            distinct_decisions,
+            violation,
+        },
+        stats: outcome.stats,
+        metrics: outcome.metrics,
+    }
+}
+
 /// Probes one cell with `seeds` runs. Returns `None` for solvable cells
 /// (probe the frontier, not the interior) and for panels without a probe
 /// protocol.
@@ -96,6 +147,27 @@ pub fn probe_cell(
     k: usize,
     t: usize,
     seeds: std::ops::Range<u64>,
+) -> Result<Option<BoundaryProbe>, SimError> {
+    probe_cell_with(model, validity, n, k, t, seeds, MetricsConfig::disabled(), |_| {})
+}
+
+/// [`probe_cell`] with per-run observability: collects kernel metrics
+/// according to `metrics` and hands every run to `on_record` as a
+/// [`crate::record_sink::RunRecord`] (in seed order).
+///
+/// # Errors
+///
+/// See [`probe_cell`].
+#[allow(clippy::too_many_arguments)]
+pub fn probe_cell_with(
+    model: Model,
+    validity: ValidityCondition,
+    n: usize,
+    k: usize,
+    t: usize,
+    seeds: std::ops::Range<u64>,
+    metrics: MetricsConfig,
+    mut on_record: impl FnMut(crate::record_sink::RunRecord),
 ) -> Result<Option<BoundaryProbe>, SimError> {
     let class = match classify(model, validity, n, k, t) {
         CellClass::Solvable(_) => return Ok(None),
@@ -120,66 +192,68 @@ pub fn probe_cell(
         // that an isolating schedule can push each group to its own value.
         let groups = ((k + 1) + (seed as usize % 2)).clamp(2, n);
         let inputs: Vec<u64> = (0..n).map(|p| (p % groups) as u64).collect();
-        let violated = match protocol {
+        let run = match protocol {
             "FloodMin" => {
                 let outcome = MpSystem::new(n)
                     .seed(seed)
+                    .metrics(metrics)
                     .delay_rules(probe_rules_mp(n, groups))
                     .run_with(|p| FloodMin::boxed(n, t, inputs[p]))?;
-                let record = RunRecord::new(inputs)
-                    .with_decisions(outcome.decisions)
-                    .with_terminated(outcome.terminated);
-                !spec.check(&record).is_ok()
+                probe_report_mp(&spec, &inputs, outcome)
             }
             "Protocol A" => {
                 let outcome = MpSystem::new(n)
                     .seed(seed)
+                    .metrics(metrics)
                     .delay_rules(probe_rules_mp(n, groups))
                     .run_with(|p| ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-                let record = RunRecord::new(inputs)
-                    .with_decisions(outcome.decisions)
-                    .with_terminated(outcome.terminated);
-                !spec.check(&record).is_ok()
+                probe_report_mp(&spec, &inputs, outcome)
             }
             "Protocol B" => {
                 let outcome = MpSystem::new(n)
                     .seed(seed)
+                    .metrics(metrics)
                     .delay_rules(probe_rules_mp(n, groups))
                     .run_with(|p| ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-                let record = RunRecord::new(inputs)
-                    .with_decisions(outcome.decisions)
-                    .with_terminated(outcome.terminated);
-                !spec.check(&record).is_ok()
+                probe_report_mp(&spec, &inputs, outcome)
             }
             "Protocol E" => {
                 let outcome = SmSystem::new(n)
                     .seed(seed)
+                    .metrics(metrics)
                     .delay_rules(probe_rules_sm(n, t.min(n - 1).max(1)))
                     .run_with(|p| ProtocolE::boxed(n, t.min(n), inputs[p], DEFAULT_VALUE))?;
-                let record = RunRecord::new(inputs)
-                    .with_decisions(outcome.decisions)
-                    .with_terminated(outcome.terminated);
-                !spec.check(&record).is_ok()
+                probe_report_sm(&spec, &inputs, outcome)
             }
             "Protocol F" => {
                 let outcome = SmSystem::new(n)
                     .seed(seed)
+                    .metrics(metrics)
                     .delay_rules(probe_rules_sm(n, (t + 1).min(n)))
                     .run_with(|p| ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-                let record = RunRecord::new(inputs)
-                    .with_decisions(outcome.decisions)
-                    .with_terminated(outcome.terminated);
-                !spec.check(&record).is_ok()
+                probe_report_sm(&spec, &inputs, outcome)
             }
             other => unreachable!("no probe runner for {other}"),
         };
         runs += 1;
-        if violated {
+        if run.violated {
             violations += 1;
             if first_violating_seed.is_none() {
                 first_violating_seed = Some(seed);
             }
         }
+        on_record(crate::record_sink::RunRecord::new(
+            model,
+            validity,
+            n,
+            k,
+            t,
+            seed,
+            protocol,
+            run.outcome,
+            run.stats,
+            run.metrics,
+        ));
     }
     Ok(Some(BoundaryProbe {
         model,

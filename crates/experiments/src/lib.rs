@@ -19,11 +19,12 @@
 //! tables recorded in `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs, missing_debug_implementations)]
 
 pub mod cells;
 pub mod figures;
 pub mod counterexamples;
 pub mod exhaustive;
 pub mod explorer;
+pub mod record_sink;
 pub mod report;

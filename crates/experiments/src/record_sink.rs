@@ -1,0 +1,283 @@
+//! Structured run records and their JSONL sink.
+//!
+//! Every empirical run (one protocol execution under one seed) can be
+//! captured as a [`RunRecord`]: the full cell coordinates, the seed, the
+//! run's outcome, the kernel's aggregate [`RunStats`], and — when enabled —
+//! the per-process [`RunMetrics`]. Records serialize one-per-line as JSON
+//! (JSON Lines) through [`JsonlSink`], so experiment outputs stream to disk
+//! and load back with [`read_jsonl`] for rollups.
+//!
+//! The schema is versioned ([`RUN_RECORD_VERSION`]) and documented
+//! field-by-field in `OBSERVABILITY.md` at the repository root. Records are
+//! deterministic: re-running the same binary with the same arguments
+//! produces a byte-identical JSONL file (no wall-clock timestamps, no
+//! floats, no map-ordering ambiguity).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use kset_core::ValidityCondition;
+use kset_regions::Model;
+use kset_sim::{RunMetrics, RunStats};
+use serde::{Deserialize, Serialize};
+
+/// Version of the [`RunRecord`] schema. Bumped whenever a field is added,
+/// removed, or changes meaning; consumers should check it before parsing
+/// further.
+pub const RUN_RECORD_VERSION: u32 = 1;
+
+/// A stable filename-safe slug for a model (`mp_cr`, `mp_byz`, `sm_cr`,
+/// `sm_byz`) — the same convention the atlas CSV files use.
+pub fn model_slug(model: Model) -> &'static str {
+    match model {
+        Model::MpCrash => "mp_cr",
+        Model::MpByzantine => "mp_byz",
+        Model::SmCrash => "sm_cr",
+        Model::SmByzantine => "sm_byz",
+    }
+}
+
+/// How one run ended, as far as the `SC(k, t, C)` checker is concerned.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Whether every correct process decided before events ran out.
+    pub terminated: bool,
+    /// Number of processes (correct or faulty) that decided.
+    pub decided: usize,
+    /// Number of distinct values decided by correct processes — the
+    /// quantity the agreement condition bounds by `k`.
+    pub distinct_decisions: usize,
+    /// The violation message when the run failed `SC(k, t, C)`, else
+    /// `None`. A clean experiment has `violation: null` on every line.
+    pub violation: Option<String>,
+}
+
+impl RunOutcome {
+    /// True when the run satisfied the specification.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// One experiment run, ready for JSONL emission.
+///
+/// This is the observability record of an *execution* — distinct from
+/// `kset_core::RunRecord`, which is the checker's input (inputs/decisions).
+/// See `OBSERVABILITY.md` for the field-by-field schema.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Schema version, currently [`RUN_RECORD_VERSION`].
+    pub schema_version: u32,
+    /// Deterministic identifier: `"<model>/<validity>/n<n>k<k>t<t>/s<seed>"`.
+    pub run_id: String,
+    /// The failure/communication model of the cell.
+    pub model: Model,
+    /// The validity condition being validated.
+    pub validity: ValidityCondition,
+    /// System size.
+    pub n: usize,
+    /// Agreement bound.
+    pub k: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Scheduler seed of this run.
+    pub seed: u64,
+    /// Protocol that ran, e.g. `"Protocol A"` or `"SIM(FloodMin)"`.
+    pub protocol: String,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The kernel's aggregate counters.
+    pub stats: RunStats,
+    /// Per-process counters and histograms, when collection was enabled.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl RunRecord {
+    /// Assembles a record, deriving the deterministic `run_id` from the
+    /// cell coordinates and seed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: Model,
+        validity: ValidityCondition,
+        n: usize,
+        k: usize,
+        t: usize,
+        seed: u64,
+        protocol: impl Into<String>,
+        outcome: RunOutcome,
+        stats: RunStats,
+        metrics: Option<RunMetrics>,
+    ) -> Self {
+        RunRecord {
+            schema_version: RUN_RECORD_VERSION,
+            run_id: format!("{}/{validity}/n{n}k{k}t{t}/s{seed}", model_slug(model)),
+            model,
+            validity,
+            n,
+            k,
+            t,
+            seed,
+            protocol: protocol.into(),
+            outcome,
+            stats,
+            metrics,
+        }
+    }
+}
+
+/// A buffered JSON Lines writer for [`RunRecord`]s: one record per line,
+/// flushed on [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    written: usize,
+}
+
+impl JsonlSink {
+    /// Creates (or truncates) the file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink {
+            writer: BufWriter::new(File::create(path)?),
+            written: 0,
+        })
+    }
+
+    /// Appends one record as a single JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors.
+    pub fn write(&mut self, record: &RunRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record).map_err(io::Error::other)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flushes and closes the sink, returning how many records it wrote.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final flush.
+    pub fn finish(mut self) -> io::Result<usize> {
+        self.writer.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Reads every record from a JSONL file written by [`JsonlSink`].
+///
+/// # Errors
+///
+/// Fails on I/O errors or if any non-empty line is not a valid record.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<RunRecord>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::validate_cell_with;
+    use kset_sim::MetricsConfig;
+
+    fn sample_records(seeds: std::ops::Range<u64>) -> Vec<RunRecord> {
+        let mut records = Vec::new();
+        validate_cell_with(
+            Model::MpCrash,
+            ValidityCondition::RV1,
+            6,
+            4,
+            3,
+            seeds,
+            MetricsConfig::enabled(),
+            |r| records.push(r),
+        )
+        .unwrap()
+        .expect("solvable cell");
+        records
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kset-record-sink-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn run_id_is_deterministic_and_descriptive() {
+        let records = sample_records(0..2);
+        assert_eq!(records[0].run_id, "mp_cr/RV1/n6k4t3/s0");
+        assert_eq!(records[1].run_id, "mp_cr/RV1/n6k4t3/s1");
+        assert_eq!(records[0].schema_version, RUN_RECORD_VERSION);
+        assert_eq!(records[0].protocol, "FloodMin");
+        assert!(records[0].outcome.clean());
+        assert!(records[0].metrics.is_some());
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let records = sample_records(0..3);
+        let path = temp_path("roundtrip");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        for r in &records {
+            sink.write(r).unwrap();
+        }
+        assert_eq!(sink.written(), 3);
+        assert_eq!(sink.finish().unwrap(), 3);
+        let back = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn same_seed_produces_byte_identical_jsonl() {
+        // The determinism guarantee documented in OBSERVABILITY.md: two
+        // invocations with identical configuration write identical bytes.
+        let (a, b) = (temp_path("det-a"), temp_path("det-b"));
+        for path in [&a, &b] {
+            let mut sink = JsonlSink::create(path).unwrap();
+            for r in sample_records(0..3) {
+                sink.write(&r).unwrap();
+            }
+            sink.finish().unwrap();
+        }
+        let (bytes_a, bytes_b) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+        assert!(!bytes_a.is_empty());
+        assert_eq!(bytes_a, bytes_b);
+    }
+
+    #[test]
+    fn model_slugs_are_stable() {
+        assert_eq!(model_slug(Model::MpCrash), "mp_cr");
+        assert_eq!(model_slug(Model::MpByzantine), "mp_byz");
+        assert_eq!(model_slug(Model::SmCrash), "sm_cr");
+        assert_eq!(model_slug(Model::SmByzantine), "sm_byz");
+    }
+}

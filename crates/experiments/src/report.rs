@@ -1,6 +1,11 @@
 //! Plain-text table formatting for experiment summaries.
 
+use std::collections::BTreeMap;
+
+use kset_sim::Histogram;
+
 use crate::cells::CellValidation;
+use crate::record_sink::RunRecord;
 
 /// Formats a batch of cell validations as an aligned text table with a
 /// totals row.
@@ -52,6 +57,80 @@ pub fn rollup(rows: &[CellValidation]) -> Vec<(&'static str, usize, usize, usize
     agg
 }
 
+/// Per-protocol metrics aggregated across a batch of [`RunRecord`]s.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MetricsRollup {
+    /// Runs contributing to this row (only runs with metrics count).
+    pub runs: usize,
+    /// Decision latencies merged across all runs, in virtual ticks.
+    pub decision_latency: Histogram,
+    /// Message delivery latencies merged across all runs.
+    pub delivery_latency: Histogram,
+    /// Total messages sent across all runs.
+    pub messages_sent: u64,
+    /// Total decisions made across all runs.
+    pub decisions: u64,
+    /// Largest pending pool seen in any run.
+    pub peak_pending: u64,
+}
+
+impl MetricsRollup {
+    /// Messages sent per decision, rounded down (0 when nothing decided).
+    pub fn messages_per_decision(&self) -> u64 {
+        if self.decisions == 0 {
+            0
+        } else {
+            self.messages_sent / self.decisions
+        }
+    }
+}
+
+/// Aggregates the metrics of a batch of records per protocol. Records
+/// without metrics (collection disabled) are skipped.
+pub fn metrics_rollup(records: &[RunRecord]) -> BTreeMap<String, MetricsRollup> {
+    let mut agg: BTreeMap<String, MetricsRollup> = BTreeMap::new();
+    for r in records {
+        let Some(m) = &r.metrics else { continue };
+        let e = agg.entry(r.protocol.clone()).or_default();
+        e.runs += 1;
+        e.decision_latency.merge(&m.decision_latency);
+        e.delivery_latency.merge(&m.delivery_latency);
+        e.messages_sent += m.total_messages_sent();
+        e.decisions += m.decisions();
+        e.peak_pending = e.peak_pending.max(m.peak_pending);
+    }
+    agg
+}
+
+/// Formats the per-protocol metrics rollup as an aligned text table:
+/// decision latency quantiles (virtual ticks), messages per decision, and
+/// peak pending-pool depth.
+pub fn metrics_table(records: &[RunRecord]) -> String {
+    let agg = metrics_rollup(records);
+    let mut out = String::new();
+    out.push_str(
+        "protocol          runs  decide-p50  decide-p95  decide-max  msgs/decision  peak-pending\n\
+         ----------------  ----  ----------  ----------  ----------  -------------  ------------\n",
+    );
+    if agg.is_empty() {
+        out.push_str("(no records carried metrics)\n");
+        return out;
+    }
+    for (protocol, e) in &agg {
+        out.push_str(&format!(
+            "{:<16}  {:<4}  {:<10}  {:<10}  {:<10}  {:<13}  {}\n",
+            protocol,
+            e.runs,
+            e.decision_latency.quantile(0.5),
+            e.decision_latency.quantile(0.95),
+            e.decision_latency.max(),
+            e.messages_per_decision(),
+            e.peak_pending
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +169,57 @@ mod tests {
         ];
         let agg = rollup(&rows);
         assert_eq!(agg, vec![("FloodMin", 2, 8, 0), ("Protocol A", 1, 2, 1)]);
+    }
+
+    #[test]
+    fn metrics_rollup_merges_real_runs() {
+        use crate::cells::validate_cell_with;
+        use kset_sim::MetricsConfig;
+
+        let mut records = Vec::new();
+        validate_cell_with(
+            Model::MpCrash,
+            ValidityCondition::RV1,
+            6,
+            4,
+            3,
+            0..4,
+            MetricsConfig::enabled(),
+            |r| records.push(r),
+        )
+        .unwrap()
+        .expect("solvable cell");
+        assert_eq!(records.len(), 4);
+        let agg = metrics_rollup(&records);
+        let e = &agg["FloodMin"];
+        assert_eq!(e.runs, 4);
+        assert!(e.decisions > 0);
+        assert!(e.messages_sent > 0);
+        assert!(e.decision_latency.count() == e.decisions);
+        let table = metrics_table(&records);
+        assert!(table.contains("FloodMin"));
+        assert!(table.contains("msgs/decision"));
+    }
+
+    #[test]
+    fn metrics_table_degrades_without_metrics() {
+        use crate::cells::validate_cell_with;
+        use kset_sim::MetricsConfig;
+
+        let mut records = Vec::new();
+        validate_cell_with(
+            Model::MpCrash,
+            ValidityCondition::RV1,
+            6,
+            4,
+            3,
+            0..2,
+            MetricsConfig::disabled(),
+            |r| records.push(r),
+        )
+        .unwrap()
+        .expect("solvable cell");
+        assert!(records.iter().all(|r| r.metrics.is_none()));
+        assert!(metrics_table(&records).contains("no records carried metrics"));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use kset_sim::{ProcessId, RunStats, Trace};
+use kset_sim::{ProcessId, RunMetrics, RunStats, Trace};
 
 /// Everything observable at the end of a message-passing run.
 ///
@@ -26,6 +26,9 @@ pub struct MpOutcome<V> {
     pub stats: RunStats,
     /// Recorded schedule, if tracing was enabled.
     pub trace: Trace,
+    /// Per-process counters and latency histograms, if metrics collection
+    /// was enabled via [`MpSystem::metrics`](crate::MpSystem::metrics).
+    pub metrics: Option<RunMetrics>,
 }
 
 impl<V: Clone + Ord> MpOutcome<V> {
@@ -76,6 +79,7 @@ mod tests {
             terminated: true,
             stats: RunStats::default(),
             trace: Trace::disabled(),
+            metrics: None,
         }
     }
 

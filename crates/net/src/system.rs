@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use kset_sim::{
-    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, ProcessId,
+    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, MetricsConfig, ProcessId,
     RandomScheduler, Scheduler, SimError,
 };
 
@@ -38,6 +38,7 @@ pub struct MpSystem {
     rules: Vec<DelayRule>,
     event_limit: Option<u64>,
     trace_capacity: usize,
+    metrics: MetricsConfig,
 }
 
 impl std::fmt::Debug for MpSystem {
@@ -60,6 +61,7 @@ impl MpSystem {
             rules: Vec::new(),
             event_limit: None,
             trace_capacity: 0,
+            metrics: MetricsConfig::disabled(),
         }
     }
 
@@ -107,6 +109,13 @@ impl MpSystem {
     /// Enables trace recording with the given capacity.
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Configures metrics collection; the outcome's
+    /// [`metrics`](MpOutcome::metrics) field is populated when enabled.
+    pub fn metrics(mut self, config: MetricsConfig) -> Self {
+        self.metrics = config;
         self
     }
 
@@ -187,6 +196,9 @@ impl MpSystem {
         if self.trace_capacity > 0 {
             kernel = kernel.trace_capacity(self.trace_capacity);
         }
+        if self.metrics.enabled {
+            kernel = kernel.collect_metrics(self.metrics);
+        }
 
         for pid in 0..n {
             if plan.spec(pid).kind() == kset_sim::FaultKind::Byzantine {
@@ -247,7 +259,7 @@ impl MpSystem {
                     RawAction::Decide(v) => {
                         if decisions[pid].is_none() {
                             decisions[pid] = Some(v);
-                            kernel.state_mut().mark_decided(pid);
+                            kernel.note_decision(pid);
                         }
                     }
                     RawAction::ScheduleStep => {
@@ -316,6 +328,7 @@ impl MpSystem {
             terminated,
             stats: *kernel.stats(),
             trace: kernel.trace().clone(),
+            metrics: kernel.metrics().cloned(),
         })
     }
 }
@@ -497,6 +510,56 @@ mod tests {
             .run_boxed((0..2).map(|i| MinOfQuorum::boxed(i, 2)))
             .unwrap();
         assert!(!outcome.trace.entries().is_empty());
+    }
+
+    #[test]
+    fn metrics_follow_the_run() {
+        let outcome = MpSystem::new(4)
+            .seed(3)
+            .metrics(MetricsConfig::enabled())
+            .run_boxed((0..4).map(|i| MinOfQuorum::boxed(10 + i, 4)))
+            .unwrap();
+        let m = outcome.metrics.as_ref().expect("metrics enabled");
+        // Every process broadcast once (4 sends each) and received all 16.
+        assert_eq!(m.total_messages_sent(), 16);
+        assert_eq!(
+            m.per_process.iter().map(|p| p.messages_delivered).sum::<u64>(),
+            outcome.stats.messages_delivered
+        );
+        // All four decided; decision latencies are recorded in virtual time.
+        assert_eq!(m.decisions(), 4);
+        for p in &m.per_process {
+            assert_eq!(p.messages_sent, 4);
+            assert!(p.decided_at.is_some());
+        }
+        assert!(m.peak_pending >= 4);
+        assert!(m.peak_pending_bytes > m.peak_pending);
+        // Disabled (the default) leaves the field empty.
+        let off = MpSystem::new(2)
+            .seed(3)
+            .run_boxed((0..2).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap();
+        assert!(off.metrics.is_none());
+    }
+
+    #[test]
+    fn metrics_attribute_crash_drops() {
+        let outcome = MpSystem::new(3)
+            .seed(9)
+            .metrics(MetricsConfig::enabled())
+            .fault_plan(FaultPlan::silent_crashes(3, &[0]))
+            .run_boxed((0..3).map(|i| MinOfQuorum::boxed(i, 2)))
+            .unwrap();
+        let m = outcome.metrics.unwrap();
+        // Only the crashed process loses events to cancellation.
+        assert!(m.per_process[0].events_dropped_by_crash > 0);
+        assert_eq!(m.per_process[1].events_dropped_by_crash, 0);
+        assert_eq!(m.per_process[2].events_dropped_by_crash, 0);
+        assert_eq!(
+            m.per_process.iter().map(|p| p.events_dropped_by_crash).sum::<u64>(),
+            outcome.stats.events_dropped_by_crash
+        );
+        assert!(m.per_process[0].decided_at.is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use kset_sim::{ProcessId, RunStats, Trace};
+use kset_sim::{ProcessId, RunMetrics, RunStats, Trace};
 
 use crate::register::RegisterId;
 
@@ -26,6 +26,9 @@ pub struct SmOutcome<Val, Out> {
     pub stats: RunStats,
     /// Recorded schedule, if tracing was enabled.
     pub trace: Trace,
+    /// Per-process counters and latency histograms, if metrics collection
+    /// was enabled via [`SmSystem::metrics`](crate::SmSystem::metrics).
+    pub metrics: Option<RunMetrics>,
 }
 
 impl<Val, Out: Clone + Ord> SmOutcome<Val, Out> {
@@ -77,6 +80,7 @@ mod tests {
             memory,
             stats: RunStats::default(),
             trace: Trace::disabled(),
+            metrics: None,
         }
     }
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use kset_sim::{
-    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, ProcessId,
+    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, MetricsConfig, ProcessId,
     RandomScheduler, Scheduler, SimError,
 };
 
@@ -36,6 +36,7 @@ pub struct SmSystem {
     rules: Vec<DelayRule>,
     event_limit: Option<u64>,
     trace_capacity: usize,
+    metrics: MetricsConfig,
 }
 
 impl std::fmt::Debug for SmSystem {
@@ -58,6 +59,7 @@ impl SmSystem {
             rules: Vec::new(),
             event_limit: None,
             trace_capacity: 0,
+            metrics: MetricsConfig::disabled(),
         }
     }
 
@@ -104,6 +106,13 @@ impl SmSystem {
     /// Enables trace recording with the given capacity.
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Configures metrics collection; the outcome's
+    /// [`metrics`](SmOutcome::metrics) field is populated when enabled.
+    pub fn metrics(mut self, config: MetricsConfig) -> Self {
+        self.metrics = config;
         self
     }
 
@@ -163,6 +172,9 @@ impl SmSystem {
         }
         if self.trace_capacity > 0 {
             kernel = kernel.trace_capacity(self.trace_capacity);
+        }
+        if self.metrics.enabled {
+            kernel = kernel.collect_metrics(self.metrics);
         }
 
         for pid in 0..n {
@@ -242,7 +254,7 @@ impl SmSystem {
                     RawSmAction::Decide(v) => {
                         if decisions[pid].is_none() {
                             decisions[pid] = Some(v);
-                            kernel.state_mut().mark_decided(pid);
+                            kernel.note_decision(pid);
                         }
                     }
                     RawSmAction::ScheduleStep => {
@@ -266,6 +278,7 @@ impl SmSystem {
             memory: memory.snapshot(),
             stats: *kernel.stats(),
             trace: kernel.trace().clone(),
+            metrics: kernel.metrics().cloned(),
         })
     }
 }
@@ -495,6 +508,31 @@ mod tests {
             .run(vec![Box::new(Reader) as DynSmProcess<(), ()>])
             .unwrap_err();
         assert_eq!(err, SimError::EventLimitExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn metrics_attribute_operations_to_their_issuer() {
+        let outcome = SmSystem::new(3)
+            .seed(8)
+            .metrics(MetricsConfig::enabled())
+            .run_with(|p| ScanOnceMin::boxed(100 + p as u64))
+            .unwrap();
+        assert!(outcome.terminated);
+        let m = outcome.metrics.as_ref().expect("metrics enabled");
+        // Each process issues 1 write + 3 reads = 4 operations.
+        for p in &m.per_process {
+            assert_eq!(p.ops_issued, 4);
+            assert!(p.ops_completed <= p.ops_issued);
+            assert!(p.decided_at.is_some());
+            assert_eq!(p.messages_sent, 0);
+        }
+        assert_eq!(
+            m.per_process.iter().map(|p| p.ops_completed).sum::<u64>(),
+            outcome.stats.ops_completed
+        );
+        assert_eq!(m.decisions(), 3);
+        assert!(m.op_latency.count() > 0);
+        assert!(m.delivery_latency.is_empty());
     }
 
     #[test]

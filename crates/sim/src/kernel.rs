@@ -1,7 +1,8 @@
 //! The event kernel: a pool of pending events drained by a scheduler.
 
 use crate::error::SimError;
-use crate::event::{EventId, EventMeta};
+use crate::event::{EventId, EventMeta, ProcessId};
+use crate::metrics::{MetricsCollector, MetricsConfig, RunMetrics};
 use crate::sched::Scheduler;
 use crate::state::RunState;
 use crate::trace::{RunStats, Trace, TraceEntry};
@@ -34,6 +35,10 @@ pub struct Kernel<E> {
     state: RunState,
     trace: Trace,
     stats: RunStats,
+    // Boxed so the disabled (default) path pays one pointer of space and a
+    // single branch per event; see `metrics.rs` and the
+    // `substrate/metrics_ablation` bench for the measured overhead.
+    metrics: Option<Box<MetricsCollector>>,
     time: u64,
     next_id: u64,
     event_limit: u64,
@@ -59,6 +64,7 @@ impl<E> Kernel<E> {
             state: RunState::new(0),
             trace: Trace::disabled(),
             stats: RunStats::default(),
+            metrics: None,
             time: 0,
             next_id: 0,
             event_limit: DEFAULT_EVENT_LIMIT,
@@ -79,8 +85,24 @@ impl<E> Kernel<E> {
     }
 
     /// Enables trace recording with the given capacity (builder style).
+    ///
+    /// Capacity 0 keeps tracing disabled: the hot loop skips entry
+    /// construction entirely (see [`Trace::is_enabled`]).
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace = Trace::with_capacity(capacity);
+        self
+    }
+
+    /// Configures metrics collection (builder style).
+    ///
+    /// A config with `enabled: false` leaves the kernel on the zero-cost
+    /// path, identical to never calling this.
+    pub fn collect_metrics(mut self, config: MetricsConfig) -> Self {
+        self.metrics = config.enabled.then(|| {
+            let bytes_per_event =
+                (std::mem::size_of::<EventMeta>() + std::mem::size_of::<E>()) as u64;
+            Box::new(MetricsCollector::new(config, bytes_per_event))
+        });
         self
     }
 
@@ -95,6 +117,9 @@ impl<E> Kernel<E> {
         meta.posted_at = self.time;
         self.metas.push(meta);
         self.payloads.push(payload);
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_post(&self.metas[self.metas.len() - 1], self.metas.len());
+        }
         id
     }
 
@@ -114,19 +139,25 @@ impl<E> Kernel<E> {
             });
         }
         self.state.set_now(self.time);
+        let picked_from = self.metas.len();
         let idx = self.scheduler.pick(&self.metas, &self.state);
         assert!(idx < self.metas.len(), "scheduler returned out-of-range index");
         let meta = self.metas.swap_remove(idx);
         let payload = self.payloads.swap_remove(idx);
         self.time += 1;
         self.stats.count(meta.kind);
-        self.trace.record(TraceEntry {
-            fired_at: self.time,
-            id: meta.id,
-            kind: meta.kind,
-            target: meta.target,
-            source: meta.source,
-        });
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEntry {
+                fired_at: self.time,
+                id: meta.id,
+                kind: meta.kind,
+                target: meta.target,
+                source: meta.source,
+            });
+        }
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_fire(&meta, self.time, picked_from);
+        }
         Ok(Some((meta, payload)))
     }
 
@@ -150,6 +181,9 @@ impl<E> Kernel<E> {
         let mut i = 0;
         while i < self.metas.len() {
             if pred(&self.metas[i]) {
+                if let Some(m) = self.metrics.as_deref_mut() {
+                    m.on_cancel(&self.metas[i]);
+                }
                 self.metas.swap_remove(i);
                 self.payloads.swap_remove(i);
             } else {
@@ -159,6 +193,17 @@ impl<E> Kernel<E> {
         let removed = before - self.metas.len();
         self.stats.events_dropped_by_crash += removed as u64;
         removed
+    }
+
+    /// Records that process `pid` irreversibly decided: marks it in the
+    /// [`RunState`] (so adversaries and gated schedulers observe it) and, if
+    /// metrics are enabled, stamps its decision latency with the current
+    /// virtual time. Model runtimes call this exactly once per decision.
+    pub fn note_decision(&mut self, pid: ProcessId) {
+        self.state.mark_decided(pid);
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_decide(pid, self.time);
+        }
     }
 
     /// Number of events currently pending.
@@ -184,6 +229,11 @@ impl<E> Kernel<E> {
     /// Aggregate counters of the run so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// The collected metrics, or `None` when collection is disabled.
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.metrics.as_deref().map(MetricsCollector::metrics)
     }
 
     /// The recorded trace (empty unless [`Kernel::trace_capacity`] was set).
@@ -283,6 +333,107 @@ mod tests {
         assert_eq!(entries[0].target, 3);
         assert_eq!(entries[1].kind, EventKind::MessageDelivery);
         assert_eq!(entries[1].source, Some(0));
+    }
+
+    #[test]
+    fn disabled_trace_kernel_run_is_a_true_noop() {
+        // Regression test for the capacity-0 contract: a kernel with trace
+        // recording disabled must not only keep `entries` empty but must
+        // skip `Trace::record` entirely in the hot loop — `dropped()` stays
+        // 0 no matter how many events fire.
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new());
+        for i in 0..100 {
+            k.post(step(i % 4), ());
+        }
+        while k.next_event().is_some() {}
+        assert!(k.trace().entries().is_empty());
+        assert_eq!(k.trace().dropped(), 0);
+        assert!(!k.trace().is_enabled());
+        // Explicit capacity 0 behaves identically to the default.
+        let mut k0: Kernel<()> = Kernel::new(FifoScheduler::new()).trace_capacity(0);
+        k0.post(step(0), ());
+        while k0.next_event().is_some() {}
+        assert_eq!(k0.trace().dropped(), 0);
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_by_config() {
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new());
+        k.post(step(0), ());
+        while k.next_event().is_some() {}
+        assert!(k.metrics().is_none());
+        let k2: Kernel<()> =
+            Kernel::new(FifoScheduler::new()).collect_metrics(MetricsConfig::disabled());
+        assert!(k2.metrics().is_none());
+    }
+
+    #[test]
+    fn metrics_attribute_counters_per_process() {
+        let mut k: Kernel<u32> = Kernel::with_processes(FifoScheduler::new(), 3)
+            .collect_metrics(MetricsConfig::enabled());
+        k.post(step(0), 1);
+        k.post(
+            EventMeta::new(EventKind::MessageDelivery, 1).from_process(0),
+            2,
+        );
+        k.post(
+            EventMeta::new(EventKind::MessageDelivery, 2).from_process(0),
+            3,
+        );
+        k.post(EventMeta::new(EventKind::OpResponse, 2), 4);
+        while k.next_event().is_some() {}
+        k.note_decision(2);
+        let m = k.metrics().unwrap();
+        assert_eq!(m.per_process.len(), 3);
+        assert_eq!(m.per_process[0].local_steps, 1);
+        assert_eq!(m.per_process[0].messages_sent, 2);
+        assert_eq!(m.per_process[1].messages_delivered, 1);
+        assert_eq!(m.per_process[2].messages_delivered, 1);
+        assert_eq!(m.per_process[2].ops_issued, 1);
+        assert_eq!(m.per_process[2].ops_completed, 1);
+        assert_eq!(m.per_process[2].decided_at, Some(4));
+        assert_eq!(m.total_messages_sent(), 2);
+        assert_eq!(m.decisions(), 1);
+        assert_eq!(m.peak_pending, 4);
+        assert_eq!(m.delivery_latency.count(), 2);
+        assert_eq!(m.op_latency.count(), 1);
+        assert_eq!(m.pending_depth.count(), 4);
+        assert!(k.state().has_decided(2));
+    }
+
+    #[test]
+    fn metrics_count_crash_drops_per_process() {
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new())
+            .collect_metrics(MetricsConfig::enabled());
+        k.post(step(0), ());
+        k.post(step(1), ());
+        k.post(step(0), ());
+        k.cancel_where(|m| m.target == 0);
+        let m = k.metrics().unwrap();
+        assert_eq!(m.per_process[0].events_dropped_by_crash, 2);
+        assert_eq!(m.per_process[1].events_dropped_by_crash, 0);
+    }
+
+    #[test]
+    fn metrics_delivery_latency_measures_post_to_fire() {
+        // FIFO order: the message posted first at t=0 fires at t=1
+        // (latency 1); a message posted at t=1 fires at t=2 (latency 1).
+        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new())
+            .collect_metrics(MetricsConfig::enabled());
+        k.post(
+            EventMeta::new(EventKind::MessageDelivery, 0).from_process(1),
+            (),
+        );
+        k.next_event();
+        k.post(
+            EventMeta::new(EventKind::MessageDelivery, 1).from_process(0),
+            (),
+        );
+        k.next_event();
+        let m = k.metrics().unwrap();
+        assert_eq!(m.delivery_latency.count(), 2);
+        assert_eq!(m.delivery_latency.sum(), 2);
+        assert_eq!(m.delivery_latency.max(), 1);
     }
 
     #[test]

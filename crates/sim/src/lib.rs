@@ -53,7 +53,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs, missing_debug_implementations)]
 
 mod error;
 mod event;
@@ -61,6 +61,7 @@ mod fifo_channels;
 mod fault;
 mod gate;
 mod kernel;
+mod metrics;
 mod replay;
 mod sched;
 mod state;
@@ -72,6 +73,7 @@ pub use fifo_channels::ChannelFifo;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use gate::{DelayRule, GatedScheduler, Until};
 pub use kernel::Kernel;
+pub use metrics::{Histogram, MetricsConfig, ProcessMetrics, RunMetrics, HISTOGRAM_BUCKETS};
 pub use replay::{RecordingScheduler, ReplayScheduler};
 pub use sched::{
     FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, ScriptedScheduler,

@@ -1,6 +1,6 @@
 //! Run traces and aggregate statistics.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::event::{EventId, EventKind, ProcessId};
 
@@ -34,6 +34,12 @@ pub struct Trace {
 
 impl Trace {
     /// A trace keeping at most `capacity` entries (older entries win).
+    ///
+    /// Capacity 0 produces a disabled trace: the kernel's hot loop checks
+    /// [`Trace::is_enabled`] and skips entry construction *and*
+    /// [`Trace::record`] entirely, so a capacity-0 trace observes nothing —
+    /// not even its [`Trace::dropped`] counter moves during a run. (Direct
+    /// `record` calls on a full or disabled trace still count as dropped.)
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
             entries: Vec::new(),
@@ -42,9 +48,17 @@ impl Trace {
         }
     }
 
-    /// A trace that records nothing (for benchmarks).
+    /// A trace that records nothing (for benchmarks); equivalent to
+    /// [`Trace::with_capacity`] with capacity 0.
     pub fn disabled() -> Self {
         Trace::with_capacity(0)
+    }
+
+    /// True when recording is enabled (capacity above 0). The kernel hot
+    /// loop consults this before building a [`TraceEntry`], making a
+    /// disabled trace a true no-op rather than a record-then-drop.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
     }
 
     /// Appends an entry, dropping it if the trace is full.
@@ -110,7 +124,7 @@ impl Trace {
 }
 
 /// Aggregate counters of a run, used by benches and EXPERIMENTS.md.
-#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
 pub struct RunStats {
     /// Total events fired.
     pub events_fired: u64,
@@ -164,6 +178,9 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut tr = Trace::disabled();
+        assert!(!tr.is_enabled());
+        assert!(Trace::with_capacity(0) == Trace::disabled());
+        assert!(Trace::with_capacity(1).is_enabled());
         tr.record(entry(0));
         assert!(tr.entries().is_empty());
         assert_eq!(tr.dropped(), 1);

@@ -36,7 +36,7 @@
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs, missing_debug_implementations)]
 
 pub use kset_adversary as adversary;
 pub use kset_core as core;
