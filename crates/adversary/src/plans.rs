@@ -75,6 +75,48 @@ pub fn last_t_silent(n: usize, t: usize) -> FaultPlan {
     FaultPlan::silent_crashes(n, &crashed)
 }
 
+/// Every silent-crash pattern with at most `t` crashed processes, i.e. one
+/// [`FaultPlan`] per subset of `{0, …, n-1}` of size `<= t`, starting with
+/// the failure-free plan.
+///
+/// This is the crash-pattern quantifier of the schedule-space model checker
+/// (`kset-experiments`): "the protocol solves `SC(k, t, V)`" means every
+/// schedule of every such pattern satisfies the spec, matching the
+/// exhaustive interleaving enumerator's fault model (crashed processes
+/// never take a step). The order is deterministic — by subset size, then
+/// lexicographically — so checker run records are stable across runs.
+///
+/// # Panics
+///
+/// Panics if `t > n`.
+pub fn all_silent_crash_patterns(n: usize, t: usize) -> Vec<FaultPlan> {
+    assert!(t <= n, "cannot crash more processes than exist");
+    let mut patterns = Vec::new();
+    let mut subset: Vec<ProcessId> = Vec::new();
+    for size in 0..=t {
+        subsets_of_size(n, size, 0, &mut subset, &mut patterns);
+    }
+    patterns
+}
+
+fn subsets_of_size(
+    n: usize,
+    size: usize,
+    from: ProcessId,
+    subset: &mut Vec<ProcessId>,
+    out: &mut Vec<FaultPlan>,
+) {
+    if subset.len() == size {
+        out.push(FaultPlan::silent_crashes(n, subset));
+        return;
+    }
+    for p in from..n {
+        subset.push(p);
+        subsets_of_size(n, size, p + 1, subset, out);
+        subset.pop();
+    }
+}
+
 /// A plan with exactly `t` Byzantine slots on the *first* `t` processes —
 /// the bulk fault pattern for Byzantine sweeps (the paper's constructions
 /// habitually corrupt a prefix).
@@ -144,5 +186,30 @@ mod tests {
     #[should_panic(expected = "cannot crash more processes than exist")]
     fn last_t_silent_rejects_overflow() {
         let _ = last_t_silent(3, 4);
+    }
+
+    #[test]
+    fn all_silent_crash_patterns_enumerates_subsets_in_order() {
+        // n = 4, t = 1: the failure-free pattern plus one per process.
+        let plans = all_silent_crash_patterns(4, 1);
+        let sets: Vec<Vec<usize>> = plans.iter().map(|p| p.faulty_set()).collect();
+        assert_eq!(
+            sets,
+            vec![vec![], vec![0], vec![1], vec![2], vec![3]]
+        );
+
+        // n = 4, t = 2: C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11 patterns,
+        // sized then lexicographic.
+        let plans = all_silent_crash_patterns(4, 2);
+        assert_eq!(plans.len(), 11);
+        assert_eq!(plans[5].faulty_set(), vec![0, 1]);
+        assert_eq!(plans[10].faulty_set(), vec![2, 3]);
+    }
+
+    #[test]
+    fn all_silent_crash_patterns_t_zero_is_failure_free_only() {
+        let plans = all_silent_crash_patterns(3, 0);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].failure_free());
     }
 }

@@ -1,0 +1,96 @@
+//! Model-checker workloads, so regressions in the checker's throughput
+//! show up next to the figure benchmarks:
+//!
+//! * **Single re-executed schedule**: one `execute_schedule` call is the
+//!   checker's unit of work — exploration cost is this times the number
+//!   of explored runs, so per-run overhead multiplies directly.
+//! * **Whole-cell certification**: `check_cell` on the FloodMin `n = 3`
+//!   cell certified by `model_check --smoke`, with all reductions on.
+//! * **Reduction ablation**: the same cell with sleep-set partial-order
+//!   reduction and state-digest dedup toggled off, one at a time. The
+//!   gap is what each reduction buys (the verdict is identical either
+//!   way — see `reductions_do_not_change_the_verdict`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kset_core::ValidityCondition;
+use kset_experiments::checker::{canonical_inputs, check_cell, execute_schedule, CheckerConfig};
+use kset_experiments::exhaustive::QuorumProtocol;
+use kset_sim::FaultPlan;
+
+fn bench_single_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/single_schedule");
+    for n in [4usize, 8, 16] {
+        let inputs = canonical_inputs(n);
+        let plan = FaultPlan::all_correct(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let run = execute_schedule(
+                    QuorumProtocol::FloodMin,
+                    &inputs,
+                    1,
+                    &plan,
+                    &[],
+                    true,
+                    false,
+                )
+                .expect("schedule executes");
+                assert!(run.terminated);
+                black_box(run)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn smoke_cell() -> CheckerConfig {
+    CheckerConfig::new(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1)
+}
+
+fn bench_check_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/check_cell");
+    group.sample_size(10);
+    group.bench_function("floodmin_n3_k2_t1", |b| {
+        b.iter(|| {
+            let verdict = check_cell(&smoke_cell());
+            assert!(verdict.complete && verdict.holds());
+            black_box(verdict)
+        })
+    });
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/reductions");
+    group.sample_size(10);
+    for (name, por, dedup) in [
+        ("por+dedup", true, true),
+        ("por_only", true, false),
+        ("dedup_only", false, true),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(por, dedup),
+            |b, &(por, dedup)| {
+                b.iter(|| {
+                    let mut cfg = smoke_cell();
+                    cfg.por = por;
+                    cfg.dedup = dedup;
+                    let verdict = check_cell(&cfg);
+                    assert!(verdict.complete && verdict.holds());
+                    black_box(verdict)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_schedule,
+    bench_check_cell,
+    bench_reductions
+);
+criterion_main!(benches);

@@ -1,0 +1,307 @@
+//! Systematic schedule-space model checking of the real simulator.
+//!
+//! Unlike `exhaustive_check` (analytic outcome enumeration) and
+//! `boundary_scan` (seed sampling), this binary drives the actual
+//! `MpSystem`/`SmSystem` kernels through *every* scheduler decision at
+//! small `n`, with partial-order reduction and state-digest deduplication
+//! (see `kset_experiments::checker`).
+//!
+//! Usage:
+//!
+//! ```text
+//! model_check                      # the default small-n certification run
+//! model_check --smoke              # bounded CI variant (seconds)
+//! model_check --protocol f --n 3 --k 3 --t 1 --validity SV2
+//! model_check --replay PATH        # re-execute a saved counterexample
+//! ```
+//!
+//! Flags for explicit cells: `--protocol {floodmin|a|b|e|f}`, `--n N`,
+//! `--k K`, `--t T`, `--validity {SV1|SV2|RV1|RV2|WV1|WV2}`. Bounds:
+//! `--depth D`, `--preemptions P`, `--max-runs R`, `--max-states S`.
+//! Ablation: `--no-por`, `--no-dedup`. Observability: `--progress N`
+//! (stderr counters every N runs), `--json PATH` (one `RunRecord` per
+//! explored crash pattern, schema in `OBSERVABILITY.md`). Counterexamples
+//! are written to `--counterexample PATH` (default
+//! `target/model_check/<cell>.schedule`) and replayed with `--replay`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kset_core::ValidityCondition;
+use kset_experiments::checker::{
+    check_cell, cross_validate, parse_protocol, parse_validity, read_counterexample,
+    replay_fired, to_run_records, write_counterexample, CellVerdict, CheckerConfig,
+};
+use kset_experiments::exhaustive::QuorumProtocol;
+use kset_experiments::record_sink::JsonlSink;
+
+struct Args {
+    protocol: Option<QuorumProtocol>,
+    n: Option<usize>,
+    k: Option<usize>,
+    t: Option<usize>,
+    validity: Option<ValidityCondition>,
+    depth: Option<usize>,
+    preemptions: Option<usize>,
+    max_runs: Option<u64>,
+    max_states: Option<usize>,
+    no_por: bool,
+    no_dedup: bool,
+    progress: Option<u64>,
+    counterexample: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    json: Option<PathBuf>,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        protocol: None,
+        n: None,
+        k: None,
+        t: None,
+        validity: None,
+        depth: None,
+        preemptions: None,
+        max_runs: None,
+        max_states: None,
+        no_por: false,
+        no_dedup: false,
+        progress: None,
+        counterexample: None,
+        replay: None,
+        json: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--protocol" => {
+                let raw = value("--protocol");
+                parsed.protocol =
+                    Some(parse_protocol(&raw).unwrap_or_else(|| panic!("unknown protocol {raw:?}")));
+            }
+            "--n" => parsed.n = Some(value("--n").parse().expect("--n must be a number")),
+            "--k" => parsed.k = Some(value("--k").parse().expect("--k must be a number")),
+            "--t" => parsed.t = Some(value("--t").parse().expect("--t must be a number")),
+            "--validity" => {
+                let raw = value("--validity");
+                parsed.validity =
+                    Some(parse_validity(&raw).unwrap_or_else(|| panic!("unknown validity {raw:?}")));
+            }
+            "--depth" => parsed.depth = Some(value("--depth").parse().expect("--depth")),
+            "--preemptions" => {
+                parsed.preemptions = Some(value("--preemptions").parse().expect("--preemptions"))
+            }
+            "--max-runs" => parsed.max_runs = Some(value("--max-runs").parse().expect("--max-runs")),
+            "--max-states" => {
+                parsed.max_states = Some(value("--max-states").parse().expect("--max-states"))
+            }
+            "--no-por" => parsed.no_por = true,
+            "--no-dedup" => parsed.no_dedup = true,
+            "--progress" => parsed.progress = Some(value("--progress").parse().expect("--progress")),
+            "--counterexample" => parsed.counterexample = Some(value("--counterexample").into()),
+            "--replay" => parsed.replay = Some(value("--replay").into()),
+            "--json" => parsed.json = Some(value("--json").into()),
+            "--smoke" => parsed.smoke = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn apply_bounds(cfg: &mut CheckerConfig, args: &Args) {
+    if let Some(d) = args.depth {
+        cfg.depth = d;
+    }
+    cfg.preemptions = args.preemptions.or(cfg.preemptions);
+    if let Some(r) = args.max_runs {
+        cfg.max_runs = r;
+    }
+    if let Some(s) = args.max_states {
+        cfg.max_states = s;
+    }
+    cfg.por = !args.no_por;
+    cfg.dedup = !args.no_dedup;
+    cfg.progress = args.progress;
+}
+
+fn default_counterexample_path(cfg: &CheckerConfig) -> PathBuf {
+    PathBuf::from("target/model_check").join(format!(
+        "{}_{}_n{}k{}t{}_{}.schedule",
+        kset_experiments::record_sink::model_slug(cfg.model()),
+        cfg.validity,
+        cfg.n,
+        cfg.k,
+        cfg.t,
+        cfg.protocol.name().replace(' ', ""),
+    ))
+}
+
+/// Checks one cell, printing the verdict; writes + replays a
+/// counterexample when violated; emits run records when asked. Returns
+/// whether the outcome matched `expect_holds` (`None` = any outcome is
+/// fine).
+fn run_cell(cfg: &CheckerConfig, args: &Args, expect_holds: Option<bool>) -> (bool, CellVerdict) {
+    let verdict = check_cell(cfg);
+    println!(
+        "SC(k={}, t={}, {}) for {} at n={}: {}",
+        cfg.k,
+        cfg.t,
+        cfg.validity,
+        cfg.protocol.name(),
+        cfg.n,
+        verdict
+    );
+    let mut ok = true;
+    if let Some(ce) = &verdict.counterexample {
+        let path = args
+            .counterexample
+            .clone()
+            .unwrap_or_else(|| default_counterexample_path(cfg));
+        write_counterexample(&path, cfg, ce).expect("write counterexample");
+        let saved = read_counterexample(&path).expect("re-read counterexample");
+        let (violation, divergences) = replay_fired(&saved);
+        println!(
+            "  counterexample written to {} ({} choices, {} events); replay: {} with {} divergence(s)",
+            path.display(),
+            ce.choices.len(),
+            ce.fired.len(),
+            if violation.is_some() {
+                "still violates"
+            } else {
+                "NO LONGER VIOLATES"
+            },
+            divergences,
+        );
+        if violation.is_none() || divergences != 0 {
+            ok = false;
+        }
+    }
+    if let Some(json) = &args.json {
+        let mut sink = JsonlSink::create(json).expect("create --json sink");
+        for record in to_run_records(cfg, &verdict) {
+            sink.write(&record).expect("write run record");
+        }
+        let written = sink.finish().expect("flush --json sink");
+        println!("  ({written} run records written to {})", json.display());
+    }
+    if let Some(expected) = expect_holds {
+        if verdict.holds() != expected {
+            println!(
+                "  UNEXPECTED: this cell should {}",
+                if expected { "hold" } else { "be violated" }
+            );
+            ok = false;
+        }
+    }
+    (ok, verdict)
+}
+
+/// Cross-validates the checker against the analytic enumerator on a cell
+/// where both are complete; prints and returns agreement.
+fn run_cross_validation(cfg: &CheckerConfig, verdict: &CellVerdict) -> bool {
+    let disagreements = cross_validate(cfg, verdict);
+    if disagreements.is_empty() {
+        println!(
+            "  cross-validation vs exhaustive enumeration: agree on every crash pattern"
+        );
+        true
+    } else {
+        for d in &disagreements {
+            println!("  DISAGREEMENT: {d}");
+        }
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(path) = &args.replay {
+        let saved = read_counterexample(path).expect("read counterexample");
+        let (violation, divergences) = replay_fired(&saved);
+        println!(
+            "replayed {} ({} at n={}, k={}, t={}, {}; crashed={:?}): {} divergence(s)",
+            path.display(),
+            saved.protocol.name(),
+            saved.n,
+            saved.k,
+            saved.t,
+            saved.validity,
+            saved.counterexample.crashed,
+            divergences,
+        );
+        return match violation {
+            Some(message) => {
+                println!("violation reproduced: {message}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                println!("violation NOT reproduced — protocol or kernel changed since recording");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(protocol) = args.protocol {
+        // Explicit single-cell mode.
+        let n = args.n.expect("--protocol needs --n");
+        let k = args.k.expect("--protocol needs --k");
+        let t = args.t.expect("--protocol needs --t");
+        let validity = args.validity.expect("--protocol needs --validity");
+        let mut cfg = CheckerConfig::new(protocol, n, k, t, validity);
+        apply_bounds(&mut cfg, &args);
+        let (ok, _) = run_cell(&cfg, &args, None);
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    // Certification runs: a solvable cell verified exhaustively and
+    // cross-validated, then a just-outside cell where a violating schedule
+    // must exist, be shrunk, and replay deterministically.
+    let (n_holds, n_viol) = if args.smoke { (3, 3) } else { (4, 4) };
+    let mut ok = true;
+
+    println!("=== model_check: systematic schedule exploration of the real kernel ===\n");
+    println!("[1/2] solvable cell (FloodMin, t < k — Lemma 3.1):");
+    let mut holds_cfg = CheckerConfig::new(
+        QuorumProtocol::FloodMin,
+        n_holds,
+        2,
+        1,
+        ValidityCondition::RV1,
+    );
+    apply_bounds(&mut holds_cfg, &args);
+    let (cell_ok, verdict) = run_cell(&holds_cfg, &args, Some(true));
+    ok &= cell_ok;
+    ok &= run_cross_validation(&holds_cfg, &verdict);
+
+    println!("\n[2/2] unsolvable cell (FloodMin, t >= k — outside Lemma 3.1):");
+    let mut viol_cfg = CheckerConfig::new(
+        QuorumProtocol::FloodMin,
+        n_viol,
+        if args.smoke { 1 } else { 2 },
+        if args.smoke { 1 } else { 2 },
+        ValidityCondition::RV1,
+    );
+    apply_bounds(&mut viol_cfg, &args);
+    ok &= run_cell(&viol_cfg, &args, Some(false)).0;
+
+    println!(
+        "\n{}",
+        if ok {
+            "model_check: all certifications passed"
+        } else {
+            "model_check: FAILURES (see above)"
+        }
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

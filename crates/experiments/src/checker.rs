@@ -1,0 +1,1128 @@
+//! Schedule-space model checking of the *real* simulator.
+//!
+//! The repository verifies protocols three ways, with complementary trust
+//! stories:
+//!
+//! * [`crate::exhaustive`] enumerates outcome *profiles* analytically — it
+//!   argues on paper which quorums are schedulable, then checks every
+//!   combination. Fast and complete, but it trusts a hand-written model of
+//!   each protocol's decision function.
+//! * [`crate::explorer`] (`probe_cell`) throws random seeds and partition
+//!   schedules at a cell — it runs the real code, but only samples the
+//!   schedule space.
+//! * This module closes the gap: it drives the **actual**
+//!   [`kset_net::MpSystem`] / [`kset_shmem::SmSystem`] kernels through
+//!   *every* scheduler decision at small `n`, so the verdict is both
+//!   systematic (like `exhaustive`) and about the deployed code (like
+//!   `probe_cell`).
+//!
+//! # How exploration works
+//!
+//! The checker is a *stateless* (re-execution based) explorer in the style
+//! of systematic concurrency testers: a schedule is a sequence of canonical
+//! choice indices (see [`kset_sim::ChoiceScheduler`]); the engine runs the
+//! kernel to completion under a prefix, reads the recorded
+//! [`kset_sim::ChoiceLog`] back, and pushes one work item per untried
+//! alternative at every beyond-prefix decision point. Because the kernel is
+//! deterministic given the prefix, re-execution is exact.
+//!
+//! Three reductions keep the tree tractable without losing soundness:
+//!
+//! * **No-op pruning** — events targeting decided or crashed processes
+//!   cannot change protocol state (every handler in this workspace guards
+//!   on `has_decided`, and the kernel drops deliveries to crashed
+//!   processes). The scheduler fires them eagerly as *forced* points and
+//!   the explorer never branches over them.
+//! * **Sleep sets** — two deliveries to *different* processes commute: a
+//!   handler mutates only its own process's state, and the events it posts
+//!   get distinct ids either way, which the state digest ignores. After
+//!   fully exploring the subtree that fires event `a` at a point, `a` is
+//!   put to sleep in the sibling subtrees so interleavings differing only
+//!   in the order of independent events are visited once.
+//! * **State-digest deduplication** — [`kset_sim::StateDigest`]
+//!   fingerprints of the full system state (per-process protocol state,
+//!   crash flags, decisions, shared registers, pending pool as a multiset)
+//!   let the explorer cut off a node whose state was already expanded.
+//!   Combining this with sleep sets is only sound under a subset rule: a
+//!   node is pruned only if the state was previously visited with a sleep
+//!   set **contained in** the current one (otherwise the earlier visit
+//!   explored strictly fewer successors).
+//!
+//! Crash behaviour is quantified separately: solving `SC(k, t, C)` means
+//! surviving *every* pattern of at most `t` silent crashes under every
+//! schedule, so [`check_cell`] runs one exploration per pattern from
+//! [`kset_adversary::plans::all_silent_crash_patterns`].
+//!
+//! When a run violates the `SC(k, t, C)` specification, the schedule is
+//! [shrunk][shrink_counterexample] greedily and emitted as a plain-text
+//! replay script (see [`write_counterexample`]) that the `model_check`
+//! binary can re-execute deterministically.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use kset_adversary::plans::all_silent_crash_patterns;
+use kset_core::{ProblemSpec, ValidityCondition};
+use kset_net::{DynMpProcess, MpSystem};
+use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
+use kset_regions::Model;
+use kset_shmem::{DynSmProcess, SmSystem};
+use kset_sim::{
+    ChoiceLog, ChoiceScheduler, EventId, FaultPlan, MetricsConfig, ProcessId, RunMetrics,
+    RunStats, SimError,
+};
+
+use crate::cells::DEFAULT_VALUE;
+use crate::exhaustive::QuorumProtocol;
+use crate::record_sink::{RunOutcome, RunRecord};
+
+/// The checker's input: a cell plus exploration bounds and switches.
+#[derive(Clone, Debug)]
+pub struct CheckerConfig {
+    /// Protocol under test.
+    pub protocol: QuorumProtocol,
+    /// System size (keep small: the tree is exponential in events).
+    pub n: usize,
+    /// Agreement bound of the specification.
+    pub k: usize,
+    /// Fault budget; also sizes the crash-pattern quantification.
+    pub t: usize,
+    /// Validity condition of the specification.
+    pub validity: ValidityCondition,
+    /// Maximum decision depth at which the explorer still branches;
+    /// beyond it, runs continue with defaults (the verdict is then marked
+    /// incomplete if alternatives were dropped).
+    pub depth: usize,
+    /// CHESS-style preemption bound: maximum number of branch decisions
+    /// that switch away from a process which still had an enabled event.
+    /// `None` means unbounded.
+    pub preemptions: Option<usize>,
+    /// Maximum number of executed schedules per crash pattern.
+    pub max_runs: u64,
+    /// Maximum number of cached state fingerprints per pattern; when full,
+    /// exploration continues but stops memoizing (sound, just slower).
+    pub max_states: usize,
+    /// Partial-order reduction (no-op preference + sleep sets). Disabling
+    /// explores the raw schedule tree.
+    pub por: bool,
+    /// State-digest deduplication.
+    pub dedup: bool,
+    /// Emit a progress line to stderr every this many runs.
+    pub progress: Option<u64>,
+}
+
+impl CheckerConfig {
+    /// A configuration with effectively unbounded exploration (the
+    /// practical limits `max_runs`/`max_states` still apply) and all
+    /// reductions enabled.
+    pub fn new(
+        protocol: QuorumProtocol,
+        n: usize,
+        k: usize,
+        t: usize,
+        validity: ValidityCondition,
+    ) -> Self {
+        CheckerConfig {
+            protocol,
+            n,
+            k,
+            t,
+            validity,
+            depth: usize::MAX,
+            preemptions: None,
+            max_runs: 10_000_000,
+            max_states: 1 << 22,
+            por: true,
+            dedup: true,
+            progress: None,
+        }
+    }
+
+    /// The model the cell lives in (silent crashes on either substrate).
+    pub fn model(&self) -> Model {
+        if self.protocol.shared_memory() {
+            Model::SmCrash
+        } else {
+            Model::MpCrash
+        }
+    }
+}
+
+/// The canonical model-checking inputs: process `p` starts with value `p`.
+/// All-distinct inputs maximize the number of observable decision profiles,
+/// which is what makes small-`n` verdicts meaningful.
+pub fn canonical_inputs(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// One executed schedule, distilled for the explorer.
+#[derive(Clone, Debug)]
+pub struct ScheduleRun {
+    /// The recorded decision points, one per fired event.
+    pub log: ChoiceLog,
+    /// System-state digest after each fired event (`digests[i]` is the
+    /// state `log.points[i]` produced).
+    pub digests: Vec<u64>,
+    /// Decisions by process id.
+    pub decisions: BTreeMap<ProcessId, u64>,
+    /// Faulty processes of the run.
+    pub faulty: Vec<ProcessId>,
+    /// Whether every correct process decided.
+    pub terminated: bool,
+    /// Kernel aggregate counters.
+    pub stats: RunStats,
+    /// Per-process metrics when requested.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl ScheduleRun {
+    /// Number of distinct values decided by correct processes.
+    pub fn distinct_correct_decisions(&self) -> usize {
+        let mut vals: Vec<u64> = self
+            .decisions
+            .iter()
+            .filter(|(p, _)| !self.faulty.contains(p))
+            .map(|(_, &v)| v)
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    }
+}
+
+/// Executes one schedule of `protocol` under `plan`, following `prefix`
+/// and then scheduler defaults, against the real kernel.
+///
+/// # Errors
+///
+/// Propagates simulator errors (e.g. the event limit, which bounds
+/// protocols with unbounded retries such as Protocol F).
+pub fn execute_schedule(
+    protocol: QuorumProtocol,
+    inputs: &[u64],
+    t: usize,
+    plan: &FaultPlan,
+    prefix: &[usize],
+    por: bool,
+    metrics: bool,
+) -> Result<ScheduleRun, SimError> {
+    let n = inputs.len();
+    let sched = ChoiceScheduler::new(prefix.to_vec()).prefer_noops(por);
+    let log = sched.log_handle();
+    let metrics_config = if metrics {
+        MetricsConfig::enabled()
+    } else {
+        MetricsConfig::disabled()
+    };
+    if protocol.shared_memory() {
+        let procs: Vec<DynSmProcess<u64, u64>> = (0..n)
+            .map(|p| match protocol {
+                QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                QuorumProtocol::ProtocolF => ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                _ => unreachable!("shared_memory() gates the protocol"),
+            })
+            .collect();
+        let (outcome, digests) = SmSystem::new(n)
+            .scheduler(sched)
+            .fault_plan(plan.clone())
+            .metrics(metrics_config)
+            .run_digested(procs)?;
+        Ok(ScheduleRun {
+            log: log.borrow().clone(),
+            digests,
+            decisions: outcome.decisions,
+            faulty: outcome.faulty,
+            terminated: outcome.terminated,
+            stats: outcome.stats,
+            metrics: outcome.metrics,
+        })
+    } else {
+        let procs: Vec<DynMpProcess<u64, u64>> = (0..n)
+            .map(|p| match protocol {
+                QuorumProtocol::FloodMin => FloodMin::boxed(n, t, inputs[p]),
+                QuorumProtocol::ProtocolA => ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                QuorumProtocol::ProtocolB => ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                _ => unreachable!("shared_memory() gates the protocol"),
+            })
+            .collect();
+        let (outcome, digests) = MpSystem::new(n)
+            .scheduler(sched)
+            .fault_plan(plan.clone())
+            .metrics(metrics_config)
+            .run_digested(procs)?;
+        Ok(ScheduleRun {
+            log: log.borrow().clone(),
+            digests,
+            decisions: outcome.decisions,
+            faulty: outcome.faulty,
+            terminated: outcome.terminated,
+            stats: outcome.stats,
+            metrics: outcome.metrics,
+        })
+    }
+}
+
+/// Checks one run against `SC(k, t, C)`; `Some(message)` on violation.
+fn violation_of(spec: &ProblemSpec, inputs: &[u64], run: &ScheduleRun) -> Option<String> {
+    let record = kset_core::RunRecord::new(inputs.to_vec())
+        .with_faulty(run.faulty.iter().copied())
+        .with_decisions(run.decisions.clone())
+        .with_terminated(run.terminated);
+    let report = spec.check(&record);
+    (!report.is_ok()).then(|| report.to_string())
+}
+
+/// A violating schedule, shrunk and ready for emission/replay.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counterexample {
+    /// The crash pattern under which the violation occurs.
+    pub crashed: Vec<ProcessId>,
+    /// The (shrunk) canonical choice prefix that reproduces it.
+    pub choices: Vec<usize>,
+    /// Every event id the violating run fires, in order — a
+    /// [`kset_sim::ReplayScheduler`] script.
+    pub fired: Vec<EventId>,
+    /// The specification violations of the run.
+    pub violation: String,
+}
+
+/// Verdict of exploring one crash pattern's schedule tree.
+#[derive(Clone, Debug)]
+pub struct PatternVerdict {
+    /// The silently-crashed processes.
+    pub crashed: Vec<ProcessId>,
+    /// Schedules executed.
+    pub runs: u64,
+    /// Distinct state fingerprints cached.
+    pub states: usize,
+    /// Branches skipped because the alternative was asleep.
+    pub sleep_skips: u64,
+    /// Nodes cut off by state-digest deduplication.
+    pub dedup_hits: u64,
+    /// Whether the tree was explored exhaustively (no bound truncated it).
+    /// Meaningless once a violation is found — the search stops early.
+    pub complete: bool,
+    /// Largest number of distinct correct decisions observed in any run.
+    pub worst_agreement: usize,
+    /// The first violation found, already shrunk.
+    pub violation: Option<Counterexample>,
+}
+
+/// One sleeping event: put to sleep after its subtree was fully explored,
+/// woken (removed) by firing any *dependent* event — one with the same
+/// target process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct SleepEntry {
+    id: EventId,
+    target: ProcessId,
+}
+
+/// `a ⊆ b` by event id.
+fn sleep_subset(a: &[SleepEntry], b: &[SleepEntry]) -> bool {
+    a.iter().all(|x| b.iter().any(|y| y.id == x.id))
+}
+
+/// One work item of the re-execution DFS: run `prefix`, then branch on the
+/// beyond-prefix decision points.
+struct WorkItem {
+    prefix: Vec<usize>,
+    sleep: Vec<SleepEntry>,
+    preemptions: usize,
+}
+
+/// Explores every schedule of `protocol` under one crash pattern,
+/// checking each completed run against `spec`. Stops at the first
+/// violation (unshrunk; [`check_cell`] shrinks it).
+///
+/// # Panics
+///
+/// Panics on simulator configuration errors (the checker builds its own
+/// systems, so these are bugs, not inputs).
+pub fn explore_pattern(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    plan: &FaultPlan,
+) -> PatternVerdict {
+    let crashed = plan.faulty_set();
+    let mut verdict = PatternVerdict {
+        crashed: crashed.clone(),
+        runs: 0,
+        states: 0,
+        sleep_skips: 0,
+        dedup_hits: 0,
+        complete: true,
+        worst_agreement: 0,
+        violation: None,
+    };
+    // Node fingerprints already expanded, with the sleep sets they were
+    // expanded under (the subset rule needs them all, not just the first).
+    let mut visited: HashMap<u64, Vec<Vec<SleepEntry>>> = HashMap::new();
+    let mut stack: Vec<WorkItem> = vec![WorkItem {
+        prefix: Vec::new(),
+        sleep: Vec::new(),
+        preemptions: 0,
+    }];
+
+    while let Some(item) = stack.pop() {
+        if verdict.runs >= cfg.max_runs {
+            verdict.complete = false;
+            break;
+        }
+        let run = execute_schedule(
+            cfg.protocol,
+            inputs,
+            cfg.t,
+            plan,
+            &item.prefix,
+            cfg.por,
+            false,
+        )
+        .expect("checker-built system configurations are valid");
+        verdict.runs += 1;
+        if let Some(every) = cfg.progress {
+            if verdict.runs % every == 0 {
+                eprintln!(
+                    "[model_check] {} crashed={:?}: {} runs, {} states, {} frontier, {} dedup hits, {} sleep skips",
+                    cfg.protocol.name(),
+                    crashed,
+                    verdict.runs,
+                    verdict.states,
+                    stack.len(),
+                    verdict.dedup_hits,
+                    verdict.sleep_skips,
+                );
+            }
+        }
+
+        verdict.worst_agreement = verdict
+            .worst_agreement
+            .max(run.distinct_correct_decisions());
+        if let Some(message) = violation_of(spec, inputs, &run) {
+            verdict.violation = Some(Counterexample {
+                crashed: crashed.clone(),
+                choices: run.log.taken_indices(),
+                fired: run.log.fired_ids(),
+                violation: message,
+            });
+            break;
+        }
+
+        // Walk the beyond-prefix decision points, enqueueing siblings.
+        let mut sleep = item.sleep;
+        let taken = run.log.taken_indices();
+        for d in item.prefix.len()..run.log.points.len() {
+            let point = &run.log.points[d];
+
+            // Deduplicate on the state this point decides from (the state
+            // after d fired events; the root state, d = 0, is unique per
+            // pattern anyway).
+            if cfg.dedup && d > 0 {
+                let fingerprint = run.digests[d - 1];
+                let seen = visited.entry(fingerprint).or_default();
+                if seen.iter().any(|s| sleep_subset(s, &sleep)) {
+                    verdict.dedup_hits += 1;
+                    break;
+                }
+                if verdict.states < cfg.max_states {
+                    seen.push(sleep.clone());
+                    verdict.states += 1;
+                }
+            }
+
+            let taken_meta = point.taken_meta();
+            if !point.forced {
+                if d >= cfg.depth {
+                    // Depth bound: drop this point's alternatives.
+                    let dropped = point.options.iter().enumerate().any(|(i, o)| {
+                        i != point.taken
+                            && !o.noop
+                            && !sleep.iter().any(|s| s.id == o.meta.id)
+                    });
+                    if dropped {
+                        verdict.complete = false;
+                    }
+                } else {
+                    let prev_target =
+                        (d > 0).then(|| run.log.points[d - 1].taken_meta().target);
+                    // Alternatives in canonical order; `explored` grows so
+                    // each later sibling sleeps on the earlier ones (their
+                    // subtrees complete first under LIFO scheduling).
+                    let mut explored = vec![SleepEntry {
+                        id: taken_meta.id,
+                        target: taken_meta.target,
+                    }];
+                    let mut children: Vec<WorkItem> = Vec::new();
+                    for (i, opt) in point.options.iter().enumerate() {
+                        if i == point.taken || opt.noop {
+                            continue;
+                        }
+                        if sleep.iter().any(|s| s.id == opt.meta.id) {
+                            verdict.sleep_skips += 1;
+                            continue;
+                        }
+                        let mut preemptions = item.preemptions;
+                        if let Some(bound) = cfg.preemptions {
+                            let preempts = prev_target.is_some_and(|prev| {
+                                opt.meta.target != prev
+                                    && point
+                                        .options
+                                        .iter()
+                                        .any(|o| !o.noop && o.meta.target == prev)
+                            });
+                            if preempts {
+                                preemptions += 1;
+                            }
+                            if preemptions > bound {
+                                verdict.complete = false;
+                                continue;
+                            }
+                        }
+                        let mut prefix = taken[..d].to_vec();
+                        prefix.push(i);
+                        let child_sleep: Vec<SleepEntry> = sleep
+                            .iter()
+                            .chain(explored.iter())
+                            .filter(|s| s.target != opt.meta.target)
+                            .copied()
+                            .collect();
+                        children.push(WorkItem {
+                            prefix,
+                            sleep: child_sleep,
+                            preemptions,
+                        });
+                        explored.push(SleepEntry {
+                            id: opt.meta.id,
+                            target: opt.meta.target,
+                        });
+                    }
+                    // Reverse so the canonically-first sibling pops first;
+                    // its whole subtree finishes before the next sibling,
+                    // which is what the accumulated sleep sets assume.
+                    for child in children.into_iter().rev() {
+                        stack.push(child);
+                    }
+                }
+            }
+            // Firing the taken event wakes its dependents.
+            sleep.retain(|s| s.target != taken_meta.target);
+        }
+    }
+    verdict
+}
+
+/// Greedily shrinks a violating choice prefix: first each entry is driven
+/// towards the canonical default `0`, then the tail is trimmed while the
+/// violation persists. Every step re-executes the real kernel, so the
+/// result is a genuine, minimal-ish witness — and the procedure is
+/// deterministic, so the emitted script is stable across re-runs.
+pub fn shrink_counterexample(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    plan: &FaultPlan,
+    choices: Vec<usize>,
+) -> Counterexample {
+    let still_violates = |prefix: &[usize]| -> bool {
+        execute_schedule(cfg.protocol, inputs, cfg.t, plan, prefix, cfg.por, false)
+            .ok()
+            .is_some_and(|run| violation_of(spec, inputs, &run).is_some())
+    };
+    let mut best = choices;
+    for i in 0..best.len() {
+        if best[i] != 0 {
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            if still_violates(&candidate) {
+                best = candidate;
+            }
+        }
+    }
+    while !best.is_empty() && still_violates(&best[..best.len() - 1]) {
+        best.pop();
+    }
+    let run = execute_schedule(cfg.protocol, inputs, cfg.t, plan, &best, cfg.por, false)
+        .expect("shrunk prefix replays");
+    let violation = violation_of(spec, inputs, &run)
+        .expect("shrinking preserves the violation");
+    Counterexample {
+        crashed: plan.faulty_set(),
+        choices: best,
+        fired: run.log.fired_ids(),
+        violation,
+    }
+}
+
+/// Verdict of model-checking one cell across every crash pattern.
+#[derive(Clone, Debug)]
+pub struct CellVerdict {
+    /// Per-pattern results, in [`all_silent_crash_patterns`] order. The
+    /// search stops at the first violating pattern, so later patterns may
+    /// be absent.
+    pub patterns: Vec<PatternVerdict>,
+    /// Worst agreement across all explored patterns and schedules.
+    pub worst_agreement: usize,
+    /// Whether every pattern was explored exhaustively.
+    pub complete: bool,
+    /// Total schedules executed.
+    pub runs: u64,
+    /// The first violation found (shrunk), if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CellVerdict {
+    /// Whether the protocol solves the cell as far as the exploration saw:
+    /// no violating schedule in any explored pattern.
+    pub fn holds(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+impl fmt::Display for CellVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} over {} crash pattern(s): {} runs, worst agreement {}{}",
+            if self.holds() { "HOLDS" } else { "VIOLATED" },
+            self.patterns.len(),
+            self.runs,
+            self.worst_agreement,
+            if self.complete { "" } else { " (bounded)" },
+        )?;
+        if let Some(ce) = &self.counterexample {
+            write!(
+                f,
+                "; counterexample: crashed={:?}, {} choice(s), {}",
+                ce.crashed,
+                ce.choices.len(),
+                ce.violation
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Model-checks `SC(k, t, C)` for the configured protocol and cell:
+/// explores every schedule of every crash pattern of at most `t` silent
+/// crashes, stopping at (and shrinking) the first violation.
+///
+/// # Panics
+///
+/// Panics if the cell coordinates are rejected by [`ProblemSpec::new`].
+pub fn check_cell(cfg: &CheckerConfig) -> CellVerdict {
+    let inputs = canonical_inputs(cfg.n);
+    let spec = ProblemSpec::new(cfg.n, cfg.k, cfg.t, cfg.validity)
+        .expect("checker cell coordinates are valid");
+    let mut verdict = CellVerdict {
+        patterns: Vec::new(),
+        worst_agreement: 0,
+        complete: true,
+        runs: 0,
+        counterexample: None,
+    };
+    for plan in all_silent_crash_patterns(cfg.n, cfg.t) {
+        let mut pattern = explore_pattern(cfg, &inputs, &spec, &plan);
+        verdict.worst_agreement = verdict.worst_agreement.max(pattern.worst_agreement);
+        verdict.runs += pattern.runs;
+        verdict.complete &= pattern.complete;
+        if let Some(raw) = pattern.violation.take() {
+            let shrunk = shrink_counterexample(cfg, &inputs, &spec, &plan, raw.choices);
+            pattern.violation = Some(shrunk.clone());
+            verdict.patterns.push(pattern);
+            verdict.counterexample = Some(shrunk);
+            break;
+        }
+        verdict.patterns.push(pattern);
+    }
+    verdict
+}
+
+/// Re-runs one representative schedule per explored pattern with metrics
+/// enabled and packages each as a [`RunRecord`] for the JSONL pipeline
+/// (`OBSERVABILITY.md`). The record's `seed` field carries the crash
+/// pattern's index — the checker is seedless — and the protocol is tagged
+/// `MC(<name>)` so checker records are distinguishable from seed sweeps.
+pub fn to_run_records(cfg: &CheckerConfig, verdict: &CellVerdict) -> Vec<RunRecord> {
+    let inputs = canonical_inputs(cfg.n);
+    verdict
+        .patterns
+        .iter()
+        .enumerate()
+        .map(|(index, pattern)| {
+            let plan = FaultPlan::silent_crashes(cfg.n, &pattern.crashed);
+            let prefix: Vec<usize> = pattern
+                .violation
+                .as_ref()
+                .map(|ce| ce.choices.clone())
+                .unwrap_or_default();
+            let run = execute_schedule(
+                cfg.protocol,
+                &inputs,
+                cfg.t,
+                &plan,
+                &prefix,
+                cfg.por,
+                true,
+            )
+            .expect("explored patterns replay");
+            let violation = pattern
+                .violation
+                .as_ref()
+                .map(|ce| ce.violation.clone());
+            RunRecord::new(
+                cfg.model(),
+                cfg.validity,
+                cfg.n,
+                cfg.k,
+                cfg.t,
+                index as u64,
+                format!("MC({})", cfg.protocol.name()),
+                RunOutcome {
+                    terminated: run.terminated,
+                    decided: run.decisions.len(),
+                    distinct_decisions: run.distinct_correct_decisions(),
+                    violation,
+                },
+                run.stats,
+                run.metrics,
+            )
+        })
+        .collect()
+}
+
+/// Cross-validates a [`check_cell`] verdict against the analytic
+/// enumerator: both must agree, per crash pattern, on the worst-case
+/// agreement and on whether `SC(k, t, C)` holds. Returns the
+/// disagreements (empty = the two verification routes confirm each
+/// other).
+///
+/// Only meaningful for complete (unbounded) explorations; bounded runs
+/// can legitimately under-approximate `worst_agreement`.
+pub fn cross_validate(cfg: &CheckerConfig, verdict: &CellVerdict) -> Vec<String> {
+    let inputs = canonical_inputs(cfg.n);
+    let mut disagreements = Vec::new();
+    if !verdict.complete {
+        disagreements.push("exploration was bounded; comparison void".to_string());
+        return disagreements;
+    }
+    let mut analytic_worst = 0;
+    let mut analytic_violated = false;
+    for plan in all_silent_crash_patterns(cfg.n, cfg.t) {
+        let crashed = plan.faulty_set();
+        let report = crate::exhaustive::verify(cfg.protocol, &inputs, cfg.t, &crashed, 1 << 40)
+            .expect("small-n enumerations fit any budget");
+        analytic_worst = analytic_worst.max(report.worst_agreement);
+        analytic_violated |= !report.satisfies(cfg.k, cfg.validity);
+        // The checker stops at the first violating pattern, so per-pattern
+        // agreement is only comparable while both sides are clean.
+        if let Some(pattern) = verdict
+            .patterns
+            .iter()
+            .find(|p| p.crashed == crashed && p.violation.is_none())
+        {
+            if pattern.worst_agreement != report.worst_agreement {
+                disagreements.push(format!(
+                    "crashed={crashed:?}: checker worst agreement {} vs analytic {}",
+                    pattern.worst_agreement, report.worst_agreement
+                ));
+            }
+        }
+    }
+    if verdict.holds() == analytic_violated {
+        disagreements.push(format!(
+            "checker says SC({}, {}, {}) {}, analytic enumeration says {}",
+            cfg.k,
+            cfg.t,
+            cfg.validity,
+            if verdict.holds() { "holds" } else { "fails" },
+            if analytic_violated { "fails" } else { "holds" },
+        ));
+    }
+    disagreements
+}
+
+/// Parses a protocol name as accepted by the `model_check` binary:
+/// the display name (case-insensitive, spaces optional) or the short
+/// forms `floodmin`/`a`/`b`/`e`/`f`.
+pub fn parse_protocol(arg: &str) -> Option<QuorumProtocol> {
+    let norm: String = arg
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    Some(match norm.as_str() {
+        "floodmin" => QuorumProtocol::FloodMin,
+        "a" | "protocola" => QuorumProtocol::ProtocolA,
+        "b" | "protocolb" => QuorumProtocol::ProtocolB,
+        "e" | "protocole" => QuorumProtocol::ProtocolE,
+        "f" | "protocolf" => QuorumProtocol::ProtocolF,
+        _ => return None,
+    })
+}
+
+/// Parses a validity condition by its display name (case-insensitive).
+pub fn parse_validity(arg: &str) -> Option<ValidityCondition> {
+    ValidityCondition::ALL
+        .into_iter()
+        .find(|v| v.to_string().eq_ignore_ascii_case(arg.trim()))
+}
+
+/// A counterexample file read back from disk (see [`write_counterexample`]
+/// for the format).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SavedCounterexample {
+    /// Protocol the schedule violates.
+    pub protocol: QuorumProtocol,
+    /// System size.
+    pub n: usize,
+    /// Agreement bound.
+    pub k: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Validity condition.
+    pub validity: ValidityCondition,
+    /// The violating crash pattern and schedule.
+    pub counterexample: Counterexample,
+}
+
+/// Writes a counterexample as a plain-text replay script:
+///
+/// ```text
+/// # kset model_check counterexample v1
+/// # protocol: FloodMin
+/// # n: 4
+/// # k: 2
+/// # t: 2
+/// # validity: RV1
+/// # crashed:
+/// # choices: 3 6
+/// # violation: agreement violated: ...
+/// 0
+/// 4
+/// ...
+/// ```
+///
+/// Header lines carry the cell and the shrunk choice prefix; each body
+/// line is one fired event id, in order — the exact
+/// [`kset_sim::ReplayScheduler`] script of the violating run. The format
+/// is deliberately line-based and deterministic: re-running the checker on
+/// an unchanged workspace produces a byte-identical file, so these scripts
+/// can be committed as regression pins.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_counterexample(
+    path: &Path,
+    cfg: &CheckerConfig,
+    ce: &Counterexample,
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = Vec::new();
+    writeln!(out, "# kset model_check counterexample v1")?;
+    writeln!(out, "# protocol: {}", cfg.protocol.name())?;
+    writeln!(out, "# n: {}", cfg.n)?;
+    writeln!(out, "# k: {}", cfg.k)?;
+    writeln!(out, "# t: {}", cfg.t)?;
+    writeln!(out, "# validity: {}", cfg.validity)?;
+    writeln!(
+        out,
+        "# crashed:{}",
+        ce.crashed
+            .iter()
+            .map(|p| format!(" {p}"))
+            .collect::<String>()
+    )?;
+    writeln!(
+        out,
+        "# choices:{}",
+        ce.choices.iter().map(|c| format!(" {c}")).collect::<String>()
+    )?;
+    writeln!(out, "# violation: {}", ce.violation.replace('\n', "; "))?;
+    for id in &ce.fired {
+        writeln!(out, "{}", id.as_u64())?;
+    }
+    fs::write(path, out)
+}
+
+/// Reads a counterexample script written by [`write_counterexample`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on malformed headers or body.
+pub fn read_counterexample(path: &Path) -> io::Result<SavedCounterexample> {
+    let text = fs::read_to_string(path)?;
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    let mut fired = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some((key, value)) = rest.split_once(':') {
+                fields.insert(key.trim(), value.trim());
+            }
+        } else if !line.trim().is_empty() {
+            let raw: u64 = line
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("bad event id {line:?}: {e}")))?;
+            fired.push(EventId::from_u64(raw));
+        }
+    }
+    let field = |key: &str| {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| bad(format!("missing header '# {key}: ...'")))
+    };
+    let num = |key: &str| -> io::Result<usize> {
+        field(key)?
+            .parse()
+            .map_err(|e| bad(format!("bad {key}: {e}")))
+    };
+    let list = |key: &str| -> io::Result<Vec<usize>> {
+        field(key)?
+            .split_whitespace()
+            .map(|w| w.parse().map_err(|e| bad(format!("bad {key}: {e}"))))
+            .collect()
+    };
+    let protocol = parse_protocol(field("protocol")?)
+        .ok_or_else(|| bad(format!("unknown protocol {:?}", fields["protocol"])))?;
+    let validity = parse_validity(field("validity")?)
+        .ok_or_else(|| bad(format!("unknown validity {:?}", fields["validity"])))?;
+    Ok(SavedCounterexample {
+        protocol,
+        n: num("n")?,
+        k: num("k")?,
+        t: num("t")?,
+        validity,
+        counterexample: Counterexample {
+            crashed: list("crashed")?,
+            choices: list("choices")?,
+            fired,
+            violation: field("violation")?.to_string(),
+        },
+    })
+}
+
+/// Replays a saved counterexample deterministically via its choice prefix
+/// and re-checks the specification. Returns the replayed run and its
+/// violation message (`None` means the script no longer violates — i.e.
+/// the protocol or kernel changed since the script was recorded).
+pub fn replay_counterexample(saved: &SavedCounterexample) -> (ScheduleRun, Option<String>) {
+    let inputs = canonical_inputs(saved.n);
+    let spec = ProblemSpec::new(saved.n, saved.k, saved.t, saved.validity)
+        .expect("saved cell coordinates are valid");
+    let plan = FaultPlan::silent_crashes(saved.n, &saved.counterexample.crashed);
+    let run = execute_schedule(
+        saved.protocol,
+        &inputs,
+        saved.t,
+        &plan,
+        &saved.counterexample.choices,
+        true,
+        false,
+    )
+    .expect("saved schedules replay");
+    let violation = violation_of(&spec, &inputs, &run);
+    (run, violation)
+}
+
+/// Replays the *fired id* body of a saved counterexample through a
+/// [`kset_sim::ReplayScheduler`] and re-checks the specification.
+///
+/// Returns the violation message (`None` if the script no longer
+/// violates) and the scheduler's divergence count — `0` means every
+/// scripted id was found pending when its turn came, i.e. the replay
+/// reproduced the recorded run event-for-event.
+pub fn replay_fired(saved: &SavedCounterexample) -> (Option<String>, u64) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let inputs = canonical_inputs(saved.n);
+    let spec = ProblemSpec::new(saved.n, saved.k, saved.t, saved.validity)
+        .expect("saved cell coordinates are valid");
+    let plan = FaultPlan::silent_crashes(saved.n, &saved.counterexample.crashed);
+    let sched = Rc::new(RefCell::new(kset_sim::ReplayScheduler::new(
+        saved.counterexample.fired.iter().copied(),
+    )));
+    let (n, t) = (saved.n, saved.t);
+    let (decisions, faulty, terminated) = if saved.protocol.shared_memory() {
+        let outcome = SmSystem::new(n)
+            .scheduler(Rc::clone(&sched))
+            .fault_plan(plan)
+            .run_with(|p| match saved.protocol {
+                QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                QuorumProtocol::ProtocolF => ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                _ => unreachable!("shared_memory() gates the protocol"),
+            })
+            .expect("saved schedules replay");
+        (outcome.decisions, outcome.faulty, outcome.terminated)
+    } else {
+        let outcome = MpSystem::new(n)
+            .scheduler(Rc::clone(&sched))
+            .fault_plan(plan)
+            .run_with(|p| match saved.protocol {
+                QuorumProtocol::FloodMin => FloodMin::boxed(n, t, inputs[p]),
+                QuorumProtocol::ProtocolA => ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                QuorumProtocol::ProtocolB => ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE),
+                _ => unreachable!("shared_memory() gates the protocol"),
+            })
+            .expect("saved schedules replay");
+        (outcome.decisions, outcome.faulty, outcome.terminated)
+    };
+    let record = kset_core::RunRecord::new(inputs)
+        .with_faulty(faulty.iter().copied())
+        .with_decisions(decisions)
+        .with_terminated(terminated);
+    let report = spec.check(&record);
+    let violation = (!report.is_ok()).then(|| report.to_string());
+    let divergences = sched.borrow().divergences();
+    (violation, divergences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(
+        protocol: QuorumProtocol,
+        n: usize,
+        k: usize,
+        t: usize,
+        validity: ValidityCondition,
+    ) -> CheckerConfig {
+        CheckerConfig::new(protocol, n, k, t, validity)
+    }
+
+    #[test]
+    fn floodmin_n3_t1_k2_holds_and_matches_exhaustive() {
+        let cfg = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        let disagreements = cross_validate(&cfg, &check_cell(&cfg));
+        assert!(disagreements.is_empty(), "{disagreements:?}");
+    }
+
+    #[test]
+    fn floodmin_consensus_with_crashes_is_violated_and_shrinks() {
+        // k = 1 (consensus) with t = 1 is unsolvable (t >= k); the checker
+        // must find a schedule with two distinct decisions.
+        let cfg = cfg(QuorumProtocol::FloodMin, 3, 1, 1, ValidityCondition::RV1);
+        let verdict = check_cell(&cfg);
+        assert!(!verdict.holds());
+        let ce = verdict.counterexample.expect("violation found");
+        assert!(ce.violation.contains("greement"), "{}", ce.violation);
+        // The shrunk prefix still reproduces, and replay is exact.
+        let saved = SavedCounterexample {
+            protocol: cfg.protocol,
+            n: cfg.n,
+            k: cfg.k,
+            t: cfg.t,
+            validity: cfg.validity,
+            counterexample: ce,
+        };
+        let (_, violation) = replay_counterexample(&saved);
+        assert!(violation.is_some());
+        // The fired-id script replays exactly: zero divergences.
+        let (violation, divergences) = replay_fired(&saved);
+        assert!(violation.is_some());
+        assert_eq!(divergences, 0);
+    }
+
+    #[test]
+    fn protocol_a_n3_t1_k2_rv2_matches_exhaustive() {
+        let cfg = cfg(QuorumProtocol::ProtocolA, 3, 2, 1, ValidityCondition::RV2);
+        let disagreements = cross_validate(&cfg, &check_cell(&cfg));
+        assert!(disagreements.is_empty(), "{disagreements:?}");
+    }
+
+    #[test]
+    fn protocol_e_n3_t1_k2_rv2_matches_exhaustive() {
+        // Shared-memory substrate: digests cover registers too.
+        let cfg = cfg(QuorumProtocol::ProtocolE, 3, 2, 1, ValidityCondition::RV2);
+        let disagreements = cross_validate(&cfg, &check_cell(&cfg));
+        assert!(disagreements.is_empty(), "{disagreements:?}");
+    }
+
+    #[test]
+    fn reductions_do_not_change_the_verdict() {
+        // The reduced and the raw tree must agree on worst agreement —
+        // the soundness smoke test for sleep sets + dedup.
+        let mut reduced = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        let mut raw = reduced.clone();
+        raw.por = false;
+        raw.dedup = false;
+        raw.max_runs = 300_000;
+        reduced.max_runs = 300_000;
+        let rv = check_cell(&reduced);
+        let bv = check_cell(&raw);
+        assert!(rv.complete && bv.complete, "raise max_runs");
+        assert_eq!(rv.worst_agreement, bv.worst_agreement);
+        assert_eq!(rv.holds(), bv.holds());
+        // And the reductions actually reduce.
+        assert!(rv.runs < bv.runs, "{} !< {}", rv.runs, bv.runs);
+    }
+
+    #[test]
+    fn counterexample_files_roundtrip_and_are_byte_stable() {
+        let cfg = cfg(QuorumProtocol::FloodMin, 3, 1, 1, ValidityCondition::RV1);
+        let verdict = check_cell(&cfg);
+        let ce = verdict.counterexample.expect("violation found");
+        let dir = std::env::temp_dir().join("kset_checker_test");
+        let path = dir.join("ce.schedule");
+        write_counterexample(&path, &cfg, &ce).unwrap();
+        let bytes1 = fs::read(&path).unwrap();
+        let saved = read_counterexample(&path).unwrap();
+        assert_eq!(saved.counterexample, ce);
+        assert_eq!(saved.protocol, cfg.protocol);
+        // A second full run of the checker emits the identical file.
+        let verdict2 = check_cell(&cfg);
+        write_counterexample(&path, &cfg, verdict2.counterexample.as_ref().unwrap()).unwrap();
+        let bytes2 = fs::read(&path).unwrap();
+        assert_eq!(bytes1, bytes2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_records_cover_each_explored_pattern() {
+        let cfg = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        let verdict = check_cell(&cfg);
+        let records = to_run_records(&cfg, &verdict);
+        // n = 3, t = 1: failure-free + one pattern per process.
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.protocol == "MC(FloodMin)"));
+        assert!(records.iter().all(|r| r.outcome.clean()));
+        assert!(records.iter().all(|r| r.metrics.is_some()));
+    }
+
+    #[test]
+    fn depth_bound_marks_verdict_incomplete() {
+        let mut shallow = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        shallow.depth = 1;
+        let verdict = check_cell(&shallow);
+        assert!(!verdict.complete);
+    }
+
+    #[test]
+    fn preemption_bound_zero_explores_fewer_schedules() {
+        let full = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        let mut bounded = full.clone();
+        bounded.preemptions = Some(0);
+        let fv = check_cell(&full);
+        let bv = check_cell(&bounded);
+        assert!(bv.runs <= fv.runs);
+    }
+
+    #[test]
+    fn parsers_accept_the_documented_forms() {
+        assert_eq!(parse_protocol("FloodMin"), Some(QuorumProtocol::FloodMin));
+        assert_eq!(parse_protocol("protocol a"), Some(QuorumProtocol::ProtocolA));
+        assert_eq!(parse_protocol("f"), Some(QuorumProtocol::ProtocolF));
+        assert_eq!(parse_protocol("nonsense"), None);
+        assert_eq!(parse_validity("rv1"), Some(ValidityCondition::RV1));
+        assert_eq!(parse_validity("bogus"), None);
+    }
+}

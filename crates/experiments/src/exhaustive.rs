@@ -51,7 +51,8 @@ pub enum QuorumProtocol {
 }
 
 impl QuorumProtocol {
-    fn name(self) -> &'static str {
+    /// The protocol's display name, as used in reports and run records.
+    pub fn name(self) -> &'static str {
         match self {
             QuorumProtocol::FloodMin => "FloodMin",
             QuorumProtocol::ProtocolA => "Protocol A",
@@ -63,7 +64,7 @@ impl QuorumProtocol {
 
     /// Whether the protocol runs on shared memory (first-writer constraint
     /// applies).
-    fn shared_memory(self) -> bool {
+    pub fn shared_memory(self) -> bool {
         matches!(self, QuorumProtocol::ProtocolE | QuorumProtocol::ProtocolF)
     }
 

@@ -22,6 +22,7 @@
 #![deny(missing_docs, missing_debug_implementations)]
 
 pub mod cells;
+pub mod checker;
 pub mod figures;
 pub mod counterexamples;
 pub mod exhaustive;

@@ -148,6 +148,20 @@ pub trait MpProcess {
     fn on_step(&mut self, ctx: &mut MpContext<'_, Self::Msg, Self::Output>) {
         let _ = ctx;
     }
+
+    /// A stable fingerprint of this process's protocol state, used by the
+    /// model checker to deduplicate explored system states (see
+    /// `kset_sim::StateDigest` and `MpSystem::run_digested`).
+    ///
+    /// Two system states whose digests agree are treated as interchangeable
+    /// by the checker, so an override must hash *every* state field that
+    /// influences future behaviour. The default (a constant) makes distinct
+    /// internal states collide and is only safe when state-digest
+    /// deduplication is disabled — every protocol in this workspace
+    /// overrides it.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed process with erased concrete type, the unit the runtime stores.
@@ -170,6 +184,10 @@ impl<M: Clone, V> MpProcess for DynMpProcess<M, V> {
 
     fn on_step(&mut self, ctx: &mut MpContext<'_, M, V>) {
         (**self).on_step(ctx)
+    }
+
+    fn state_digest(&self) -> u64 {
+        (**self).state_digest()
     }
 }
 

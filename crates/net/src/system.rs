@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 
 use kset_sim::{
-    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, MetricsConfig, ProcessId,
-    RandomScheduler, Scheduler, SimError,
+    DelayRule, EventKind, EventMeta, FaultPlan, Fnv64, GatedScheduler, Kernel, MetricsConfig,
+    ProcessId, RandomScheduler, Scheduler, SimError, StateDigest,
 };
 
 use crate::outcome::MpOutcome;
@@ -160,7 +160,47 @@ impl MpSystem {
     ///   outside `0..n`.
     pub fn run<M: Clone, V>(
         self,
+        procs: Vec<DynMpProcess<M, V>>,
+    ) -> Result<MpOutcome<V>, SimError> {
+        self.run_core(procs, |_, _, _| {})
+    }
+
+    /// Runs the system like [`MpSystem::run`], additionally computing a
+    /// stable digest of the whole system state after every fired event.
+    ///
+    /// `digests[i]` fingerprints the state reached after the `i`-th event:
+    /// every process's [`crate::MpProcess::state_digest`], its crashed flag and
+    /// decision, plus an order-insensitive multiset hash of the pending
+    /// event pool (kind, target, source, payload). Event *ids* are
+    /// deliberately excluded, so two schedules reaching the same protocol
+    /// state digest equal — the property the model checker's state
+    /// deduplication relies on.
+    ///
+    /// # Errors
+    ///
+    /// See [`MpSystem::run`].
+    pub fn run_digested<M, V>(
+        self,
+        procs: Vec<DynMpProcess<M, V>>,
+    ) -> Result<(MpOutcome<V>, Vec<u64>), SimError>
+    where
+        M: Clone + StateDigest,
+        V: StateDigest,
+    {
+        let mut digests = Vec::new();
+        let outcome = self.run_core(procs, |kernel, procs, decisions| {
+            digests.push(mp_state_digest(kernel, procs, decisions));
+        })?;
+        Ok((outcome, digests))
+    }
+
+    /// The shared run loop: `observe` is called once after every fired
+    /// event (whether or not it dispatched a callback) with the kernel, the
+    /// processes and the decision table.
+    fn run_core<M: Clone, V>(
+        self,
         mut procs: Vec<DynMpProcess<M, V>>,
+        mut observe: impl FnMut(&Kernel<Payload<M>>, &[DynMpProcess<M, V>], &[Option<V>]),
     ) -> Result<MpOutcome<V>, SimError> {
         if self.n == 0 {
             return Err(SimError::InvalidConfig("n must be positive".into()));
@@ -277,42 +317,45 @@ impl MpSystem {
             let Some((meta, payload)) = kernel.next_checked()? else {
                 break;
             };
-            let pid = meta.target;
-            if kernel.state().has_crashed(pid) {
-                continue;
-            }
-            // A process's first step is always its `on_start`: if another
-            // event (an early delivery) reaches it before its explicit
-            // start event fired, start it lazily first.
-            if !started[pid] {
-                started[pid] = true;
-                dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
-                    p.on_start(ctx)
-                })?;
-                if matches!(payload, Payload::Start) {
-                    continue;
-                }
+            'event: {
+                let pid = meta.target;
                 if kernel.state().has_crashed(pid) {
-                    continue;
+                    break 'event;
                 }
-            } else if matches!(payload, Payload::Start) {
-                // Explicit start event arriving after a lazy start: spent.
-                continue;
-            }
-            match payload {
-                Payload::Start => unreachable!("start handled above"),
-                Payload::Step => {
+                // A process's first step is always its `on_start`: if
+                // another event (an early delivery) reaches it before its
+                // explicit start event fired, start it lazily first.
+                if !started[pid] {
+                    started[pid] = true;
                     dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
-                        p.on_step(ctx)
+                        p.on_start(ctx)
                     })?;
+                    if matches!(payload, Payload::Start) {
+                        break 'event;
+                    }
+                    if kernel.state().has_crashed(pid) {
+                        break 'event;
+                    }
+                } else if matches!(payload, Payload::Start) {
+                    // Explicit start event arriving after a lazy start: spent.
+                    break 'event;
                 }
-                Payload::Msg(m) => {
-                    let from = meta.source.expect("message delivery has a source");
-                    dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
-                        p.on_message(from, m, ctx)
-                    })?;
+                match payload {
+                    Payload::Start => unreachable!("start handled above"),
+                    Payload::Step => {
+                        dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
+                            p.on_step(ctx)
+                        })?;
+                    }
+                    Payload::Msg(m) => {
+                        let from = meta.source.expect("message delivery has a source");
+                        dispatch(&mut kernel, &mut procs, &mut decisions, &plan, n, pid, |p, ctx| {
+                            p.on_message(from, m, ctx)
+                        })?;
+                    }
                 }
             }
+            observe(&kernel, &procs, &decisions);
         }
 
         let terminated = kernel.state().all_correct_decided();
@@ -338,6 +381,44 @@ fn crash<M>(kernel: &mut Kernel<Payload<M>>, pid: ProcessId) {
     // Steps and deliveries *to* the crashed process will never be handled;
     // messages it already sent stay in flight (the network is reliable).
     kernel.cancel_where(|m| m.target == pid);
+}
+
+/// Digest of the full system state: per-process protocol state, crash and
+/// decision status, plus the pending pool as an id-insensitive multiset.
+fn mp_state_digest<M, V>(
+    kernel: &Kernel<Payload<M>>,
+    procs: &[DynMpProcess<M, V>],
+    decisions: &[Option<V>],
+) -> u64
+where
+    M: Clone + StateDigest,
+    V: StateDigest,
+{
+    let mut h = Fnv64::new();
+    for (pid, proc) in procs.iter().enumerate() {
+        h.write_u64(proc.state_digest());
+        h.write_u8(u8::from(kernel.state().has_crashed(pid)));
+        decisions[pid].as_ref().digest_into(&mut h);
+    }
+    // The pending pool hashes as a sum over per-event digests: insensitive
+    // to pool order and to event ids, both of which are schedule artifacts.
+    let mut pool = 0u64;
+    kernel.for_each_pending(|meta, payload| {
+        let mut eh = Fnv64::new();
+        eh.write_usize(meta.target);
+        meta.source.digest_into(&mut eh);
+        match payload {
+            Payload::Start => eh.write_u8(0),
+            Payload::Step => eh.write_u8(1),
+            Payload::Msg(m) => {
+                eh.write_u8(2);
+                m.digest_into(&mut eh);
+            }
+        }
+        pool = pool.wrapping_add(eh.finish());
+    });
+    h.write_u64(pool);
+    h.finish()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use kset_core::Value;
 use kset_net::{DynMpProcess, MpContext, MpProcess};
-use kset_sim::ProcessId;
+use kset_sim::{Fnv64, ProcessId, StateDigest};
 
 use crate::check_params;
 
@@ -58,7 +58,7 @@ impl<V: Value> FloodMin<V> {
     /// Boxed form for [`kset_net::MpSystem::run_with`].
     pub fn boxed(n: usize, t: usize, input: V) -> DynMpProcess<V, V>
     where
-        V: 'static,
+        V: StateDigest + 'static,
     {
         Box::new(Self::new(n, t, input))
     }
@@ -68,9 +68,17 @@ impl<V: Value> FloodMin<V> {
     }
 }
 
-impl<V: Value> MpProcess for FloodMin<V> {
+impl<V: Value + StateDigest> MpProcess for FloodMin<V> {
     type Msg = V;
     type Output = V;
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.input.digest_into(&mut h);
+        h.write_usize(self.received);
+        self.best.digest_into(&mut h);
+        h.finish()
+    }
 
     fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
         ctx.broadcast(self.input.clone());

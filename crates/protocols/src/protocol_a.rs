@@ -13,7 +13,7 @@
 
 use kset_core::Value;
 use kset_net::{DynMpProcess, MpContext, MpProcess};
-use kset_sim::ProcessId;
+use kset_sim::{Fnv64, ProcessId, StateDigest};
 
 use crate::check_params;
 
@@ -61,15 +61,23 @@ impl<V: Value> ProtocolA<V> {
     /// Boxed form for [`kset_net::MpSystem::run_with`].
     pub fn boxed(n: usize, t: usize, input: V, default: V) -> DynMpProcess<V, V>
     where
-        V: 'static,
+        V: StateDigest + 'static,
     {
         Box::new(Self::new(n, t, input, default))
     }
 }
 
-impl<V: Value> MpProcess for ProtocolA<V> {
+impl<V: Value + StateDigest> MpProcess for ProtocolA<V> {
     type Msg = V;
     type Output = V;
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.input.digest_into(&mut h);
+        self.default.digest_into(&mut h);
+        self.seen.digest_into(&mut h);
+        h.finish()
+    }
 
     fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
         ctx.broadcast(self.input.clone());

@@ -17,7 +17,7 @@
 
 use kset_core::Value;
 use kset_net::{DynMpProcess, MpContext, MpProcess};
-use kset_sim::ProcessId;
+use kset_sim::{Fnv64, ProcessId, StateDigest};
 
 use crate::check_params;
 
@@ -73,7 +73,7 @@ impl<V: Value> ProtocolB<V> {
     /// Boxed form for [`kset_net::MpSystem::run_with`].
     pub fn boxed(n: usize, t: usize, input: V, default: V) -> DynMpProcess<V, V>
     where
-        V: 'static,
+        V: StateDigest + 'static,
     {
         Box::new(Self::new(n, t, input, default))
     }
@@ -83,9 +83,19 @@ impl<V: Value> ProtocolB<V> {
     }
 }
 
-impl<V: Value> MpProcess for ProtocolB<V> {
+impl<V: Value + StateDigest> MpProcess for ProtocolB<V> {
     type Msg = V;
     type Output = V;
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.input.digest_into(&mut h);
+        self.default.digest_into(&mut h);
+        h.write_usize(self.received);
+        h.write_u8(self.own_seen as u8);
+        h.write_usize(self.matching_own);
+        h.finish()
+    }
 
     fn on_start(&mut self, ctx: &mut MpContext<'_, V, V>) {
         ctx.broadcast(self.input.clone());

@@ -22,6 +22,7 @@
 
 use kset_core::Value;
 use kset_shmem::{DynSmProcess, RegisterId, SmContext, SmProcess};
+use kset_sim::{Fnv64, StateDigest};
 
 
 /// Which phase of the (single) scan the process is in.
@@ -85,15 +86,30 @@ impl<V: Value> ProtocolE<V> {
     /// Boxed form for [`kset_shmem::SmSystem::run_with`].
     pub fn boxed(n: usize, t: usize, input: V, default: V) -> DynSmProcess<V, V>
     where
-        V: 'static,
+        V: StateDigest + 'static,
     {
         Box::new(Self::new(n, t, input, default))
     }
 }
 
-impl<V: Value> SmProcess for ProtocolE<V> {
+impl<V: Value + StateDigest> SmProcess for ProtocolE<V> {
     type Val = V;
     type Output = V;
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.input.digest_into(&mut h);
+        self.default.digest_into(&mut h);
+        match &self.phase {
+            Phase::Fresh => h.write_u8(0),
+            Phase::Scanning { pending, so_far } => {
+                h.write_u8(1);
+                h.write_usize(*pending);
+                so_far.digest_into(&mut h);
+            }
+        }
+        h.finish()
+    }
 
     fn on_start(&mut self, ctx: &mut SmContext<'_, V, V>) {
         ctx.write(0, self.input.clone());

@@ -19,6 +19,7 @@
 
 use kset_core::Value;
 use kset_shmem::{DynSmProcess, RegisterId, SmContext, SmProcess};
+use kset_sim::{Fnv64, StateDigest};
 
 use crate::check_params;
 
@@ -69,7 +70,7 @@ impl<V: Value> ProtocolF<V> {
     /// Boxed form for [`kset_shmem::SmSystem::run_with`].
     pub fn boxed(n: usize, t: usize, input: V, default: V) -> DynSmProcess<V, V>
     where
-        V: 'static,
+        V: StateDigest + 'static,
     {
         Box::new(Self::new(n, t, input, default))
     }
@@ -102,9 +103,18 @@ impl<V: Value> ProtocolF<V> {
     }
 }
 
-impl<V: Value> SmProcess for ProtocolF<V> {
+impl<V: Value + StateDigest> SmProcess for ProtocolF<V> {
     type Val = V;
     type Output = V;
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.input.digest_into(&mut h);
+        self.default.digest_into(&mut h);
+        h.write_usize(self.pending);
+        self.scan.digest_into(&mut h);
+        h.finish()
+    }
 
     fn on_start(&mut self, ctx: &mut SmContext<'_, V, V>) {
         ctx.write(0, self.input.clone());

@@ -148,6 +148,20 @@ pub trait SmProcess {
     fn on_step(&mut self, ctx: &mut SmContext<'_, Self::Val, Self::Output>) {
         let _ = ctx;
     }
+
+    /// A stable fingerprint of this process's protocol state, used by the
+    /// model checker to deduplicate explored system states (see
+    /// `kset_sim::StateDigest` and `SmSystem::run_digested`).
+    ///
+    /// Two system states whose digests agree are treated as interchangeable
+    /// by the checker, so an override must hash *every* state field that
+    /// influences future behaviour. The default (a constant) makes distinct
+    /// internal states collide and is only safe when state-digest
+    /// deduplication is disabled — every protocol in this workspace
+    /// overrides it.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed process with erased concrete type, the unit the runtime stores.
@@ -171,6 +185,10 @@ impl<Val: Clone, Out> SmProcess for DynSmProcess<Val, Out> {
 
     fn on_step(&mut self, ctx: &mut SmContext<'_, Val, Out>) {
         (**self).on_step(ctx)
+    }
+
+    fn state_digest(&self) -> u64 {
+        (**self).state_digest()
     }
 }
 

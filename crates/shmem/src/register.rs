@@ -71,6 +71,13 @@ impl<V: Clone> Memory<V> {
     pub fn snapshot(&self) -> BTreeMap<RegisterId, V> {
         self.cells.clone()
     }
+
+    /// Iterates over all written registers in `RegisterId` order, without
+    /// cloning. The deterministic order makes this usable for state
+    /// digests (see `SmSystem::run_digested`).
+    pub fn cells(&self) -> impl Iterator<Item = (&RegisterId, &V)> {
+        self.cells.iter()
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 
 use kset_sim::{
-    DelayRule, EventKind, EventMeta, FaultPlan, GatedScheduler, Kernel, MetricsConfig, ProcessId,
-    RandomScheduler, Scheduler, SimError,
+    DelayRule, EventKind, EventMeta, FaultPlan, Fnv64, GatedScheduler, Kernel, MetricsConfig,
+    ProcessId, RandomScheduler, Scheduler, SimError, StateDigest,
 };
 
 use crate::outcome::SmOutcome;
@@ -137,7 +137,50 @@ impl SmSystem {
     /// * [`SimError::EventLimitExceeded`] if the protocol livelocks.
     pub fn run<Val: Clone, Out>(
         self,
+        procs: Vec<DynSmProcess<Val, Out>>,
+    ) -> Result<SmOutcome<Val, Out>, SimError> {
+        self.run_core(procs, |_, _, _, _| {})
+    }
+
+    /// Runs the system like [`SmSystem::run`], additionally computing a
+    /// stable digest of the whole system state after every fired event.
+    ///
+    /// `digests[i]` fingerprints the state reached after the `i`-th event:
+    /// every process's [`crate::SmProcess::state_digest`], its crashed flag and
+    /// decision, the register store contents, plus an order-insensitive
+    /// multiset hash of the pending event pool. Event ids are excluded —
+    /// see `MpSystem::run_digested` in `kset-net` for the rationale.
+    ///
+    /// # Errors
+    ///
+    /// See [`SmSystem::run`].
+    pub fn run_digested<Val, Out>(
+        self,
+        procs: Vec<DynSmProcess<Val, Out>>,
+    ) -> Result<(SmOutcome<Val, Out>, Vec<u64>), SimError>
+    where
+        Val: Clone + StateDigest,
+        Out: StateDigest,
+    {
+        let mut digests = Vec::new();
+        let outcome = self.run_core(procs, |kernel, procs, decisions, memory| {
+            digests.push(sm_state_digest(kernel, procs, decisions, memory));
+        })?;
+        Ok((outcome, digests))
+    }
+
+    /// The shared run loop: `observe` is called once after every fired
+    /// event with the kernel, the processes, the decision table and the
+    /// register store.
+    fn run_core<Val: Clone, Out>(
+        self,
         mut procs: Vec<DynSmProcess<Val, Out>>,
+        mut observe: impl FnMut(
+            &Kernel<Payload>,
+            &[DynSmProcess<Val, Out>],
+            &[Option<Out>],
+            &Memory<Val>,
+        ),
     ) -> Result<SmOutcome<Val, Out>, SimError> {
         if self.n == 0 {
             return Err(SimError::InvalidConfig("n must be positive".into()));
@@ -197,71 +240,74 @@ impl SmSystem {
             let Some((meta, payload)) = kernel.next_checked()? else {
                 break;
             };
-            let pid = meta.target;
-            if kernel.state().has_crashed(pid) {
-                continue;
-            }
-            let done = kernel.state().actions_of(pid);
-            if plan.remaining_budget(pid, done) == Some(0) {
-                crash(&mut kernel, pid);
-                continue;
-            }
-            kernel.state_mut().charge_action(pid);
-
-            buf.clear();
-            {
-                let mut ctx = SmContext::new(
-                    pid,
-                    n,
-                    kernel.now(),
-                    decisions[pid].is_some(),
-                    &mut buf,
-                );
-                match payload {
-                    Payload::Start => procs[pid].on_start(&mut ctx),
-                    Payload::Step => procs[pid].on_step(&mut ctx),
-                    Payload::ReadResp(reg) => {
-                        // Linearization point of the read: right now.
-                        let value = memory.read(reg);
-                        procs[pid].on_read(reg, value, &mut ctx)
-                    }
-                    Payload::WriteAck(slot) => procs[pid].on_write_ack(slot, &mut ctx),
+            'event: {
+                let pid = meta.target;
+                if kernel.state().has_crashed(pid) {
+                    break 'event;
                 }
-            }
-
-            for action in buf.drain(..) {
                 let done = kernel.state().actions_of(pid);
                 if plan.remaining_budget(pid, done) == Some(0) {
                     crash(&mut kernel, pid);
-                    break;
+                    break 'event;
                 }
                 kernel.state_mut().charge_action(pid);
-                match action {
-                    RawSmAction::Read(reg) => {
-                        kernel.post(
-                            EventMeta::new(EventKind::OpResponse, pid).from_process(reg.owner),
-                            Payload::ReadResp(reg),
-                        );
-                    }
-                    RawSmAction::Write(slot, value) => {
-                        // Linearization point of the write: right now.
-                        memory.write(RegisterId::new(pid, slot), value);
-                        kernel.post(
-                            EventMeta::new(EventKind::OpResponse, pid).from_process(pid),
-                            Payload::WriteAck(slot),
-                        );
-                    }
-                    RawSmAction::Decide(v) => {
-                        if decisions[pid].is_none() {
-                            decisions[pid] = Some(v);
-                            kernel.note_decision(pid);
+
+                buf.clear();
+                {
+                    let mut ctx = SmContext::new(
+                        pid,
+                        n,
+                        kernel.now(),
+                        decisions[pid].is_some(),
+                        &mut buf,
+                    );
+                    match payload {
+                        Payload::Start => procs[pid].on_start(&mut ctx),
+                        Payload::Step => procs[pid].on_step(&mut ctx),
+                        Payload::ReadResp(reg) => {
+                            // Linearization point of the read: right now.
+                            let value = memory.read(reg);
+                            procs[pid].on_read(reg, value, &mut ctx)
                         }
+                        Payload::WriteAck(slot) => procs[pid].on_write_ack(slot, &mut ctx),
                     }
-                    RawSmAction::ScheduleStep => {
-                        kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Step);
+                }
+
+                for action in buf.drain(..) {
+                    let done = kernel.state().actions_of(pid);
+                    if plan.remaining_budget(pid, done) == Some(0) {
+                        crash(&mut kernel, pid);
+                        break;
+                    }
+                    kernel.state_mut().charge_action(pid);
+                    match action {
+                        RawSmAction::Read(reg) => {
+                            kernel.post(
+                                EventMeta::new(EventKind::OpResponse, pid).from_process(reg.owner),
+                                Payload::ReadResp(reg),
+                            );
+                        }
+                        RawSmAction::Write(slot, value) => {
+                            // Linearization point of the write: right now.
+                            memory.write(RegisterId::new(pid, slot), value);
+                            kernel.post(
+                                EventMeta::new(EventKind::OpResponse, pid).from_process(pid),
+                                Payload::WriteAck(slot),
+                            );
+                        }
+                        RawSmAction::Decide(v) => {
+                            if decisions[pid].is_none() {
+                                decisions[pid] = Some(v);
+                                kernel.note_decision(pid);
+                            }
+                        }
+                        RawSmAction::ScheduleStep => {
+                            kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Step);
+                        }
                     }
                 }
             }
+            observe(&kernel, &procs, &decisions, &memory);
         }
 
         let terminated = kernel.state().all_correct_decided();
@@ -286,6 +332,56 @@ impl SmSystem {
 fn crash(kernel: &mut Kernel<Payload>, pid: ProcessId) {
     kernel.state_mut().mark_crashed(pid);
     kernel.cancel_where(|m| m.target == pid);
+}
+
+/// Digest of the full system state: per-process protocol state, crash and
+/// decision status, the register store, plus the pending pool as an
+/// id-insensitive multiset.
+fn sm_state_digest<Val, Out>(
+    kernel: &Kernel<Payload>,
+    procs: &[DynSmProcess<Val, Out>],
+    decisions: &[Option<Out>],
+    memory: &Memory<Val>,
+) -> u64
+where
+    Val: Clone + StateDigest,
+    Out: StateDigest,
+{
+    let mut h = Fnv64::new();
+    for (pid, proc) in procs.iter().enumerate() {
+        h.write_u64(proc.state_digest());
+        h.write_u8(u8::from(kernel.state().has_crashed(pid)));
+        decisions[pid].as_ref().digest_into(&mut h);
+    }
+    // Register store: BTreeMap iteration order is deterministic.
+    for (reg, value) in memory.cells() {
+        h.write_usize(reg.owner);
+        h.write_usize(reg.slot);
+        value.digest_into(&mut h);
+    }
+    // Pending pool as an order- and id-insensitive multiset.
+    let mut pool = 0u64;
+    kernel.for_each_pending(|meta, payload| {
+        let mut eh = Fnv64::new();
+        eh.write_usize(meta.target);
+        meta.source.digest_into(&mut eh);
+        match payload {
+            Payload::Start => eh.write_u8(0),
+            Payload::Step => eh.write_u8(1),
+            Payload::ReadResp(reg) => {
+                eh.write_u8(2);
+                eh.write_usize(reg.owner);
+                eh.write_usize(reg.slot);
+            }
+            Payload::WriteAck(slot) => {
+                eh.write_u8(3);
+                eh.write_usize(*slot);
+            }
+        }
+        pool = pool.wrapping_add(eh.finish());
+    });
+    h.write_u64(pool);
+    h.finish()
 }
 
 #[cfg(test)]

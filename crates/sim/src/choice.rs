@@ -1,0 +1,260 @@
+//! The enumerable scheduler: every pick is an explicit, replayable branch.
+//!
+//! Ordinary schedulers are *policies* — random, FIFO, scripted. The model
+//! checker needs the opposite: a scheduler that exposes the pending-pool
+//! decision as data, so an explorer can re-execute a run up to any decision
+//! point and systematically try each alternative.
+//!
+//! [`ChoiceScheduler`] does exactly that. Each call to
+//! [`Scheduler::pick`] is one *choice point*:
+//!
+//! 1. The pending events are put in **canonical order** (ascending
+//!    [`EventId`]). Because the kernel is deterministic, a run re-executed
+//!    with the same prefix sees byte-identical pending pools, so canonical
+//!    indices are a stable coordinate system for schedules.
+//! 2. If the scheduler still has prefix entries left, the next entry selects
+//!    the canonical index to fire (clamped into range — a prefix is always
+//!    safe to replay against a slightly different run).
+//! 3. Beyond the prefix, the scheduler fires the default: the lowest-id
+//!    pending event, except that events targeting decided or crashed
+//!    processes — no-ops for every protocol in this workspace, whose
+//!    handlers guard on `has_decided()` — are preferred and marked *forced*
+//!    so the explorer does not branch over their interleavings.
+//!
+//! Every choice point is appended to a shared [`ChoiceLog`]
+//! ([`ChoiceScheduler::log_handle`]), which the explorer reads back after
+//! the run to enumerate untried alternatives.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::{EventId, EventMeta};
+use crate::sched::Scheduler;
+use crate::state::RunState;
+
+/// One selectable pending event at a choice point, in canonical order.
+#[derive(Clone, Copy, Debug)]
+pub struct ChoiceOption {
+    /// The pending event's scheduler-visible metadata.
+    pub meta: EventMeta,
+    /// Whether firing this event is a protocol no-op: its target has
+    /// already decided or crashed, so the handler cannot change state.
+    pub noop: bool,
+}
+
+/// One scheduler decision: the canonically-ordered alternatives and which
+/// one fired.
+#[derive(Clone, Debug)]
+pub struct ChoicePoint {
+    /// The pending events at this point, sorted by ascending [`EventId`].
+    pub options: Vec<ChoiceOption>,
+    /// Canonical index of the event that fired.
+    pub taken: usize,
+    /// True when the pick was a beyond-prefix no-op preference: the
+    /// explorer treats such points as having a single successor.
+    pub forced: bool,
+}
+
+impl ChoicePoint {
+    /// The metadata of the event that fired at this point.
+    pub fn taken_meta(&self) -> EventMeta {
+        self.options[self.taken].meta
+    }
+}
+
+/// The recorded sequence of choice points of one run.
+#[derive(Clone, Debug, Default)]
+pub struct ChoiceLog {
+    /// Choice points in firing order; entry `i` is the `i`-th fired event.
+    pub points: Vec<ChoicePoint>,
+}
+
+impl ChoiceLog {
+    /// The canonical index taken at every point — the full schedule of the
+    /// run as a prefix that replays it exactly.
+    pub fn taken_indices(&self) -> Vec<usize> {
+        self.points.iter().map(|p| p.taken).collect()
+    }
+
+    /// The ids fired, in order — a [`crate::ReplayScheduler`] script.
+    pub fn fired_ids(&self) -> Vec<EventId> {
+        self.points.iter().map(|p| p.taken_meta().id).collect()
+    }
+}
+
+/// A scheduler driven by an explicit prefix of canonical choice indices.
+///
+/// See the module documentation for the exploration contract. The log is
+/// shared via `Rc<RefCell<_>>` because the scheduler itself is consumed by
+/// the kernel; callers keep [`ChoiceScheduler::log_handle`] to read the
+/// decisions back after the run.
+#[derive(Debug)]
+pub struct ChoiceScheduler {
+    prefix: Vec<usize>,
+    step: usize,
+    prefer_noops: bool,
+    log: Rc<RefCell<ChoiceLog>>,
+}
+
+impl ChoiceScheduler {
+    /// A scheduler that follows `prefix` and then fires defaults.
+    pub fn new(prefix: Vec<usize>) -> Self {
+        ChoiceScheduler {
+            prefix,
+            step: 0,
+            prefer_noops: true,
+            log: Rc::new(RefCell::new(ChoiceLog::default())),
+        }
+    }
+
+    /// Disables the beyond-prefix no-op preference (builder style); defaults
+    /// then always fire the lowest-id event. Used by `--no-por` checker
+    /// modes that want the raw, unreduced schedule tree.
+    pub fn prefer_noops(mut self, yes: bool) -> Self {
+        self.prefer_noops = yes;
+        self
+    }
+
+    /// A handle on the shared log, kept by the caller across the run.
+    pub fn log_handle(&self) -> Rc<RefCell<ChoiceLog>> {
+        Rc::clone(&self.log)
+    }
+}
+
+impl Scheduler for ChoiceScheduler {
+    fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
+        // Canonical order: pending indices sorted by event id.
+        let mut canonical: Vec<usize> = (0..pending.len()).collect();
+        canonical.sort_by_key(|&i| pending[i].id);
+        let options: Vec<ChoiceOption> = canonical
+            .iter()
+            .map(|&i| {
+                let meta = pending[i];
+                ChoiceOption {
+                    meta,
+                    noop: state.has_decided(meta.target) || state.has_crashed(meta.target),
+                }
+            })
+            .collect();
+
+        let (taken, forced) = if self.step < self.prefix.len() {
+            (self.prefix[self.step].min(options.len() - 1), false)
+        } else if self.prefer_noops {
+            match options.iter().position(|o| o.noop) {
+                Some(i) => (i, true),
+                None => (0, false),
+            }
+        } else {
+            (0, false)
+        };
+        self.step += 1;
+        let idx = canonical[taken];
+        self.log.borrow_mut().points.push(ChoicePoint {
+            options,
+            taken,
+            forced,
+        });
+        idx
+    }
+
+    fn label(&self) -> &'static str {
+        "choice"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, EventMeta};
+    use crate::kernel::Kernel;
+
+    fn post_three(kernel: &mut Kernel<u32>) {
+        for (i, target) in [(0u32, 0usize), (1, 1), (2, 2)] {
+            kernel.post(EventMeta::new(EventKind::LocalStep, target), i);
+        }
+    }
+
+    #[test]
+    fn empty_prefix_fires_in_canonical_order() {
+        let sched = ChoiceScheduler::new(Vec::new());
+        let log = sched.log_handle();
+        let mut k: Kernel<u32> = Kernel::new(sched);
+        post_three(&mut k);
+        let fired: Vec<u32> = std::iter::from_fn(|| k.next_event().map(|(_, p)| p)).collect();
+        assert_eq!(fired, vec![0, 1, 2]);
+        let log = log.borrow();
+        assert_eq!(log.taken_indices(), vec![0, 0, 0]);
+        assert_eq!(log.points[0].options.len(), 3);
+        assert!(log.points.iter().all(|p| !p.forced));
+    }
+
+    #[test]
+    fn prefix_selects_canonical_alternatives() {
+        // Fire the newest event first, then defaults.
+        let sched = ChoiceScheduler::new(vec![2]);
+        let log = sched.log_handle();
+        let mut k: Kernel<u32> = Kernel::new(sched);
+        post_three(&mut k);
+        let fired: Vec<u32> = std::iter::from_fn(|| k.next_event().map(|(_, p)| p)).collect();
+        assert_eq!(fired, vec![2, 0, 1]);
+        assert_eq!(log.borrow().taken_indices(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_prefix_entries_clamp() {
+        let sched = ChoiceScheduler::new(vec![99, 99, 99]);
+        let mut k: Kernel<u32> = Kernel::new(sched);
+        post_three(&mut k);
+        let fired: Vec<u32> = std::iter::from_fn(|| k.next_event().map(|(_, p)| p)).collect();
+        // Each entry clamps to the last canonical index.
+        assert_eq!(fired, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn same_prefix_replays_identically() {
+        let run = |prefix: Vec<usize>| {
+            let sched = ChoiceScheduler::new(prefix);
+            let log = sched.log_handle();
+            let mut k: Kernel<u32> = Kernel::new(sched);
+            post_three(&mut k);
+            while k.next_event().is_some() {}
+            let ids = log.borrow().fired_ids();
+            ids
+        };
+        assert_eq!(run(vec![1, 1]), run(vec![1, 1]));
+        assert_ne!(run(vec![1, 1]), run(vec![0, 0]));
+    }
+
+    #[test]
+    fn decided_targets_are_marked_noop_and_preferred() {
+        let sched = ChoiceScheduler::new(Vec::new());
+        let log = sched.log_handle();
+        let mut k: Kernel<u32> = Kernel::with_processes(sched, 3);
+        post_three(&mut k);
+        k.state_mut().mark_decided(2);
+        // The event for decided process 2 (canonical index 2) fires first,
+        // as a forced no-op.
+        let (_, p) = k.next_event().unwrap();
+        assert_eq!(p, 2);
+        let first = log.borrow().points[0].clone();
+        assert!(first.forced);
+        assert_eq!(first.taken, 2);
+        assert!(first.options[2].noop);
+        assert!(!first.options[0].noop);
+    }
+
+    #[test]
+    fn noop_preference_can_be_disabled() {
+        let sched = ChoiceScheduler::new(Vec::new()).prefer_noops(false);
+        let mut k: Kernel<u32> = Kernel::with_processes(sched, 3);
+        post_three(&mut k);
+        k.state_mut().mark_decided(2);
+        let (_, p) = k.next_event().unwrap();
+        assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(ChoiceScheduler::new(Vec::new()).label(), "choice");
+    }
+}

@@ -23,6 +23,14 @@ impl EventId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw value, e.g. when parsing a replay script
+    /// saved by a previous run (see [`crate::ReplayScheduler`]). An id only
+    /// refers to the event with that creation sequence number in a
+    /// deterministically reproduced run.
+    pub fn from_u64(raw: u64) -> Self {
+        EventId(raw)
+    }
 }
 
 impl fmt::Display for EventId {

@@ -98,10 +98,13 @@ impl<E> Kernel<E> {
     /// A config with `enabled: false` leaves the kernel on the zero-cost
     /// path, identical to never calling this.
     pub fn collect_metrics(mut self, config: MetricsConfig) -> Self {
+        let n = self.state.n();
         self.metrics = config.enabled.then(|| {
             let bytes_per_event =
                 (std::mem::size_of::<EventMeta>() + std::mem::size_of::<E>()) as u64;
-            Box::new(MetricsCollector::new(config, bytes_per_event))
+            let mut collector = MetricsCollector::new(config, bytes_per_event);
+            collector.ensure_processes(n);
+            Box::new(collector)
         });
         self
     }
@@ -209,6 +212,19 @@ impl<E> Kernel<E> {
     /// Number of events currently pending.
     pub fn pending_len(&self) -> usize {
         self.metas.len()
+    }
+
+    /// Visits every pending event (in no particular order) with its payload.
+    ///
+    /// Model runtimes use this to fold the pending pool into a state digest
+    /// (see `run_digested` in `kset-net`/`kset-shmem`): the pool is part of
+    /// the system state the model checker deduplicates on, since two runs
+    /// with equal process states but different undelivered messages can
+    /// still diverge.
+    pub fn for_each_pending(&self, mut f: impl FnMut(&EventMeta, &E)) {
+        for (meta, payload) in self.metas.iter().zip(&self.payloads) {
+            f(meta, payload);
+        }
     }
 
     /// Current virtual time (number of events fired so far).
@@ -403,7 +419,7 @@ mod tests {
 
     #[test]
     fn metrics_count_crash_drops_per_process() {
-        let mut k: Kernel<()> = Kernel::new(FifoScheduler::new())
+        let mut k: Kernel<()> = Kernel::with_processes(FifoScheduler::new(), 2)
             .collect_metrics(MetricsConfig::enabled());
         k.post(step(0), ());
         k.post(step(1), ());

@@ -55,6 +55,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs, missing_debug_implementations)]
 
+mod choice;
+mod digest;
 mod error;
 mod event;
 mod fifo_channels;
@@ -67,6 +69,8 @@ mod sched;
 mod state;
 mod trace;
 
+pub use choice::{ChoiceLog, ChoiceOption, ChoicePoint, ChoiceScheduler};
+pub use digest::{Fnv64, StateDigest};
 pub use error::SimError;
 pub use event::{ChannelId, EventId, EventKind, EventMeta, ProcessId};
 pub use fifo_channels::ChannelFifo;

@@ -295,6 +295,17 @@ impl MetricsCollector {
         }
     }
 
+    /// Pre-sizes the per-process table so every slot exists even if a
+    /// process never triggers a counting event (e.g. only fires local
+    /// steps, which attribute nothing on post).
+    pub(crate) fn ensure_processes(&mut self, n: usize) {
+        if self.metrics.per_process.len() < n {
+            self.metrics
+                .per_process
+                .resize_with(n, ProcessMetrics::default);
+        }
+    }
+
     fn proc(&mut self, pid: ProcessId) -> &mut ProcessMetrics {
         if self.metrics.per_process.len() <= pid {
             self.metrics

@@ -40,6 +40,23 @@ impl Scheduler for Box<dyn Scheduler> {
     }
 }
 
+/// A shared scheduler handle. Systems consume their scheduler by value, so a
+/// caller that needs to inspect scheduler state *after* the run (a
+/// [`crate::ReplayScheduler`]'s divergence count, a
+/// [`crate::RecordingScheduler`]'s captured schedule) wraps it in
+/// `Rc<RefCell<_>>`, passes a clone to the system, and keeps the other.
+impl<S: Scheduler> Scheduler for std::rc::Rc<std::cell::RefCell<S>> {
+    fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
+        self.borrow_mut().pick(pending, state)
+    }
+
+    fn label(&self) -> &'static str {
+        // Can't borrow through to the inner label without holding the
+        // guard beyond the call; a stable marker keeps traces readable.
+        "shared"
+    }
+}
+
 /// Uniformly random schedule from a seed; the workhorse for property tests.
 ///
 /// Two runs with the same seed and the same protocol configuration produce
@@ -306,6 +323,49 @@ mod tests {
         // and stays FIFO even if a new event for 2 appears later
         let pending = vec![meta(3, 1), meta(4, 2)];
         assert_eq!(s.pick(&pending, &state), 0);
+    }
+
+    #[test]
+    fn scripted_with_empty_phase_list_is_fifo_from_the_start() {
+        // Regression: an empty script must be the documented FIFO fallback,
+        // not a panic or an arbitrary pick.
+        let mut s = ScriptedScheduler::new(vec![]);
+        let state = RunState::new(3);
+        let pending = vec![meta(5, 0), meta(2, 1), meta(9, 2)];
+        assert_eq!(s.pick(&pending, &state), 1);
+        let pending = vec![meta(9, 2), meta(5, 0)];
+        assert_eq!(s.pick(&pending, &state), 1);
+    }
+
+    #[test]
+    fn scripted_phase_matching_nothing_is_skipped_not_wedged() {
+        // Regression: a predicate that never matches any pending event must
+        // advance past its phase (documented fallback), not starve the run.
+        let mut s = ScriptedScheduler::new(vec![
+            ScriptedScheduler::targets_in(vec![99]), // matches nothing
+            ScriptedScheduler::targets_in(vec![1]),
+        ]);
+        let state = RunState::new(3);
+        let pending = vec![meta(0, 0), meta(1, 1)];
+        // Phase 0 matches nothing and is skipped; phase 1 picks target 1.
+        assert_eq!(s.pick(&pending, &state), 1);
+        // Phase 1 exhausted too: FIFO fallback, still no panic.
+        let pending = vec![meta(3, 2), meta(2, 0)];
+        assert_eq!(s.pick(&pending, &state), 1);
+    }
+
+    #[test]
+    fn shared_scheduler_handle_exposes_state_after_use() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // The Rc<RefCell<_>> impl lets a caller keep a handle while the
+        // kernel owns "the" scheduler.
+        let shared = Rc::new(RefCell::new(FifoScheduler::new()));
+        let mut held: Rc<RefCell<FifoScheduler>> = Rc::clone(&shared);
+        let pending = vec![meta(5, 0), meta(2, 1)];
+        assert_eq!(held.pick(&pending, &RunState::new(2)), 1);
+        assert_eq!(held.label(), "shared");
+        assert_eq!(Rc::strong_count(&shared), 2);
     }
 
     #[test]
