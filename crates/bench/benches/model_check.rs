@@ -10,6 +10,11 @@
 //!   reduction and state-digest dedup toggled off, one at a time. The
 //!   gap is what each reduction buys (the verdict is identical either
 //!   way — see `reductions_do_not_change_the_verdict`).
+//! * **Thread scaling**: the same cell on 1, 2 and 4 engine workers.
+//!   Verdicts and counters are identical for every count (pinned by the
+//!   `parallel_engine` integration tests); the ratio is the engine's
+//!   speedup on this host. CI runs this group in quick mode and uploads
+//!   the timing JSON as an artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -87,10 +92,32 @@ fn bench_reductions(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cfg = smoke_cell();
+                    cfg.threads = threads;
+                    let verdict = check_cell(&cfg);
+                    assert!(verdict.complete && verdict.holds());
+                    black_box(verdict)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_schedule,
     bench_check_cell,
-    bench_reductions
+    bench_reductions,
+    bench_threads
 );
 criterion_main!(benches);

@@ -5,16 +5,17 @@
 //! plans (crash budgets, silent and active Byzantine strategies), and
 //! checks Termination / Agreement / Validity on each run.
 //!
-//! Usage: `empirical_atlas [n] [seeds] [--json PATH]`
-//! (defaults: n = 8, seeds = 4). With `--json`, every run is emitted as a
-//! `RunRecord` JSON line with kernel metrics (schema: `OBSERVABILITY.md`);
-//! the workers run per-model, but records are written in `Model::ALL`
-//! order so the file is deterministic. Exits nonzero if any run violates
-//! its specification.
+//! Usage: `empirical_atlas [n] [seeds] [--json PATH] [--threads N]`
+//! (defaults: n = 8, seeds = 4, threads = available parallelism). With
+//! `--json`, every run is emitted as a `RunRecord` JSON line with kernel
+//! metrics (schema: `OBSERVABILITY.md`); cells run on a work-stealing
+//! pool, but rows and records are merged in `(model, validity, k, t)`
+//! order so all output is byte-identical for every thread count. Exits
+//! nonzero if any run violates its specification.
 
-use crossbeam::thread;
 use kset_core::ValidityCondition;
 use kset_experiments::cells::{validate_cell_with, CellValidation};
+use kset_experiments::engine;
 use kset_experiments::record_sink::{JsonlSink, RunRecord};
 use kset_experiments::report;
 use kset_regions::Model;
@@ -24,10 +25,16 @@ fn main() {
     let mut n: Option<usize> = None;
     let mut seeds: Option<u64> = None;
     let mut json_path: Option<String> = None;
+    let mut threads = engine::available_threads();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--threads" => {
+                let raw = args.next().expect("--threads needs a value");
+                threads = engine::parse_threads(&raw)
+                    .unwrap_or_else(|| panic!("--threads wants a count, 0 or 'auto', got {raw:?}"));
+            }
             other if n.is_none() => n = Some(other.parse().expect("n must be a number")),
             other if seeds.is_none() => {
                 seeds = Some(other.parse().expect("seeds must be a number"))
@@ -47,53 +54,37 @@ fn main() {
         MetricsConfig::disabled()
     };
 
-    // One worker per model: the cells inside a model are run sequentially
-    // (each run is itself single-threaded and deterministic), and each
-    // worker returns its records so the main thread can write them in
-    // model order.
-    let results: Vec<(Vec<CellValidation>, Vec<RunRecord>)> = thread::scope(|scope| {
-        let handles: Vec<_> = Model::ALL
-            .iter()
-            .map(|&model| {
-                scope.spawn(move |_| {
-                    let mut rows = Vec::new();
-                    let mut records = Vec::new();
-                    for validity in ValidityCondition::ALL {
-                        for k in 2..n {
-                            for t in 1..=n {
-                                let cell = validate_cell_with(
-                                    model,
-                                    validity,
-                                    n,
-                                    k,
-                                    t,
-                                    0..seeds,
-                                    metrics,
-                                    |r| records.push(r),
-                                );
-                                match cell {
-                                    Ok(Some(row)) => rows.push(row),
-                                    Ok(None) => {}
-                                    Err(e) => panic!(
-                                        "simulator failure at {model} {validity} k={k} t={t}: {e}"
-                                    ),
-                                }
-                            }
-                        }
-                    }
-                    (rows, records)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker panicked");
+    // One task per (model, validity, k, t) cell on the work-stealing
+    // pool. Each run is itself single-threaded and deterministic, and the
+    // engine returns results in task order, so the merged rows and
+    // records come out in the same order the old sequential sweep
+    // produced.
+    let mut cells: Vec<(Model, ValidityCondition, usize, usize)> = Vec::new();
+    for model in Model::ALL {
+        for validity in ValidityCondition::ALL {
+            for k in 2..n {
+                for t in 1..=n {
+                    cells.push((model, validity, k, t));
+                }
+            }
+        }
+    }
+    let results = engine::parallel_map(threads, cells, |_, (model, validity, k, t)| {
+        let mut records = Vec::new();
+        let cell = validate_cell_with(model, validity, n, k, t, 0..seeds, metrics, |r| {
+            records.push(r)
+        });
+        match cell {
+            Ok(row) => (row, records),
+            Err(e) => panic!("simulator failure at {model} {validity} k={k} t={t}: {e}"),
+        }
+    });
 
     let mut rows: Vec<CellValidation> = Vec::new();
     let mut records: Vec<RunRecord> = Vec::new();
-    for (model_rows, model_records) in results {
-        rows.extend(model_rows);
-        records.extend(model_records);
+    for (row, cell_records) in results {
+        rows.extend(row);
+        records.extend(cell_records);
     }
     let total_runs: usize = rows.iter().map(|r| r.runs).sum();
     let violations: usize = rows.iter().map(|r| r.violations).sum();

@@ -4,17 +4,35 @@
 //! worst-case agreement — the finite, machine-checked form of Lemmas 3.1,
 //! 3.7 and 3.8 and their tightness.
 //!
-//! Usage: `exhaustive_check [n]` (default 6; keep it small — the space is
-//! combinatorial).
+//! Usage: `exhaustive_check [n] [--threads T]` (default n = 6, threads =
+//! available parallelism; keep n small — the space is combinatorial). The
+//! protocol × inputs × t triples run on a work-stealing pool and the
+//! table is printed in enumeration order, byte-identical for every thread
+//! count.
 
 use kset_core::ValidityCondition;
+use kset_experiments::engine;
 use kset_experiments::exhaustive::{verify, QuorumProtocol};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("n must be a number"))
-        .unwrap_or(6);
+    let mut n: Option<usize> = None;
+    let mut threads = engine::available_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let raw = args.next().expect("--threads needs a value");
+                threads = engine::parse_threads(&raw)
+                    .unwrap_or_else(|| panic!("--threads wants a count, 0 or 'auto', got {raw:?}"));
+            }
+            other if n.is_none() => n = Some(other.parse().expect("n must be a number")),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = n.unwrap_or(6);
     assert!((3..=9).contains(&n), "keep n in 3..=9 for exhaustive sweeps");
 
     println!("=== Exhaustive verification over ALL schedules (n = {n}) ===\n");
@@ -24,42 +42,56 @@ fn main() {
     let spread: Vec<u64> = (0..n as u64).collect();
     let two_blocks: Vec<u64> = (0..n).map(|p| (p * 2 / n) as u64).collect();
 
-    for (proto, label) in [
+    let protocols = [
         (QuorumProtocol::FloodMin, "FloodMin"),
         (QuorumProtocol::ProtocolA, "Protocol A"),
         (QuorumProtocol::ProtocolB, "Protocol B"),
         (QuorumProtocol::ProtocolE, "Protocol E"),
         (QuorumProtocol::ProtocolF, "Protocol F"),
-    ] {
+    ];
+    let mut triples: Vec<(QuorumProtocol, &str, &Vec<u64>, usize)> = Vec::new();
+    for (proto, label) in protocols {
         for inputs in [&spread, &two_blocks] {
             for t in 1..n {
-                match verify(proto, inputs, t, &[], 50_000_000) {
-                    Ok(report) => {
-                        let viols: Vec<&str> = report
-                            .violated_validities
-                            .iter()
-                            .map(|v| v.name())
-                            .collect();
-                        println!(
-                            "{label:<10}  {t:<2}  {:<12}  {:<8}  {:<7}  {}",
-                            format!("{inputs:?}").chars().take(12).collect::<String>(),
-                            report.profiles,
-                            report.worst_agreement,
-                            if viols.is_empty() {
-                                "none".to_string()
-                            } else {
-                                viols.join(", ")
-                            }
-                        );
-                    }
-                    Err(size) => {
-                        println!("{label:<10}  {t:<2}  (skipped: {size} profiles exceed limit)");
-                    }
-                }
+                triples.push((proto, label, inputs, t));
             }
         }
-        println!();
     }
+    let lines = engine::parallel_map(threads, triples, |_, (proto, label, inputs, t)| {
+        let line = match verify(proto, inputs, t, &[], 50_000_000) {
+            Ok(report) => {
+                let viols: Vec<&str> = report
+                    .violated_validities
+                    .iter()
+                    .map(|v| v.name())
+                    .collect();
+                format!(
+                    "{label:<10}  {t:<2}  {:<12}  {:<8}  {:<7}  {}",
+                    format!("{inputs:?}").chars().take(12).collect::<String>(),
+                    report.profiles,
+                    report.worst_agreement,
+                    if viols.is_empty() {
+                        "none".to_string()
+                    } else {
+                        viols.join(", ")
+                    }
+                )
+            }
+            Err(size) => {
+                format!("{label:<10}  {t:<2}  (skipped: {size} profiles exceed limit)")
+            }
+        };
+        (label, line)
+    });
+    let mut last_label = lines.first().map(|(label, _)| *label);
+    for (label, line) in lines {
+        if last_label != Some(label) {
+            println!();
+            last_label = Some(label);
+        }
+        println!("{line}");
+    }
+    println!();
 
     // The headline tightness claims, asserted.
     let inputs: Vec<u64> = (0..n as u64).collect();

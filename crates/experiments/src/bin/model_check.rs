@@ -18,14 +18,19 @@
 //! Flags for explicit cells: `--protocol {floodmin|a|b|e|f}`, `--n N`,
 //! `--k K`, `--t T`, `--validity {SV1|SV2|RV1|RV2|WV1|WV2}`. Bounds:
 //! `--depth D`, `--preemptions P`, `--max-runs R`, `--max-states S`.
-//! Ablation: `--no-por`, `--no-dedup`. Observability: `--progress N`
-//! (stderr counters every N runs), `--json PATH` (one `RunRecord` per
-//! explored crash pattern, schema in `OBSERVABILITY.md`). Counterexamples
-//! are written to `--counterexample PATH` (default
+//! Parallelism: `--threads N` (`0`/`auto` = available parallelism, the
+//! default; every verdict, counter and counterexample byte is identical
+//! for every `N`). Ablation: `--no-por`, `--no-dedup`. Observability:
+//! `--progress N` (stderr counters every N runs), `--json PATH` (one
+//! `RunRecord` per explored crash pattern, schema in `OBSERVABILITY.md`),
+//! `--bench-json PATH` (machine-readable wall-clock/throughput summary of
+//! the checked cells — the format recorded in `BENCH_model_check.json`).
+//! Counterexamples are written to `--counterexample PATH` (default
 //! `target/model_check/<cell>.schedule`) and replayed with `--replay`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use kset_core::ValidityCondition;
 use kset_experiments::checker::{
@@ -48,9 +53,11 @@ struct Args {
     no_por: bool,
     no_dedup: bool,
     progress: Option<u64>,
+    threads: Option<usize>,
     counterexample: Option<PathBuf>,
     replay: Option<PathBuf>,
     json: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
     smoke: bool,
 }
 
@@ -68,9 +75,11 @@ fn parse_args() -> Args {
         no_por: false,
         no_dedup: false,
         progress: None,
+        threads: None,
         counterexample: None,
         replay: None,
         json: None,
+        bench_json: None,
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -101,9 +110,17 @@ fn parse_args() -> Args {
             "--no-por" => parsed.no_por = true,
             "--no-dedup" => parsed.no_dedup = true,
             "--progress" => parsed.progress = Some(value("--progress").parse().expect("--progress")),
+            "--threads" => {
+                let raw = value("--threads");
+                parsed.threads = Some(
+                    kset_experiments::engine::parse_threads(&raw)
+                        .unwrap_or_else(|| panic!("--threads wants a count, 0 or 'auto', got {raw:?}")),
+                );
+            }
             "--counterexample" => parsed.counterexample = Some(value("--counterexample").into()),
             "--replay" => parsed.replay = Some(value("--replay").into()),
             "--json" => parsed.json = Some(value("--json").into()),
+            "--bench-json" => parsed.bench_json = Some(value("--bench-json").into()),
             "--smoke" => parsed.smoke = true,
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -128,6 +145,88 @@ fn apply_bounds(cfg: &mut CheckerConfig, args: &Args) {
     cfg.por = !args.no_por;
     cfg.dedup = !args.no_dedup;
     cfg.progress = args.progress;
+    if let Some(threads) = args.threads {
+        cfg.threads = threads;
+    }
+}
+
+/// One timed cell for the `--bench-json` summary.
+struct BenchCell {
+    label: String,
+    verdict: &'static str,
+    patterns: usize,
+    runs: u64,
+    states: usize,
+    tasks: u64,
+    wall_s: f64,
+}
+
+impl BenchCell {
+    fn from_verdict(cfg: &CheckerConfig, verdict: &CellVerdict, wall_s: f64) -> Self {
+        BenchCell {
+            label: format!(
+                "{} SC(k={},t={},{}) n={}",
+                cfg.protocol.name(),
+                cfg.k,
+                cfg.t,
+                cfg.validity,
+                cfg.n
+            ),
+            verdict: if verdict.holds() { "holds" } else { "violated" },
+            patterns: verdict.patterns.len(),
+            runs: verdict.runs,
+            states: verdict.patterns.iter().map(|p| p.states).sum(),
+            tasks: verdict.patterns.iter().map(|p| p.tasks).sum(),
+            wall_s,
+        }
+    }
+}
+
+/// Writes the machine-readable timing summary. Hand-rolled JSON: every
+/// value is a number or an escape-free string, and keeping `serde_json`
+/// out of the hot binary's required path keeps the bench usable in
+/// minimal build environments.
+fn write_bench_json(path: &PathBuf, threads: usize, cells: &[BenchCell]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let total_wall: f64 = cells.iter().map(|c| c.wall_s).sum();
+    let total_runs: u64 = cells.iter().map(|c| c.runs).sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"model_check_certification\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"host_logical_cpus\": {},\n",
+        kset_experiments::engine::available_threads()
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"verdict\": \"{}\", \"patterns\": {}, \"runs\": {}, \"states\": {}, \"tasks\": {}, \"wall_s\": {:.3}, \"runs_per_s\": {:.0}}}{}\n",
+            c.label,
+            c.verdict,
+            c.patterns,
+            c.runs,
+            c.states,
+            c.tasks,
+            c.wall_s,
+            c.runs as f64 / c.wall_s.max(1e-9),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_runs\": {total_runs},\n"));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
+    out.push_str(&format!(
+        "  \"runs_per_s\": {:.0}\n",
+        total_runs as f64 / total_wall.max(1e-9)
+    ));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
 }
 
 fn default_counterexample_path(cfg: &CheckerConfig) -> PathBuf {
@@ -146,8 +245,19 @@ fn default_counterexample_path(cfg: &CheckerConfig) -> PathBuf {
 /// counterexample when violated; emits run records when asked. Returns
 /// whether the outcome matched `expect_holds` (`None` = any outcome is
 /// fine).
-fn run_cell(cfg: &CheckerConfig, args: &Args, expect_holds: Option<bool>) -> (bool, CellVerdict) {
+fn run_cell(
+    cfg: &CheckerConfig,
+    args: &Args,
+    expect_holds: Option<bool>,
+    bench: &mut Vec<BenchCell>,
+) -> (bool, CellVerdict) {
+    let started = Instant::now();
     let verdict = check_cell(cfg);
+    bench.push(BenchCell::from_verdict(
+        cfg,
+        &verdict,
+        started.elapsed().as_secs_f64(),
+    ));
     println!(
         "SC(k={}, t={}, {}) for {} at n={}: {}",
         cfg.k,
@@ -248,6 +358,14 @@ fn main() -> ExitCode {
         };
     }
 
+    let mut bench: Vec<BenchCell> = Vec::new();
+    let report_bench = |bench: &[BenchCell], threads: usize| {
+        if let Some(path) = &args.bench_json {
+            write_bench_json(path, threads, bench).expect("write --bench-json");
+            println!("  (timing summary written to {})", path.display());
+        }
+    };
+
     if let Some(protocol) = args.protocol {
         // Explicit single-cell mode.
         let n = args.n.expect("--protocol needs --n");
@@ -256,7 +374,8 @@ fn main() -> ExitCode {
         let validity = args.validity.expect("--protocol needs --validity");
         let mut cfg = CheckerConfig::new(protocol, n, k, t, validity);
         apply_bounds(&mut cfg, &args);
-        let (ok, _) = run_cell(&cfg, &args, None);
+        let (ok, _) = run_cell(&cfg, &args, None, &mut bench);
+        report_bench(&bench, cfg.threads);
         return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
@@ -276,7 +395,7 @@ fn main() -> ExitCode {
         ValidityCondition::RV1,
     );
     apply_bounds(&mut holds_cfg, &args);
-    let (cell_ok, verdict) = run_cell(&holds_cfg, &args, Some(true));
+    let (cell_ok, verdict) = run_cell(&holds_cfg, &args, Some(true), &mut bench);
     ok &= cell_ok;
     ok &= run_cross_validation(&holds_cfg, &verdict);
 
@@ -289,7 +408,8 @@ fn main() -> ExitCode {
         ValidityCondition::RV1,
     );
     apply_bounds(&mut viol_cfg, &args);
-    ok &= run_cell(&viol_cfg, &args, Some(false)).0;
+    ok &= run_cell(&viol_cfg, &args, Some(false), &mut bench).0;
+    report_bench(&bench, viol_cfg.threads);
 
     println!(
         "\n{}",

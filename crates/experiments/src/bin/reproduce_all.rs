@@ -1,12 +1,15 @@
 //! One-shot reproduction driver: Figure 1, all four atlases at `n = 64`,
 //! the empirical validation pass, and the impossibility re-enactments.
 //!
-//! Usage: `reproduce_all [--empirical-n N] [--seeds S] [--json PATH]`
-//! (defaults: N = 8, S = 3). Atlas CSVs are written to `target/figures/`.
-//! With `--json`, every empirical run is additionally emitted as one
-//! `RunRecord` JSON line (with kernel metrics enabled) to `PATH` — see
-//! `OBSERVABILITY.md` for the schema — and a per-protocol metrics rollup
-//! is printed after the validation table.
+//! Usage: `reproduce_all [--empirical-n N] [--seeds S] [--json PATH]
+//! [--threads T]` (defaults: N = 8, S = 3, T = available parallelism).
+//! Atlas CSVs are written to `target/figures/`. With `--json`, every
+//! empirical run is additionally emitted as one `RunRecord` JSON line
+//! (with kernel metrics enabled) to `PATH` — see `OBSERVABILITY.md` for
+//! the schema — and a per-protocol metrics rollup is printed after the
+//! validation table. Empirical cells run on a work-stealing pool; every
+//! table, artifact and record file is merged in cell order and therefore
+//! byte-identical for every thread count.
 
 use std::fs;
 use std::io::Write as _;
@@ -14,6 +17,7 @@ use std::io::Write as _;
 use kset_core::lattice::Lattice;
 use kset_core::ValidityCondition;
 use kset_experiments::cells::validate_cell_with;
+use kset_experiments::engine;
 use kset_experiments::record_sink::JsonlSink;
 use kset_experiments::{counterexamples, report};
 use kset_regions::{render, Atlas, Model};
@@ -23,6 +27,7 @@ fn main() {
     let mut empirical_n = 8usize;
     let mut seeds = 5u64;
     let mut json_path: Option<String> = None;
+    let mut threads = engine::available_threads();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,6 +45,11 @@ fn main() {
             }
             "--json" => {
                 json_path = Some(args.next().expect("--json needs a path"));
+            }
+            "--threads" => {
+                let raw = args.next().expect("--threads needs a value");
+                threads = engine::parse_threads(&raw)
+                    .unwrap_or_else(|| panic!("--threads wants a count, 0 or 'auto', got {raw:?}"));
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -86,35 +96,43 @@ fn main() {
     let mut sink = json_path
         .as_ref()
         .map(|p| JsonlSink::create(p).expect("create --json sink"));
-    let mut records = Vec::new();
-    let mut rows = Vec::new();
+    let mut cells: Vec<(Model, ValidityCondition, usize, usize)> = Vec::new();
     for model in Model::ALL {
         for validity in ValidityCondition::ALL {
             for k in 2..empirical_n {
                 for t in 1..=empirical_n {
-                    let cell = validate_cell_with(
-                        model,
-                        validity,
-                        empirical_n,
-                        k,
-                        t,
-                        0..seeds,
-                        metrics,
-                        |record| {
-                            if let Some(sink) = sink.as_mut() {
-                                sink.write(&record).expect("write run record");
-                            }
-                            records.push(record);
-                        },
-                    );
-                    match cell {
-                        Ok(Some(row)) => rows.push(row),
-                        Ok(None) => {}
-                        Err(e) => panic!("simulator failure: {e}"),
-                    }
+                    cells.push((model, validity, k, t));
                 }
             }
         }
+    }
+    let results = engine::parallel_map(threads, cells, |_, (model, validity, k, t)| {
+        let mut cell_records = Vec::new();
+        let cell = validate_cell_with(
+            model,
+            validity,
+            empirical_n,
+            k,
+            t,
+            0..seeds,
+            metrics,
+            |record| cell_records.push(record),
+        );
+        match cell {
+            Ok(row) => (row, cell_records),
+            Err(e) => panic!("simulator failure: {e}"),
+        }
+    });
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for (row, cell_records) in results {
+        rows.extend(row);
+        if let Some(sink) = sink.as_mut() {
+            for record in &cell_records {
+                sink.write(record).expect("write run record");
+            }
+        }
+        records.extend(cell_records);
     }
     print!("{}", report::validation_table(&rows));
     let total_runs: usize = rows.iter().map(|r| r.runs).sum();

@@ -53,6 +53,43 @@
 //! schedule, so [`check_cell`] runs one exploration per pattern from
 //! [`kset_adversary::plans::all_silent_crash_patterns`].
 //!
+//! # Parallel exploration
+//!
+//! Stateless re-execution is embarrassingly parallel: two work items never
+//! share kernel state, so any partition of the tree can run on any worker.
+//! [`explore_pattern`] shards each crash pattern's tree at its **first
+//! deviation from the canonical run**: the empty-prefix run is executed
+//! once, every sibling it would enqueue becomes an independent *task*, and
+//! [`crate::engine::parallel_drain_chunked`] drains the tasks across
+//! [`CheckerConfig::threads`] workers stealing from a shared queue. Tasks
+//! are not subtrees run to completion: after a constant run budget
+//! (`TASK_BUDGET` schedules) a task spills its remaining DFS stack back
+//! into the queue as fresh tasks, which both load-balances wildly skewed
+//! subtrees and bounds how stale any worker's view of the dedup table can
+//! get.
+//!
+//! Three rules keep every observable — verdicts, counters, counterexample
+//! bytes — **identical for every thread count**:
+//!
+//! * **Dedup sharing is chunk-synchronized.** Unrestricted sharing of the
+//!   visited table would stay *sound* under concurrent insertion
+//!   (deduplication only ever over-approximates "explore again"; a missed
+//!   or lost hit costs time, never coverage), but whether a hit lands
+//!   would depend on worker timing, and with it the run counters. So the
+//!   table is sharded by task instead: a task prunes against a **frozen
+//!   snapshot** — the tables of every task in *earlier* waves, merged in
+//!   task order at the wave barrier — plus its own insertions. What a task
+//!   can see is then a function of its index alone. The price is the hits
+//!   two tasks in the *same* wave could have fed each other; that is the
+//!   whole time-vs-determinism trade, and it is bounded by the wave width.
+//! * **Early exit is chunk-aligned.** Tasks are processed in fixed-size
+//!   waves; a violation stops the search at the next wave boundary, and
+//!   every task of a processed wave runs to completion. The executed set
+//!   is therefore a pure function of the task list.
+//! * **The reported violation is the canonically first one** — lowest task
+//!   index, not earliest wall-clock discovery — and shrinking re-executes
+//!   deterministically from it.
+//!
 //! When a run violates the `SC(k, t, C)` specification, the schedule is
 //! [shrunk][shrink_counterexample] greedily and emitted as a plain-text
 //! replay script (see [`write_counterexample`]) that the `model_check`
@@ -100,10 +137,14 @@ pub struct CheckerConfig {
     /// that switch away from a process which still had an enabled event.
     /// `None` means unbounded.
     pub preemptions: Option<usize>,
-    /// Maximum number of executed schedules per crash pattern.
+    /// Run budget of one crash pattern's exploration. Enforced per task
+    /// and, deterministically, at every wave boundary of the parallel
+    /// drain (see the module docs), so the total may overshoot by at most
+    /// one wave of task budgets; hitting it marks the verdict incomplete.
     pub max_runs: u64,
-    /// Maximum number of cached state fingerprints per pattern; when full,
-    /// exploration continues but stops memoizing (sound, just slower).
+    /// Maximum number of sleep-set entries cached per task's visited
+    /// table; when full, exploration continues but stops memoizing
+    /// (sound, just slower).
     pub max_states: usize,
     /// Partial-order reduction (no-op preference + sleep sets). Disabling
     /// explores the raw schedule tree.
@@ -112,6 +153,10 @@ pub struct CheckerConfig {
     pub dedup: bool,
     /// Emit a progress line to stderr every this many runs.
     pub progress: Option<u64>,
+    /// Worker threads for the parallel exploration engine. Verdicts,
+    /// counters and counterexamples are identical for every value (see
+    /// the module docs); only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl CheckerConfig {
@@ -138,6 +183,7 @@ impl CheckerConfig {
             por: true,
             dedup: true,
             progress: None,
+            threads: crate::engine::available_threads(),
         }
     }
 
@@ -212,6 +258,16 @@ pub fn execute_schedule(
     let n = inputs.len();
     let sched = ChoiceScheduler::new(prefix.to_vec()).prefer_noops(por);
     let log = sched.log_handle();
+    // The kernel consumes (and at run end drops) the scheduler, so once
+    // the run returns this handle is the log's only owner and the
+    // recorded points move out without the per-run deep clone the
+    // explorer used to pay on its hottest path.
+    let take_log = |log: std::rc::Rc<std::cell::RefCell<ChoiceLog>>| -> ChoiceLog {
+        match std::rc::Rc::try_unwrap(log) {
+            Ok(cell) => cell.into_inner(),
+            Err(shared) => shared.borrow().clone(),
+        }
+    };
     let metrics_config = if metrics {
         MetricsConfig::enabled()
     } else {
@@ -231,7 +287,7 @@ pub fn execute_schedule(
             .metrics(metrics_config)
             .run_digested(procs)?;
         Ok(ScheduleRun {
-            log: log.borrow().clone(),
+            log: take_log(log),
             digests,
             decisions: outcome.decisions,
             faulty: outcome.faulty,
@@ -254,7 +310,7 @@ pub fn execute_schedule(
             .metrics(metrics_config)
             .run_digested(procs)?;
         Ok(ScheduleRun {
-            log: log.borrow().clone(),
+            log: take_log(log),
             digests,
             decisions: outcome.decisions,
             faulty: outcome.faulty,
@@ -296,7 +352,7 @@ pub struct PatternVerdict {
     pub crashed: Vec<ProcessId>,
     /// Schedules executed.
     pub runs: u64,
-    /// Distinct state fingerprints cached.
+    /// Sleep-set entries cached across every task's visited table.
     pub states: usize,
     /// Branches skipped because the alternative was asleep.
     pub sleep_skips: u64,
@@ -307,6 +363,10 @@ pub struct PatternVerdict {
     pub complete: bool,
     /// Largest number of distinct correct decisions observed in any run.
     pub worst_agreement: usize,
+    /// Exploration tasks the engine executed for this pattern: the
+    /// canonical run, one per first deviation from it, and one per
+    /// budget-split continuation (see the module docs).
+    pub tasks: u64,
     /// The first violation found, already shrunk.
     pub violation: Option<Counterexample>,
 }
@@ -333,43 +393,251 @@ struct WorkItem {
     preemptions: usize,
 }
 
-/// Explores every schedule of `protocol` under one crash pattern,
-/// checking each completed run against `spec`. Stops at the first
-/// violation (unshrunk; [`check_cell`] shrinks it).
+/// Runs one exploration task may execute before it spills the rest of its
+/// DFS stack back to the scheduler as a single continuation task. The
+/// budget is a constant of the algorithm — never derived from the thread
+/// count — so the task decomposition is identical for every `threads`
+/// value. It sets the engine's re-synchronization granularity twice over:
+/// no worker can run ahead of the shared dedup table by more than this
+/// many schedules, and no task is large enough to leave sibling workers
+/// idle behind it. The continuation carries the *whole* stack (rather
+/// than one task per stacked item) so adjacent sibling subtrees keep
+/// exploring under one task-local table — splitting them apart would put
+/// heavily-overlapping regions into the same wave, exactly where they
+/// cannot share dedup state.
+const TASK_BUDGET: u64 = 2048;
+
+/// A task-local visited table: node fingerprints already expanded, each
+/// with the minimal antichain of sleep sets it was expanded under.
 ///
-/// # Panics
-///
-/// Panics on simulator configuration errors (the checker builds its own
-/// systems, so these are bugs, not inputs).
-pub fn explore_pattern(
+/// The subset rule needs *every* incomparable sleep set a fingerprint was
+/// expanded with — but it never needs a superset of another entry: if
+/// `small ⊆ big` are both stored, any query pruned by `big` (`big ⊆ q`)
+/// is already pruned by `small`. [`Visited::insert`] therefore drops
+/// stored supersets of each new entry, keeping buckets minimal — which is
+/// also what keeps the per-visit subset scan from degrading into the
+/// O(visits²) behaviour the original flat-list buckets had on cells whose
+/// states are revisited under many incomparable sleep sets.
+#[derive(Default)]
+struct Visited {
+    map: HashMap<u64, Vec<Box<[SleepEntry]>>>,
+    /// Cumulative insertions (the memoization budget `max_states` caps).
+    inserted: usize,
+}
+
+impl Visited {
+    /// The subset-rule check: was `fingerprint` expanded under a sleep set
+    /// contained in `sleep`? (If so, that visit explored a superset of
+    /// this node's successors and the node can be pruned.)
+    fn covers(&self, fingerprint: u64, sleep: &[SleepEntry]) -> bool {
+        self.map
+            .get(&fingerprint)
+            .is_some_and(|seen| seen.iter().any(|s| sleep_subset(s, sleep)))
+    }
+
+    /// Records that `fingerprint` is being expanded under `sleep`,
+    /// dropping stored supersets of `sleep` so the bucket stays a minimal
+    /// antichain.
+    fn insert(&mut self, fingerprint: u64, sleep: &[SleepEntry]) {
+        let seen = self.map.entry(fingerprint).or_default();
+        seen.retain(|s| !sleep_subset(sleep, s));
+        seen.push(sleep.to_vec().into_boxed_slice());
+        self.inserted += 1;
+    }
+
+    /// Folds another table into this one, keeping each bucket a minimal
+    /// antichain. Entries already covered here are skipped, so the merged
+    /// *set* of minimal elements — and with it every future
+    /// [`Visited::covers`] answer — is independent of merge order (only
+    /// the unobservable bucket layout varies).
+    fn merge_from(&mut self, other: &Visited) {
+        for (&fingerprint, bucket) in &other.map {
+            for sleep in bucket {
+                if !self.covers(fingerprint, sleep) {
+                    self.insert(fingerprint, sleep);
+                }
+            }
+        }
+    }
+}
+
+/// Counters and outcome of one exploration task (a subtree DFS), merged
+/// by [`explore_pattern`] in task order.
+struct TaskOutcome {
+    runs: u64,
+    states: usize,
+    sleep_skips: u64,
+    dedup_hits: u64,
+    complete: bool,
+    worst_agreement: usize,
+    violation: Option<Counterexample>,
+    /// The task's own insertions, folded into the shared snapshot at the
+    /// wave barrier so later waves prune against them.
+    visited: Visited,
+    /// The remaining DFS stack when [`TASK_BUDGET`] ran out, re-enqueued
+    /// verbatim as one continuation task; empty when the task finished.
+    spill: Vec<WorkItem>,
+}
+
+impl TaskOutcome {
+    fn new() -> Self {
+        TaskOutcome {
+            runs: 0,
+            states: 0,
+            sleep_skips: 0,
+            dedup_hits: 0,
+            complete: true,
+            worst_agreement: 0,
+            violation: None,
+            visited: Visited::default(),
+            spill: Vec::new(),
+        }
+    }
+}
+
+/// Walks the beyond-prefix decision points of one executed run: dedup
+/// bookkeeping against the task-local `visited`, sibling generation onto
+/// `stack` (per point, in reverse canonical order, so the canonically
+/// first sibling pops first under LIFO — the order the accumulated sleep
+/// sets assume).
+fn walk_run(
+    cfg: &CheckerConfig,
+    item: WorkItem,
+    run: &ScheduleRun,
+    global: &Visited,
+    out: &mut TaskOutcome,
+    stack: &mut Vec<WorkItem>,
+) {
+    let mut sleep = item.sleep;
+    let taken = run.log.taken_indices();
+    for d in item.prefix.len()..run.log.points.len() {
+        let point = &run.log.points[d];
+
+        // Deduplicate on the state this point decides from (the state
+        // after d fired events; the root state, d = 0, is unique per
+        // pattern anyway). `global` is the frozen pre-wave snapshot; new
+        // insertions go to the task-local table.
+        if cfg.dedup && d > 0 {
+            let fingerprint = run.digests[d - 1];
+            if global.covers(fingerprint, &sleep) || out.visited.covers(fingerprint, &sleep)
+            {
+                out.dedup_hits += 1;
+                break;
+            }
+            if out.visited.inserted < cfg.max_states {
+                out.visited.insert(fingerprint, &sleep);
+                out.states += 1;
+            }
+        }
+
+        let taken_meta = point.taken_meta();
+        if !point.forced {
+            if d >= cfg.depth {
+                // Depth bound: drop this point's alternatives.
+                let dropped = point.options.iter().enumerate().any(|(i, o)| {
+                    i != point.taken
+                        && !o.noop
+                        && !sleep.iter().any(|s| s.id == o.meta.id)
+                });
+                if dropped {
+                    out.complete = false;
+                }
+            } else {
+                let prev_target =
+                    (d > 0).then(|| run.log.points[d - 1].taken_meta().target);
+                // Alternatives in canonical order; `explored` grows so
+                // each later sibling sleeps on the earlier ones (their
+                // subtrees complete first under LIFO scheduling).
+                let mut explored = vec![SleepEntry {
+                    id: taken_meta.id,
+                    target: taken_meta.target,
+                }];
+                let mut children: Vec<WorkItem> = Vec::new();
+                for (i, opt) in point.options.iter().enumerate() {
+                    if i == point.taken || opt.noop {
+                        continue;
+                    }
+                    if sleep.iter().any(|s| s.id == opt.meta.id) {
+                        out.sleep_skips += 1;
+                        continue;
+                    }
+                    let mut preemptions = item.preemptions;
+                    if let Some(bound) = cfg.preemptions {
+                        let preempts = prev_target.is_some_and(|prev| {
+                            opt.meta.target != prev
+                                && point
+                                    .options
+                                    .iter()
+                                    .any(|o| !o.noop && o.meta.target == prev)
+                        });
+                        if preempts {
+                            preemptions += 1;
+                        }
+                        if preemptions > bound {
+                            out.complete = false;
+                            continue;
+                        }
+                    }
+                    let mut prefix = Vec::with_capacity(d + 1);
+                    prefix.extend_from_slice(&taken[..d]);
+                    prefix.push(i);
+                    let mut child_sleep =
+                        Vec::with_capacity(sleep.len() + explored.len());
+                    child_sleep.extend(
+                        sleep
+                            .iter()
+                            .chain(explored.iter())
+                            .filter(|s| s.target != opt.meta.target)
+                            .copied(),
+                    );
+                    children.push(WorkItem {
+                        prefix,
+                        sleep: child_sleep,
+                        preemptions,
+                    });
+                    explored.push(SleepEntry {
+                        id: opt.meta.id,
+                        target: opt.meta.target,
+                    });
+                }
+                // Reverse so the canonically-first sibling pops first;
+                // its whole subtree finishes before the next sibling,
+                // which is what the accumulated sleep sets assume.
+                for child in children.into_iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+        // Firing the taken event wakes its dependents.
+        sleep.retain(|s| s.target != taken_meta.target);
+    }
+}
+
+/// Runs one exploration task: a serial DFS over the stack segment
+/// `stack`, pruning against the frozen `global` snapshot plus a
+/// task-owned visited table. Stops at the task's first violation (in DFS
+/// order), at the `max_runs` truncation bound (marking the verdict
+/// incomplete), or at [`TASK_BUDGET`] — in which case the unexplored
+/// stack is spilled back to the scheduler, not dropped.
+fn explore_task(
     cfg: &CheckerConfig,
     inputs: &[u64],
     spec: &ProblemSpec,
     plan: &FaultPlan,
-) -> PatternVerdict {
-    let crashed = plan.faulty_set();
-    let mut verdict = PatternVerdict {
-        crashed: crashed.clone(),
-        runs: 0,
-        states: 0,
-        sleep_skips: 0,
-        dedup_hits: 0,
-        complete: true,
-        worst_agreement: 0,
-        violation: None,
-    };
-    // Node fingerprints already expanded, with the sleep sets they were
-    // expanded under (the subset rule needs them all, not just the first).
-    let mut visited: HashMap<u64, Vec<Vec<SleepEntry>>> = HashMap::new();
-    let mut stack: Vec<WorkItem> = vec![WorkItem {
-        prefix: Vec::new(),
-        sleep: Vec::new(),
-        preemptions: 0,
-    }];
-
+    crashed: &[ProcessId],
+    global: &Visited,
+    stack: Vec<WorkItem>,
+) -> TaskOutcome {
+    let mut out = TaskOutcome::new();
+    let mut stack = stack;
     while let Some(item) = stack.pop() {
-        if verdict.runs >= cfg.max_runs {
-            verdict.complete = false;
+        if out.runs >= cfg.max_runs {
+            out.complete = false;
+            break;
+        }
+        if out.runs >= TASK_BUDGET {
+            stack.push(item);
+            out.spill = std::mem::take(&mut stack);
             break;
         }
         let run = execute_schedule(
@@ -382,133 +650,141 @@ pub fn explore_pattern(
             false,
         )
         .expect("checker-built system configurations are valid");
-        verdict.runs += 1;
+        out.runs += 1;
         if let Some(every) = cfg.progress {
-            if verdict.runs % every == 0 {
+            if out.runs % every == 0 {
                 eprintln!(
-                    "[model_check] {} crashed={:?}: {} runs, {} states, {} frontier, {} dedup hits, {} sleep skips",
+                    "[model_check] {} crashed={:?}: task at {} runs, {} states, {} frontier, {} dedup hits, {} sleep skips",
                     cfg.protocol.name(),
                     crashed,
-                    verdict.runs,
-                    verdict.states,
+                    out.runs,
+                    out.states,
                     stack.len(),
-                    verdict.dedup_hits,
-                    verdict.sleep_skips,
+                    out.dedup_hits,
+                    out.sleep_skips,
                 );
             }
         }
 
-        verdict.worst_agreement = verdict
-            .worst_agreement
-            .max(run.distinct_correct_decisions());
+        out.worst_agreement = out.worst_agreement.max(run.distinct_correct_decisions());
         if let Some(message) = violation_of(spec, inputs, &run) {
-            verdict.violation = Some(Counterexample {
-                crashed: crashed.clone(),
+            out.violation = Some(Counterexample {
+                crashed: crashed.to_vec(),
                 choices: run.log.taken_indices(),
                 fired: run.log.fired_ids(),
                 violation: message,
             });
             break;
         }
+        walk_run(cfg, item, &run, global, &mut out, &mut stack);
+    }
+    out
+}
 
-        // Walk the beyond-prefix decision points, enqueueing siblings.
-        let mut sleep = item.sleep;
-        let taken = run.log.taken_indices();
-        for d in item.prefix.len()..run.log.points.len() {
-            let point = &run.log.points[d];
+/// Explores every schedule of `protocol` under one crash pattern,
+/// checking each completed run against `spec`, across
+/// [`CheckerConfig::threads`] workers. Stops at the canonically first
+/// violation (unshrunk; [`check_cell`] shrinks it) at the next task-chunk
+/// boundary. Every field of the verdict is identical for every thread
+/// count (see the module docs).
+///
+/// # Panics
+///
+/// Panics on simulator configuration errors (the checker builds its own
+/// systems, so these are bugs, not inputs).
+pub fn explore_pattern(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    plan: &FaultPlan,
+) -> PatternVerdict {
+    let crashed = plan.faulty_set();
 
-            // Deduplicate on the state this point decides from (the state
-            // after d fired events; the root state, d = 0, is unique per
-            // pattern anyway).
-            if cfg.dedup && d > 0 {
-                let fingerprint = run.digests[d - 1];
-                let seen = visited.entry(fingerprint).or_default();
-                if seen.iter().any(|s| sleep_subset(s, &sleep)) {
-                    verdict.dedup_hits += 1;
-                    break;
-                }
-                if verdict.states < cfg.max_states {
-                    seen.push(sleep.clone());
-                    verdict.states += 1;
-                }
-            }
+    // Phase 1: the canonical (empty-prefix) run seeds the task list. Its
+    // walk records states into its own table, which becomes the initial
+    // shared snapshot — exactly the serial explorer's view after run 1.
+    let mut root_out = TaskOutcome::new();
+    let mut seeded: Vec<WorkItem> = Vec::new();
+    let root_run = execute_schedule(cfg.protocol, inputs, cfg.t, plan, &[], cfg.por, false)
+        .expect("checker-built system configurations are valid");
+    root_out.runs = 1;
+    root_out.worst_agreement = root_run.distinct_correct_decisions();
+    if let Some(message) = violation_of(spec, inputs, &root_run) {
+        root_out.violation = Some(Counterexample {
+            crashed: crashed.clone(),
+            choices: root_run.log.taken_indices(),
+            fired: root_run.log.fired_ids(),
+            violation: message,
+        });
+    } else {
+        let empty = Visited::default();
+        walk_run(
+            cfg,
+            WorkItem {
+                prefix: Vec::new(),
+                sleep: Vec::new(),
+                preemptions: 0,
+            },
+            &root_run,
+            &empty,
+            &mut root_out,
+            &mut seeded,
+        );
+    }
 
-            let taken_meta = point.taken_meta();
-            if !point.forced {
-                if d >= cfg.depth {
-                    // Depth bound: drop this point's alternatives.
-                    let dropped = point.options.iter().enumerate().any(|(i, o)| {
-                        i != point.taken
-                            && !o.noop
-                            && !sleep.iter().any(|s| s.id == o.meta.id)
-                    });
-                    if dropped {
-                        verdict.complete = false;
-                    }
-                } else {
-                    let prev_target =
-                        (d > 0).then(|| run.log.points[d - 1].taken_meta().target);
-                    // Alternatives in canonical order; `explored` grows so
-                    // each later sibling sleeps on the earlier ones (their
-                    // subtrees complete first under LIFO scheduling).
-                    let mut explored = vec![SleepEntry {
-                        id: taken_meta.id,
-                        target: taken_meta.target,
-                    }];
-                    let mut children: Vec<WorkItem> = Vec::new();
-                    for (i, opt) in point.options.iter().enumerate() {
-                        if i == point.taken || opt.noop {
-                            continue;
-                        }
-                        if sleep.iter().any(|s| s.id == opt.meta.id) {
-                            verdict.sleep_skips += 1;
-                            continue;
-                        }
-                        let mut preemptions = item.preemptions;
-                        if let Some(bound) = cfg.preemptions {
-                            let preempts = prev_target.is_some_and(|prev| {
-                                opt.meta.target != prev
-                                    && point
-                                        .options
-                                        .iter()
-                                        .any(|o| !o.noop && o.meta.target == prev)
-                            });
-                            if preempts {
-                                preemptions += 1;
-                            }
-                            if preemptions > bound {
-                                verdict.complete = false;
-                                continue;
-                            }
-                        }
-                        let mut prefix = taken[..d].to_vec();
-                        prefix.push(i);
-                        let child_sleep: Vec<SleepEntry> = sleep
-                            .iter()
-                            .chain(explored.iter())
-                            .filter(|s| s.target != opt.meta.target)
-                            .copied()
-                            .collect();
-                        children.push(WorkItem {
-                            prefix,
-                            sleep: child_sleep,
-                            preemptions,
-                        });
-                        explored.push(SleepEntry {
-                            id: opt.meta.id,
-                            target: opt.meta.target,
-                        });
-                    }
-                    // Reverse so the canonically-first sibling pops first;
-                    // its whole subtree finishes before the next sibling,
-                    // which is what the accumulated sleep sets assume.
-                    for child in children.into_iter().rev() {
-                        stack.push(child);
-                    }
+    // Phase 2: drain the first-deviation subtrees in waves, folding each
+    // task's visited table into the shared snapshot — and its counters
+    // into the verdict — at the wave barrier, in claim order. Tasks that
+    // exhaust [`TASK_BUDGET`] spill their remaining stack back into the
+    // queue as fresh tasks. `seeded` is in stack order; reversing it
+    // reproduces the serial explorer's pop order (deepest deviation
+    // first), so violated cells exit after the same shallow wave of small
+    // subtrees the serial search would have tried first.
+    seeded.reverse();
+    let mut verdict = PatternVerdict {
+        crashed: crashed.clone(),
+        runs: root_out.runs,
+        states: root_out.states,
+        sleep_skips: root_out.sleep_skips,
+        dedup_hits: root_out.dedup_hits,
+        complete: root_out.complete,
+        worst_agreement: root_out.worst_agreement,
+        tasks: 1,
+        violation: root_out.violation,
+    };
+    if verdict.violation.is_none() && !seeded.is_empty() {
+        let snapshot = std::mem::take(&mut root_out.visited);
+        let tasks: Vec<Vec<WorkItem>> = seeded.into_iter().map(|item| vec![item]).collect();
+        let mut state = (snapshot, verdict);
+        let stopped_with_work_left = crate::engine::parallel_drain_chunked(
+            cfg.threads,
+            tasks,
+            &mut state,
+            |_, (snapshot, _), stack| {
+                explore_task(cfg, inputs, spec, plan, &crashed, snapshot, stack)
+            },
+            |(snapshot, v), out, queue| {
+                snapshot.merge_from(&out.visited);
+                v.runs += out.runs;
+                v.states += out.states;
+                v.sleep_skips += out.sleep_skips;
+                v.dedup_hits += out.dedup_hits;
+                v.complete &= out.complete;
+                v.worst_agreement = v.worst_agreement.max(out.worst_agreement);
+                v.tasks += 1;
+                if !out.spill.is_empty() {
+                    queue.push(out.spill);
                 }
-            }
-            // Firing the taken event wakes its dependents.
-            sleep.retain(|s| s.target != taken_meta.target);
+                if v.violation.is_none() {
+                    v.violation = out.violation;
+                }
+                v.violation.is_some() || v.runs >= cfg.max_runs
+            },
+        );
+        verdict = state.1;
+        if stopped_with_work_left && verdict.violation.is_none() {
+            // The pattern-level run budget cut the drain short.
+            verdict.complete = false;
         }
     }
     verdict

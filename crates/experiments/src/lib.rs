@@ -23,6 +23,7 @@
 
 pub mod cells;
 pub mod checker;
+pub mod engine;
 pub mod figures;
 pub mod counterexamples;
 pub mod exhaustive;

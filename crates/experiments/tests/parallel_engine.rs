@@ -1,0 +1,86 @@
+//! Thread-count independence of the parallel exploration engine.
+//!
+//! The engine's contract (see `checker`'s module docs) is that worker
+//! count is a pure throughput knob: verdicts, every aggregate counter
+//! and the shrunk counterexample are functions of the task list alone,
+//! never of worker timing. These tests pin that contract on a cell from
+//! each side of the Lemma 3.1 frontier — one where the specification
+//! holds (the full tree is explored and the counters summarize it) and
+//! one where it is violated (early exit and shrinking are exercised).
+
+use kset_core::ValidityCondition;
+use kset_experiments::checker::{check_cell, write_counterexample, CellVerdict, CheckerConfig};
+use kset_experiments::exhaustive::QuorumProtocol;
+
+fn cell(k: usize, t: usize, threads: usize) -> CheckerConfig {
+    let mut cfg = CheckerConfig::new(QuorumProtocol::FloodMin, 3, k, t, ValidityCondition::RV1);
+    cfg.threads = threads;
+    cfg
+}
+
+/// Every observable field of two verdicts must match, pattern by pattern.
+fn assert_identical(a: &CellVerdict, b: &CellVerdict) {
+    assert_eq!(a.runs, b.runs, "total runs");
+    assert_eq!(a.worst_agreement, b.worst_agreement, "worst agreement");
+    assert_eq!(a.complete, b.complete, "completeness");
+    assert_eq!(a.counterexample, b.counterexample, "counterexample");
+    assert_eq!(a.patterns.len(), b.patterns.len(), "patterns explored");
+    for (pa, pb) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(pa.crashed, pb.crashed);
+        assert_eq!(pa.runs, pb.runs, "runs for {:?}", pa.crashed);
+        assert_eq!(pa.states, pb.states, "states for {:?}", pa.crashed);
+        assert_eq!(pa.sleep_skips, pb.sleep_skips, "sleep skips for {:?}", pa.crashed);
+        assert_eq!(pa.dedup_hits, pb.dedup_hits, "dedup hits for {:?}", pa.crashed);
+        assert_eq!(pa.tasks, pb.tasks, "tasks for {:?}", pa.crashed);
+        assert_eq!(pa.complete, pb.complete);
+        assert_eq!(pa.worst_agreement, pb.worst_agreement);
+    }
+}
+
+#[test]
+fn holding_cell_verdict_is_thread_count_independent() {
+    // FloodMin with t < k solves SC(k, t, RV1) — the solvable side of the
+    // Lemma 3.1 frontier. Exhaustive certification must produce the same
+    // counters serially and on four workers.
+    let serial = check_cell(&cell(2, 1, 1));
+    let parallel = check_cell(&cell(2, 1, 4));
+    assert!(serial.complete && serial.holds(), "{serial}");
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn violated_cell_counterexample_is_byte_identical_across_thread_counts() {
+    // SC(1, 1, RV1) is consensus with one crash — the impossible side of
+    // the frontier. The violation, the chunk-aligned early exit, and the
+    // shrunk replay script must all be thread-count independent.
+    let serial = check_cell(&cell(1, 1, 1));
+    let parallel = check_cell(&cell(1, 1, 4));
+    assert!(!serial.holds(), "{serial}");
+    assert_identical(&serial, &parallel);
+
+    // The emitted schedule files must be byte-identical, not merely
+    // equal as structs.
+    let dir = std::env::temp_dir().join(format!("kset-parallel-engine-{}", std::process::id()));
+    let p1 = dir.join("serial.schedule");
+    let p4 = dir.join("parallel.schedule");
+    let ce1 = serial.counterexample.expect("violated");
+    let ce4 = parallel.counterexample.expect("violated");
+    write_counterexample(&p1, &cell(1, 1, 1), &ce1).expect("write");
+    write_counterexample(&p4, &cell(1, 1, 4), &ce4).expect("write");
+    let b1 = std::fs::read(&p1).expect("read back");
+    let b4 = std::fs::read(&p4).expect("read back");
+    assert!(!b1.is_empty());
+    assert_eq!(b1, b4, "shrunk scripts must not depend on thread count");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversubscription_and_odd_thread_counts_agree_too() {
+    // Worker counts far above the host's core count (and a count that
+    // does not divide the wave size) still may not shift any counter.
+    let baseline = check_cell(&cell(2, 1, 1));
+    for threads in [3, 7, 32] {
+        let other = check_cell(&cell(2, 1, threads));
+        assert_identical(&baseline, &other);
+    }
+}

@@ -93,6 +93,10 @@ pub struct ChoiceScheduler {
     prefix: Vec<usize>,
     step: usize,
     prefer_noops: bool,
+    /// Scratch for the canonical permutation, reused across picks so the
+    /// model checker's millions of re-executions don't pay one allocation
+    /// per fired event.
+    canonical: Vec<usize>,
     log: Rc<RefCell<ChoiceLog>>,
 }
 
@@ -103,6 +107,7 @@ impl ChoiceScheduler {
             prefix,
             step: 0,
             prefer_noops: true,
+            canonical: Vec::new(),
             log: Rc::new(RefCell::new(ChoiceLog::default())),
         }
     }
@@ -123,8 +128,12 @@ impl ChoiceScheduler {
 
 impl Scheduler for ChoiceScheduler {
     fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
-        // Canonical order: pending indices sorted by event id.
-        let mut canonical: Vec<usize> = (0..pending.len()).collect();
+        // Canonical order: pending indices sorted by event id. The
+        // permutation lives in a reused scratch buffer; `options` is a
+        // fresh allocation by necessity (it moves into the log).
+        let canonical = &mut self.canonical;
+        canonical.clear();
+        canonical.extend(0..pending.len());
         canonical.sort_by_key(|&i| pending[i].id);
         let options: Vec<ChoiceOption> = canonical
             .iter()
