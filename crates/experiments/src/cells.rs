@@ -193,7 +193,7 @@ fn report_sm<Val>(spec: &ProblemSpec, inputs: &[u64], outcome: &SmOutcome<Val, u
 /// Inputs for a run: unanimous on even seeds (exercising the V2-style
 /// premises), spread otherwise.
 fn inputs_for(n: usize, seed: u64) -> Vec<u64> {
-    if seed.is_multiple_of(2) {
+    if seed % 2 == 0 {
         vec![seed % 7; n]
     } else {
         (0..n).map(|p| (p as u64 + seed) % (n as u64)).collect()

@@ -77,11 +77,7 @@ pub struct MetricsRollup {
 impl MetricsRollup {
     /// Messages sent per decision, rounded down (0 when nothing decided).
     pub fn messages_per_decision(&self) -> u64 {
-        if self.decisions == 0 {
-            0
-        } else {
-            self.messages_sent / self.decisions
-        }
+        self.messages_sent.checked_div(self.decisions).unwrap_or(0)
     }
 }
 

@@ -1,0 +1,66 @@
+//! Deterministic pseudo-randomness for the harness.
+//!
+//! The harness never touches OS entropy: every case is derived from a
+//! stable base seed (a hash of the property name, unless overridden via
+//! the replay environment variable), so a red property fails identically
+//! on every machine and every run.
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny full-period 64-bit generator.
+///
+/// Chosen because it is seedable from a single `u64`, has no warm-up
+/// weakness on small seeds, and is trivially portable — the whole
+/// deterministic-replay contract of the harness rests on this function
+/// producing the same stream everywhere.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a over `bytes`: the stable name→seed hash for [`crate::Runner`].
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_not_constant() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn fnv64_separates_names() {
+        assert_ne!(fnv64(b"floodmin"), fnv64(b"protocol_a"));
+        // Pinned so a silent hash change (which would re-seed every
+        // property in the tree) shows up as a test failure.
+        assert_eq!(fnv64(b""), 0xCBF2_9CE4_8422_2325);
+    }
+}

@@ -148,11 +148,7 @@ impl Histogram {
 
     /// Mean of the recorded samples, rounded down (0 when empty).
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Upper bound on the `q`-quantile (`0.0 ..= 1.0`) of the samples.
