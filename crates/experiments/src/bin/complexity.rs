@@ -14,13 +14,13 @@
 use kset_adversary::plans;
 use kset_core::ValidityCondition;
 use kset_experiments::record_sink::{JsonlSink, RunOutcome, RunRecord};
-use kset_net::{MpOutcome, MpSystem};
+use kset_net::MpSystem;
 use kset_protocols::{
     Emulated, FloodMin, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ProtocolE, ProtocolF,
 };
 use kset_regions::{classify, CellClass, Model};
-use kset_shmem::{SmOutcome, SmSystem};
-use kset_sim::MetricsConfig;
+use kset_shmem::SmSystem;
+use kset_sim::{MetricsConfig, Outcome};
 
 const DEFAULT: u64 = u64::MAX;
 const SEED: u64 = 1;
@@ -70,32 +70,16 @@ impl Recorder {
         }
     }
 
-    fn record_mp(
+    /// Substrate-agnostic recording: MP runs pass their outcome directly;
+    /// SM runs shed the register snapshot first via `SmOutcome::into_run`.
+    fn record_run(
         &mut self,
         protocol: &str,
         model: Model,
         validity: ValidityCondition,
         n: usize,
         t: usize,
-        outcome: MpOutcome<u64>,
-    ) {
-        let run = RunOutcome {
-            terminated: outcome.terminated,
-            decided: outcome.decisions.len(),
-            distinct_decisions: outcome.correct_decision_set().len(),
-            violation: None,
-        };
-        self.record(protocol, model, validity, n, t, run, outcome.stats, outcome.metrics);
-    }
-
-    fn record_sm(
-        &mut self,
-        protocol: &str,
-        model: Model,
-        validity: ValidityCondition,
-        n: usize,
-        t: usize,
-        outcome: SmOutcome<u64, u64>,
+        outcome: Outcome<u64>,
     ) {
         let run = RunOutcome {
             terminated: outcome.terminated,
@@ -162,7 +146,7 @@ fn main() {
             .run_with(|p| FloodMin::boxed(n, t, p as u64))
             .unwrap();
         counts.push(o.stats.messages_delivered);
-        rec.record_mp("FloodMin", Model::MpCrash, ValidityCondition::RV1, n, t, o);
+        rec.record_run("FloodMin", Model::MpCrash, ValidityCondition::RV1, n, t, o);
     }
     row("FloodMin", &counts);
 
@@ -176,7 +160,7 @@ fn main() {
             .run_with(|p| ProtocolA::boxed(n, t, p as u64, DEFAULT))
             .unwrap();
         counts.push(o.stats.messages_delivered);
-        rec.record_mp("Protocol A", Model::MpCrash, ValidityCondition::RV2, n, t, o);
+        rec.record_run("Protocol A", Model::MpCrash, ValidityCondition::RV2, n, t, o);
     }
     row("Protocol A", &counts);
 
@@ -190,7 +174,7 @@ fn main() {
             .run_with(|p| ProtocolB::boxed(n, t, p as u64, DEFAULT))
             .unwrap();
         counts.push(o.stats.messages_delivered);
-        rec.record_mp("Protocol B", Model::MpCrash, ValidityCondition::SV2, n, t, o);
+        rec.record_run("Protocol B", Model::MpCrash, ValidityCondition::SV2, n, t, o);
     }
     row("Protocol B", &counts);
 
@@ -203,7 +187,7 @@ fn main() {
             .run_with(|_| ProtocolC::boxed(n, t, 1, 5u64, DEFAULT))
             .unwrap();
         counts.push(o.stats.messages_delivered);
-        rec.record_mp(
+        rec.record_run(
             "Protocol C(1)",
             Model::MpByzantine,
             ValidityCondition::SV2,
@@ -223,7 +207,7 @@ fn main() {
             .run_with(|p| ProtocolD::boxed(n, t, p as u64))
             .unwrap();
         counts.push(o.stats.messages_delivered);
-        rec.record_mp(
+        rec.record_run(
             "Protocol D",
             Model::MpByzantine,
             ValidityCondition::WV1,
@@ -240,9 +224,10 @@ fn main() {
             .seed(SEED)
             .metrics(rec.metrics)
             .run_with(|p| ProtocolE::boxed(n, n - 1, p as u64, DEFAULT))
-            .unwrap();
+            .unwrap()
+            .into_run();
         counts.push(o.stats.ops_completed);
-        rec.record_sm(
+        rec.record_run(
             "Protocol E",
             Model::SmCrash,
             ValidityCondition::RV2,
@@ -260,9 +245,10 @@ fn main() {
             .seed(SEED)
             .metrics(rec.metrics)
             .run_with(|p| ProtocolF::boxed(n, t, p as u64, DEFAULT))
-            .unwrap();
+            .unwrap()
+            .into_run();
         counts.push(o.stats.ops_completed);
-        rec.record_sm("Protocol F", Model::SmCrash, ValidityCondition::SV2, n, t, o);
+        rec.record_run("Protocol F", Model::SmCrash, ValidityCondition::SV2, n, t, o);
     }
     row("Protocol F*", &counts);
 
@@ -275,7 +261,7 @@ fn main() {
             .run_with(|p| Emulated::boxed(n, t, ProtocolE::new(n, t, p as u64, DEFAULT)))
             .unwrap();
         counts.push(o.stats.messages_delivered);
-        rec.record_mp(
+        rec.record_run(
             "ABD(Protocol E)",
             Model::MpCrash,
             ValidityCondition::RV2,

@@ -9,14 +9,16 @@
 
 use kset_adversary::{plans, EchoSplitter, GroupMimic, Scribbler, Silent, SmSilent};
 use kset_core::{ProblemSpec, RunRecord, ValidityCondition};
-use kset_net::{DynMpProcess, MpOutcome, MpSystem};
+use kset_net::{DynMpProcess, MpSystem};
 use kset_protocols::{
     CMsg, FloodMin, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ProtocolE, ProtocolF, SimSlot,
     Simulated,
 };
 use kset_regions::{classify, math, CellClass, Model};
-use kset_shmem::{DynSmProcess, SmOutcome, SmSystem};
-use kset_sim::{DelayRule, FaultPlan, MetricsConfig, RunMetrics, RunStats, SimError, Until};
+use kset_shmem::{DynSmProcess, SmSystem};
+use kset_sim::{
+    DelayRule, FaultPlan, MetricsConfig, Outcome, RunMetrics, RunStats, SimError, Until,
+};
 
 use crate::record_sink::RunOutcome;
 
@@ -150,27 +152,11 @@ struct RunReport {
     metrics: Option<RunMetrics>,
 }
 
-fn report_mp(spec: &ProblemSpec, inputs: &[u64], outcome: &MpOutcome<u64>) -> RunReport {
-    RunReport {
-        outcome: RunOutcome {
-            terminated: outcome.terminated,
-            decided: outcome.decisions.len(),
-            distinct_decisions: outcome.correct_decision_set().len(),
-            violation: check_outcome(
-                spec,
-                inputs,
-                outcome.decisions.clone(),
-                &outcome.faulty,
-                outcome.terminated,
-            )
-            .err(),
-        },
-        stats: outcome.stats,
-        metrics: outcome.metrics.clone(),
-    }
-}
-
-fn report_sm<Val>(spec: &ProblemSpec, inputs: &[u64], outcome: &SmOutcome<Val, u64>) -> RunReport {
+/// Substrate-agnostic: MP call sites pass `&MpOutcome<u64>` directly (an
+/// alias of the generic outcome); SM call sites coerce through
+/// [`kset_shmem::SmOutcome`]'s `Deref` impl, shedding the register
+/// snapshot.
+fn report(spec: &ProblemSpec, inputs: &[u64], outcome: &Outcome<u64>) -> RunReport {
     RunReport {
         outcome: RunOutcome {
             terminated: outcome.terminated,
@@ -339,7 +325,7 @@ fn run_cell(
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| FloodMin::boxed(n, t, inputs[p]))?;
-            Ok(report_mp(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "Protocol A" => {
             let outcome = MpSystem::new(n)
@@ -361,7 +347,7 @@ fn run_cell(
                         ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(report_mp(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "Protocol B" => {
             let outcome = MpSystem::new(n)
@@ -370,7 +356,7 @@ fn run_cell(
                 .fault_plan(plan)
                 .delay_rules(mp_schedule_rules(n, seed, &faulty))
                 .run_with(|p| ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-            Ok(report_mp(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "Protocol C" => {
             let l = math::protocol_c_witness(n, spec.k(), t)
@@ -391,7 +377,7 @@ fn run_cell(
                         ProtocolC::boxed(n, t, l, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(report_mp(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "Protocol D" => {
             let outcome = MpSystem::new(n)
@@ -406,7 +392,7 @@ fn run_cell(
                         ProtocolD::boxed(n, t, inputs[p])
                     }
                 })?;
-            Ok(report_mp(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "Protocol E" => {
             let outcome = SmSystem::new(n)
@@ -425,7 +411,7 @@ fn run_cell(
                         ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(report_sm(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "Protocol F" => {
             let outcome = SmSystem::new(n)
@@ -444,7 +430,7 @@ fn run_cell(
                         ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE)
                     }
                 })?;
-            Ok(report_sm(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "SIM(FloodMin)" => {
             let outcome = SmSystem::new(n)
@@ -454,7 +440,7 @@ fn run_cell(
                 .fault_plan(plan)
                 .delay_rules(sm_schedule_rules(n, seed))
                 .run_with(|p| Simulated::boxed(n, FloodMin::new(n, t, inputs[p])))?;
-            Ok(report_sm(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "SIM(Protocol B)" => {
             let outcome = SmSystem::new(n)
@@ -466,7 +452,7 @@ fn run_cell(
                 .run_with(|p| {
                     Simulated::boxed(n, ProtocolB::new(n, t, inputs[p], DEFAULT_VALUE))
                 })?;
-            Ok(report_sm(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "SIM(Protocol C)" => {
             let l = math::protocol_c_witness(n, spec.k(), t)
@@ -484,7 +470,7 @@ fn run_cell(
                         Simulated::boxed(n, ProtocolC::new(n, t, l, inputs[p], DEFAULT_VALUE))
                     }
                 })?;
-            Ok(report_sm(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         "SIM(Protocol D)" => {
             let outcome = SmSystem::new(n)
@@ -500,7 +486,7 @@ fn run_cell(
                         Simulated::boxed(n, ProtocolD::new(n, t, inputs[p]))
                     }
                 })?;
-            Ok(report_sm(spec, inputs, &outcome))
+            Ok(report(spec, inputs, &outcome))
         }
         other => unreachable!("no runner for {other}"),
     }

@@ -103,13 +103,13 @@ use std::path::Path;
 
 use kset_adversary::plans::all_silent_crash_patterns;
 use kset_core::{ProblemSpec, ValidityCondition};
-use kset_net::{DynMpProcess, MpSystem};
+use kset_net::{DynMpProcess, MpSubstrate};
 use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
 use kset_regions::Model;
-use kset_shmem::{DynSmProcess, SmSystem};
+use kset_shmem::{DynSmProcess, SmSubstrate};
 use kset_sim::{
     ChoiceLog, ChoiceScheduler, EventId, FaultPlan, MetricsConfig, ProcessId, RunMetrics,
-    RunStats, SimError,
+    RunStats, SimError, System,
 };
 
 use crate::cells::DEFAULT_VALUE;
@@ -273,7 +273,14 @@ pub fn execute_schedule(
     } else {
         MetricsConfig::disabled()
     };
-    if protocol.shared_memory() {
+    // Both models run through the same substrate-generic `System`; only the
+    // process vector differs, so the run configuration and the `ScheduleRun`
+    // assembly below are provably shared code.
+    let sys = System::new(n)
+        .scheduler(sched)
+        .fault_plan(plan.clone())
+        .metrics(metrics_config);
+    let (outcome, digests) = if protocol.shared_memory() {
         let procs: Vec<DynSmProcess<u64, u64>> = (0..n)
             .map(|p| match protocol {
                 QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
@@ -281,20 +288,7 @@ pub fn execute_schedule(
                 _ => unreachable!("shared_memory() gates the protocol"),
             })
             .collect();
-        let (outcome, digests) = SmSystem::new(n)
-            .scheduler(sched)
-            .fault_plan(plan.clone())
-            .metrics(metrics_config)
-            .run_digested(procs)?;
-        Ok(ScheduleRun {
-            log: take_log(log),
-            digests,
-            decisions: outcome.decisions,
-            faulty: outcome.faulty,
-            terminated: outcome.terminated,
-            stats: outcome.stats,
-            metrics: outcome.metrics,
-        })
+        sys.run_digested::<SmSubstrate<u64, u64>>(procs)?
     } else {
         let procs: Vec<DynMpProcess<u64, u64>> = (0..n)
             .map(|p| match protocol {
@@ -304,21 +298,17 @@ pub fn execute_schedule(
                 _ => unreachable!("shared_memory() gates the protocol"),
             })
             .collect();
-        let (outcome, digests) = MpSystem::new(n)
-            .scheduler(sched)
-            .fault_plan(plan.clone())
-            .metrics(metrics_config)
-            .run_digested(procs)?;
-        Ok(ScheduleRun {
-            log: take_log(log),
-            digests,
-            decisions: outcome.decisions,
-            faulty: outcome.faulty,
-            terminated: outcome.terminated,
-            stats: outcome.stats,
-            metrics: outcome.metrics,
-        })
-    }
+        sys.run_digested::<MpSubstrate<u64, u64>>(procs)?
+    };
+    Ok(ScheduleRun {
+        log: take_log(log),
+        digests,
+        decisions: outcome.decisions,
+        faulty: outcome.faulty,
+        terminated: outcome.terminated,
+        stats: outcome.stats,
+        metrics: outcome.metrics,
+    })
 }
 
 /// Checks one run against `SC(k, t, C)`; `Some(message)` on violation.
@@ -1227,34 +1217,33 @@ pub fn replay_fired(saved: &SavedCounterexample) -> (Option<String>, u64) {
         saved.counterexample.fired.iter().copied(),
     )));
     let (n, t) = (saved.n, saved.t);
-    let (decisions, faulty, terminated) = if saved.protocol.shared_memory() {
-        let outcome = SmSystem::new(n)
-            .scheduler(Rc::clone(&sched))
-            .fault_plan(plan)
-            .run_with(|p| match saved.protocol {
+    let sys = System::new(n).scheduler(Rc::clone(&sched)).fault_plan(plan);
+    let outcome = if saved.protocol.shared_memory() {
+        let procs: Vec<DynSmProcess<u64, u64>> = (0..n)
+            .map(|p| match saved.protocol {
                 QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
                 QuorumProtocol::ProtocolF => ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE),
                 _ => unreachable!("shared_memory() gates the protocol"),
             })
-            .expect("saved schedules replay");
-        (outcome.decisions, outcome.faulty, outcome.terminated)
+            .collect();
+        sys.run::<SmSubstrate<u64, u64>>(procs)
+            .expect("saved schedules replay")
     } else {
-        let outcome = MpSystem::new(n)
-            .scheduler(Rc::clone(&sched))
-            .fault_plan(plan)
-            .run_with(|p| match saved.protocol {
+        let procs: Vec<DynMpProcess<u64, u64>> = (0..n)
+            .map(|p| match saved.protocol {
                 QuorumProtocol::FloodMin => FloodMin::boxed(n, t, inputs[p]),
                 QuorumProtocol::ProtocolA => ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE),
                 QuorumProtocol::ProtocolB => ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE),
                 _ => unreachable!("shared_memory() gates the protocol"),
             })
-            .expect("saved schedules replay");
-        (outcome.decisions, outcome.faulty, outcome.terminated)
+            .collect();
+        sys.run::<MpSubstrate<u64, u64>>(procs)
+            .expect("saved schedules replay")
     };
     let record = kset_core::RunRecord::new(inputs)
-        .with_faulty(faulty.iter().copied())
-        .with_decisions(decisions)
-        .with_terminated(terminated);
+        .with_faulty(outcome.faulty.iter().copied())
+        .with_decisions(outcome.decisions)
+        .with_terminated(outcome.terminated);
     let report = spec.check(&record);
     let violation = (!report.is_ok()).then(|| report.to_string());
     let divergences = sched.borrow().divergences();

@@ -307,7 +307,8 @@ pub fn lemma_4_3_frozen_majority() -> Result<Counterexample, SimError> {
         .seed(6)
         .delay_rule(DelayRule::freeze_process(4, Until::AllDecided(group.clone())))
         .delay_rule(DelayRule::freeze_process(5, Until::AllDecided(group)))
-        .run_with(|p| ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
+        .run_with(|p| ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE))?
+        .into_run();
     let spec = ProblemSpec::new(n, k, t, ValidityCondition::SV2).expect("valid spec");
     Ok(build(
         "Lemma 4.3",
@@ -343,7 +344,8 @@ pub fn lemma_4_9_byzantine_first_write() -> Result<Counterexample, SimError> {
             } else {
                 ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE)
             }
-        })?;
+        })?
+        .into_run();
     let spec = ProblemSpec::new(n, k, t, ValidityCondition::RV2).expect("valid spec");
     Ok(build(
         "Lemma 4.9",

@@ -16,11 +16,11 @@
 //! violations immediately outside.
 
 use kset_core::{ProblemSpec, RunRecord, ValidityCondition};
-use kset_net::{MpOutcome, MpSystem};
+use kset_net::MpSystem;
 use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
 use kset_regions::{classify, CellClass, Model};
-use kset_shmem::{SmOutcome, SmSystem};
-use kset_sim::{DelayRule, MetricsConfig, RunMetrics, RunStats, SimError, Until};
+use kset_shmem::SmSystem;
+use kset_sim::{DelayRule, MetricsConfig, Outcome, RunMetrics, RunStats, SimError, Until};
 
 use crate::cells::DEFAULT_VALUE;
 use crate::record_sink::RunOutcome;
@@ -91,28 +91,10 @@ struct ProbeRun {
     metrics: Option<RunMetrics>,
 }
 
-fn probe_report_mp(spec: &ProblemSpec, inputs: &[u64], outcome: MpOutcome<u64>) -> ProbeRun {
-    let distinct_decisions = outcome.correct_decision_set().len();
-    let decided = outcome.decisions.len();
-    let record = RunRecord::new(inputs.to_vec())
-        .with_decisions(outcome.decisions)
-        .with_terminated(outcome.terminated);
-    let report = spec.check(&record);
-    let violation = (!report.is_ok()).then(|| report.to_string());
-    ProbeRun {
-        violated: violation.is_some(),
-        outcome: RunOutcome {
-            terminated: outcome.terminated,
-            decided,
-            distinct_decisions,
-            violation,
-        },
-        stats: outcome.stats,
-        metrics: outcome.metrics,
-    }
-}
-
-fn probe_report_sm(spec: &ProblemSpec, inputs: &[u64], outcome: SmOutcome<u64, u64>) -> ProbeRun {
+/// Substrate-agnostic: MP runs pass their outcome straight through, SM
+/// runs shed the register snapshot first via
+/// [`kset_shmem::SmOutcome::into_run`].
+fn probe_report(spec: &ProblemSpec, inputs: &[u64], outcome: Outcome<u64>) -> ProbeRun {
     let distinct_decisions = outcome.correct_decision_set().len();
     let decided = outcome.decisions.len();
     let record = RunRecord::new(inputs.to_vec())
@@ -199,7 +181,7 @@ pub fn probe_cell_with(
                     .metrics(metrics)
                     .delay_rules(probe_rules_mp(n, groups))
                     .run_with(|p| FloodMin::boxed(n, t, inputs[p]))?;
-                probe_report_mp(&spec, &inputs, outcome)
+                probe_report(&spec, &inputs, outcome)
             }
             "Protocol A" => {
                 let outcome = MpSystem::new(n)
@@ -207,7 +189,7 @@ pub fn probe_cell_with(
                     .metrics(metrics)
                     .delay_rules(probe_rules_mp(n, groups))
                     .run_with(|p| ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-                probe_report_mp(&spec, &inputs, outcome)
+                probe_report(&spec, &inputs, outcome)
             }
             "Protocol B" => {
                 let outcome = MpSystem::new(n)
@@ -215,7 +197,7 @@ pub fn probe_cell_with(
                     .metrics(metrics)
                     .delay_rules(probe_rules_mp(n, groups))
                     .run_with(|p| ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-                probe_report_mp(&spec, &inputs, outcome)
+                probe_report(&spec, &inputs, outcome)
             }
             "Protocol E" => {
                 let outcome = SmSystem::new(n)
@@ -223,7 +205,7 @@ pub fn probe_cell_with(
                     .metrics(metrics)
                     .delay_rules(probe_rules_sm(n, t.min(n - 1).max(1)))
                     .run_with(|p| ProtocolE::boxed(n, t.min(n), inputs[p], DEFAULT_VALUE))?;
-                probe_report_sm(&spec, &inputs, outcome)
+                probe_report(&spec, &inputs, outcome.into_run())
             }
             "Protocol F" => {
                 let outcome = SmSystem::new(n)
@@ -231,7 +213,7 @@ pub fn probe_cell_with(
                     .metrics(metrics)
                     .delay_rules(probe_rules_sm(n, (t + 1).min(n)))
                     .run_with(|p| ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE))?;
-                probe_report_sm(&spec, &inputs, outcome)
+                probe_report(&spec, &inputs, outcome.into_run())
             }
             other => unreachable!("no probe runner for {other}"),
         };

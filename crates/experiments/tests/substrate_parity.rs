@@ -1,0 +1,161 @@
+//! MP/SM parity: the backward-compatible facades and the substrate-generic
+//! [`kset_sim::System`] must drive both communication models through the
+//! same code path with **byte-identical** observables.
+//!
+//! Two layers of pinning:
+//!
+//! * *Facade vs. generic* — the same protocol, seed, fault plan, and
+//!   metrics configuration run once through `MpSystem`/`SmSystem` and once
+//!   through `System::run_digested::<…Substrate>` must produce equal
+//!   outcomes, equal [`kset_sim::StateDigest`] sequences, and (for SM)
+//!   equal register snapshots. This is the refactor's core contract: the
+//!   facades are faces, not forks.
+//! * *Golden constants* — decisions, kernel counters, and an Fnv64 chain
+//!   over the full digest sequence are pinned to values captured **before**
+//!   the substrate layer existed, so the whole stack (facade + generic)
+//!   is anchored to the pre-refactor behavior, not merely to itself.
+
+use std::collections::BTreeMap;
+
+use kset_adversary::plans;
+use kset_core::ValidityCondition;
+use kset_experiments::checker::{check_cell, write_counterexample, CheckerConfig};
+use kset_experiments::exhaustive::QuorumProtocol;
+use kset_net::{DynMpProcess, MpSubstrate, MpSystem};
+use kset_protocols::{FloodMin, ProtocolE};
+use kset_shmem::{DynSmProcess, RegisterId, SmSubstrate, SmSystem};
+use kset_sim::{Fnv64, MetricsConfig, System};
+
+/// Fnv64 chain over a digest sequence: one number pinning every step of a
+/// run's digested evolution.
+fn chain(digests: &[u64]) -> u64 {
+    let mut h = Fnv64::new();
+    for &d in digests {
+        h.write_u64(d);
+    }
+    h.finish()
+}
+
+fn mp_procs() -> Vec<DynMpProcess<u64, u64>> {
+    (0..4).map(|p| FloodMin::boxed(4, 1, p as u64)).collect()
+}
+
+fn sm_procs() -> Vec<DynSmProcess<u64, u64>> {
+    (0..3)
+        .map(|p| ProtocolE::boxed(3, 2, p as u64, u64::MAX))
+        .collect()
+}
+
+#[test]
+fn mp_facade_and_generic_system_are_byte_identical() {
+    let (facade, facade_digests) = MpSystem::new(4)
+        .seed(7)
+        .fault_plan(plans::last_t_silent(4, 1))
+        .metrics(MetricsConfig::enabled())
+        .run_digested(mp_procs())
+        .expect("facade run");
+    let (generic, generic_digests) = System::new(4)
+        .seed(7)
+        .fault_plan(plans::last_t_silent(4, 1))
+        .metrics(MetricsConfig::enabled())
+        .run_digested::<MpSubstrate<u64, u64>>(mp_procs())
+        .expect("generic run");
+
+    // `MpOutcome` is an alias of the generic outcome, so equality here is
+    // full structural equality: decisions, rosters, stats, trace, metrics.
+    assert_eq!(facade, generic);
+    assert_eq!(facade_digests, generic_digests);
+
+    // Golden constants captured before the substrate refactor.
+    let expected: BTreeMap<usize, u64> = [(0, 0), (1, 0), (2, 0)].into_iter().collect();
+    assert_eq!(facade.decisions, expected);
+    assert_eq!(facade.faulty, vec![3]);
+    assert!(facade.terminated);
+    assert_eq!(facade.stats.events_fired, 16);
+    assert_eq!(facade.stats.messages_delivered, 12);
+    assert_eq!(facade.stats.local_steps, 4);
+    assert_eq!(facade_digests.len(), 16);
+    assert_eq!(facade_digests[0], 0xce89_8cee_c637_fb45);
+    assert_eq!(*facade_digests.last().unwrap(), 0x5852_daa3_973c_576d);
+    assert_eq!(chain(&facade_digests), 0xd49f_baed_1207_556a);
+}
+
+#[test]
+fn sm_facade_and_generic_system_are_byte_identical() {
+    let (facade, facade_digests) = SmSystem::new(3)
+        .seed(11)
+        .fault_plan(plans::last_t_silent(3, 1))
+        .metrics(MetricsConfig::enabled())
+        .run_digested(sm_procs())
+        .expect("facade run");
+    let (generic, generic_digests, memory) = System::new(3)
+        .seed(11)
+        .fault_plan(plans::last_t_silent(3, 1))
+        .metrics(MetricsConfig::enabled())
+        .run_digested_shared::<SmSubstrate<u64, u64>>(sm_procs())
+        .expect("generic run");
+
+    assert_eq!(*facade, generic); // deref: the substrate-generic part
+    assert_eq!(facade.memory, memory.snapshot());
+    assert_eq!(facade_digests, generic_digests);
+
+    // Golden constants captured before the substrate refactor.
+    let expected: BTreeMap<usize, u64> = [(0, u64::MAX), (1, 1)].into_iter().collect();
+    assert_eq!(facade.decisions, expected);
+    assert_eq!(facade.faulty, vec![2]);
+    assert!(facade.terminated);
+    assert_eq!(facade.stats.events_fired, 11);
+    assert_eq!(facade.stats.ops_completed, 8);
+    assert_eq!(facade.stats.local_steps, 3);
+    let expected_memory: BTreeMap<RegisterId, u64> =
+        [(RegisterId::new(0, 0), 0), (RegisterId::new(1, 0), 1)]
+            .into_iter()
+            .collect();
+    assert_eq!(facade.memory, expected_memory);
+    assert_eq!(facade_digests.len(), 11);
+    assert_eq!(facade_digests[0], 0x2b8e_2265_dea6_ff86);
+    assert_eq!(*facade_digests.last().unwrap(), 0x20e6_cd89_1e2c_24f1);
+    assert_eq!(chain(&facade_digests), 0x8e07_81a2_fa2c_2837);
+}
+
+#[test]
+fn counterexample_bytes_match_the_pre_refactor_golden() {
+    // The checker's shrunk counterexample for consensus-with-one-crash is
+    // fully deterministic; its serialized form was captured before the
+    // substrate refactor and must not drift.
+    let cfg = CheckerConfig::new(QuorumProtocol::FloodMin, 3, 1, 1, ValidityCondition::RV1);
+    let verdict = check_cell(&cfg);
+    let ce = verdict.counterexample.expect("SC(1,1,RV1) is violated");
+
+    let path = std::env::temp_dir().join(format!(
+        "kset-substrate-parity-{}.schedule",
+        std::process::id()
+    ));
+    write_counterexample(&path, &cfg, &ce).expect("write");
+    let bytes = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+
+    let golden = "\
+# kset model_check counterexample v1
+# protocol: FloodMin
+# n: 3
+# k: 1
+# t: 1
+# validity: RV1
+# crashed:
+# choices: 0 0 0 0 0 1 3 1 2 1 1
+# violation: 2 distinct values decided, agreement allows 1
+0
+1
+2
+3
+4
+6
+9
+7
+10
+8
+11
+";
+    assert_eq!(bytes, golden);
+}

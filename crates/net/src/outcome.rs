@@ -1,103 +1,10 @@
 //! Result of a message-passing run.
 
-use std::collections::BTreeMap;
-
-use kset_sim::{ProcessId, RunMetrics, RunStats, Trace};
-
 /// Everything observable at the end of a message-passing run.
 ///
-/// `decisions` includes decisions by *all* processes that issued one —
-/// including crashed or Byzantine ones — because several validity conditions
-/// (WV1/WV2) quantify over "any process" in failure-free runs.
-/// `correct` lists the processes that were planned correct *and* never ran
-/// out of crash budget; the agreement and validity checks in `kset-core`
-/// apply to the restriction of `decisions` to that set.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct MpOutcome<V> {
-    /// Decision of each process that decided, keyed by process id.
-    pub decisions: BTreeMap<ProcessId, V>,
-    /// Processes that followed the protocol to the end of the run.
-    pub correct: Vec<ProcessId>,
-    /// Processes planned faulty (crash or Byzantine), ascending.
-    pub faulty: Vec<ProcessId>,
-    /// Whether every correct process decided before events ran out.
-    pub terminated: bool,
-    /// Kernel counters (messages delivered, steps, ...).
-    pub stats: RunStats,
-    /// Recorded schedule, if tracing was enabled.
-    pub trace: Trace,
-    /// Per-process counters and latency histograms, if metrics collection
-    /// was enabled via [`MpSystem::metrics`](crate::MpSystem::metrics).
-    pub metrics: Option<RunMetrics>,
-}
-
-impl<V: Clone + Ord> MpOutcome<V> {
-    /// The set of distinct values decided by correct processes — the
-    /// quantity bounded by `k` in the agreement condition.
-    pub fn correct_decision_set(&self) -> Vec<V> {
-        let mut vals: Vec<V> = self
-            .correct
-            .iter()
-            .filter_map(|p| self.decisions.get(p).cloned())
-            .collect();
-        vals.sort();
-        vals.dedup();
-        vals
-    }
-
-    /// The set of distinct values decided by *any* process.
-    pub fn decision_set(&self) -> Vec<V> {
-        let mut vals: Vec<V> = self.decisions.values().cloned().collect();
-        vals.sort();
-        vals.dedup();
-        vals
-    }
-
-    /// Restriction of the decision map to correct processes.
-    pub fn correct_decisions(&self) -> BTreeMap<ProcessId, V> {
-        self.correct
-            .iter()
-            .filter_map(|p| self.decisions.get(p).map(|v| (*p, v.clone())))
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn outcome() -> MpOutcome<u32> {
-        let mut decisions = BTreeMap::new();
-        decisions.insert(0, 5);
-        decisions.insert(1, 5);
-        decisions.insert(2, 9);
-        decisions.insert(3, 1); // faulty process's decision
-        MpOutcome {
-            decisions,
-            correct: vec![0, 1, 2],
-            faulty: vec![3],
-            terminated: true,
-            stats: RunStats::default(),
-            trace: Trace::disabled(),
-            metrics: None,
-        }
-    }
-
-    #[test]
-    fn correct_decision_set_dedups_and_excludes_faulty() {
-        assert_eq!(outcome().correct_decision_set(), vec![5, 9]);
-    }
-
-    #[test]
-    fn decision_set_includes_everyone() {
-        assert_eq!(outcome().decision_set(), vec![1, 5, 9]);
-    }
-
-    #[test]
-    fn correct_decisions_is_the_restricted_map() {
-        let m = outcome().correct_decisions();
-        assert_eq!(m.len(), 3);
-        assert_eq!(m[&0], 5);
-        assert!(!m.contains_key(&3));
-    }
-}
+/// Since the runtime became substrate-generic this is an alias for the
+/// shared [`kset_sim::Outcome`]; all fields and helpers
+/// ([`correct_decision_set`](kset_sim::Outcome::correct_decision_set),
+/// [`decision_set`](kset_sim::Outcome::decision_set),
+/// [`correct_decisions`](kset_sim::Outcome::correct_decisions)) live there.
+pub type MpOutcome<V> = kset_sim::Outcome<V>;

@@ -1,6 +1,8 @@
 //! The message-passing process trait and its effect context.
 
-use kset_sim::ProcessId;
+use std::ops::Deref;
+
+use kset_sim::{CallInfo, ContextCore, ProcessId};
 
 /// Buffered effect produced by a process callback.
 ///
@@ -26,11 +28,17 @@ pub enum RawAction<M, V> {
 /// effects silently dropped — that *is* the crash.
 #[derive(Debug)]
 pub struct MpContext<'a, M, V> {
-    me: ProcessId,
-    n: usize,
-    now: u64,
-    decided: bool,
-    actions: &'a mut Vec<RawAction<M, V>>,
+    core: ContextCore<'a, RawAction<M, V>>,
+}
+
+/// The identity accessors (`me`, `n`, `now`, `has_decided`) are provided by
+/// the shared [`ContextCore`].
+impl<'a, M, V> Deref for MpContext<'a, M, V> {
+    type Target = ContextCore<'a, RawAction<M, V>>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.core
+    }
 }
 
 impl<'a, M: Clone, V> MpContext<'a, M, V> {
@@ -47,42 +55,20 @@ impl<'a, M: Clone, V> MpContext<'a, M, V> {
         decided: bool,
         actions: &'a mut Vec<RawAction<M, V>>,
     ) -> Self {
-        MpContext {
+        let info = CallInfo {
             me,
             n,
             now,
             decided,
-            actions,
+        };
+        MpContext {
+            core: ContextCore::new(info, actions),
         }
-    }
-
-    /// This process's identifier, in `0..n`.
-    pub fn me(&self) -> ProcessId {
-        self.me
-    }
-
-    /// Number of processes in the system.
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// Current virtual time (events fired so far). Protocols in this
-    /// workspace never branch on it; it exists for logging and debugging.
-    pub fn now(&self) -> u64 {
-        self.now
-    }
-
-    /// Whether this process has already decided in this run.
-    ///
-    /// Deciding is irreversible but not terminal: the paper's Byzantine
-    /// protocols require processes to keep echoing after deciding.
-    pub fn has_decided(&self) -> bool {
-        self.decided
     }
 
     /// Sends `msg` to process `to` over the reliable network.
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.actions.push(RawAction::Send(to, msg));
+        self.core.push(RawAction::Send(to, msg));
     }
 
     /// Sends `msg` to every process, *including itself*.
@@ -91,8 +77,8 @@ impl<'a, M: Clone, V> MpContext<'a, M, V> {
     /// waits for ("one of these `n - t` messages is the process' own
     /// message"), so self-delivery is part of the broadcast.
     pub fn broadcast(&mut self, msg: M) {
-        for to in 0..self.n {
-            self.actions.push(RawAction::Send(to, msg.clone()));
+        for to in 0..self.core.n() {
+            self.core.push(RawAction::Send(to, msg.clone()));
         }
     }
 
@@ -102,15 +88,15 @@ impl<'a, M: Clone, V> MpContext<'a, M, V> {
     /// (the first decision wins), matching the designated single "decide"
     /// instruction of the problem statement.
     pub fn decide(&mut self, value: V) {
-        self.decided = true;
-        self.actions.push(RawAction::Decide(value));
+        self.core.mark_decided();
+        self.core.push(RawAction::Decide(value));
     }
 
     /// Requests another spontaneous [`MpProcess::on_step`] callback, at a
     /// time of the scheduler's choosing. Byzantine strategies use this to
     /// act without external stimulus.
     pub fn schedule_step(&mut self) {
-        self.actions.push(RawAction::ScheduleStep);
+        self.core.push(RawAction::ScheduleStep);
     }
 }
 

@@ -275,6 +275,7 @@ mod tests {
                 .event_limit(5_000_000)
                 .run_with(|p| Simulated::boxed(3, FloodMin::new(3, 1, p as u64)))
                 .unwrap()
+                .into_run()
                 .decisions
         };
         assert_eq!(run(5), run(5));

@@ -30,6 +30,12 @@
 //! There is no API through which any process, Byzantine or not, can write a
 //! register it does not own.
 //!
+//! Like `kset-net`, this crate is a thin face of the substrate-generic
+//! runtime in `kset-sim`: it contributes [`SmSubstrate`] (an implementation
+//! of [`kset_sim::Substrate`] describing register linearization), while the
+//! builder, run loop, and fault/metrics plumbing live in
+//! [`kset_sim::System`]. See `ARCHITECTURE.md` ("The substrate layer").
+//!
 //! ```
 //! use kset_shmem::{RegisterId, SmContext, SmProcess, SmSystem};
 //!
@@ -83,4 +89,4 @@ mod system;
 pub use outcome::SmOutcome;
 pub use process::{DynSmProcess, RawSmAction, SmContext, SmProcess};
 pub use register::{Memory, RegisterId};
-pub use system::SmSystem;
+pub use system::{SmOp, SmSubstrate, SmSystem};

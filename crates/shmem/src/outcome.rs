@@ -1,69 +1,46 @@
 //! Result of a shared-memory run.
 
 use std::collections::BTreeMap;
+use std::ops::Deref;
 
-use kset_sim::{ProcessId, RunMetrics, RunStats, Trace};
+use kset_sim::Outcome;
 
 use crate::register::RegisterId;
 
 /// Everything observable at the end of a shared-memory run.
 ///
-/// Mirrors [`kset_net::MpOutcome`](https://docs.rs) for the message-passing
-/// model, with the final register contents added for inspection.
+/// Wraps the substrate-generic [`kset_sim::Outcome`] (to which it derefs,
+/// so `decisions`, `correct_decision_set()` and friends are used exactly as
+/// on [`kset_net::MpOutcome`](Outcome)), adding the final register contents
+/// for inspection.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SmOutcome<Val, Out> {
-    /// Decision of each process that decided, keyed by process id.
-    pub decisions: BTreeMap<ProcessId, Out>,
-    /// Processes that followed the protocol to the end of the run.
-    pub correct: Vec<ProcessId>,
-    /// Processes planned faulty (crash or Byzantine), ascending.
-    pub faulty: Vec<ProcessId>,
-    /// Whether every correct process decided before events ran out.
-    pub terminated: bool,
+    pub(crate) run: Outcome<Out>,
     /// Final contents of every written register.
     pub memory: BTreeMap<RegisterId, Val>,
-    /// Kernel counters (operations completed, steps, ...).
-    pub stats: RunStats,
-    /// Recorded schedule, if tracing was enabled.
-    pub trace: Trace,
-    /// Per-process counters and latency histograms, if metrics collection
-    /// was enabled via [`SmSystem::metrics`](crate::SmSystem::metrics).
-    pub metrics: Option<RunMetrics>,
 }
 
-impl<Val, Out: Clone + Ord> SmOutcome<Val, Out> {
-    /// The set of distinct values decided by correct processes.
-    pub fn correct_decision_set(&self) -> Vec<Out> {
-        let mut vals: Vec<Out> = self
-            .correct
-            .iter()
-            .filter_map(|p| self.decisions.get(p).cloned())
-            .collect();
-        vals.sort();
-        vals.dedup();
-        vals
-    }
+impl<Val, Out> Deref for SmOutcome<Val, Out> {
+    type Target = Outcome<Out>;
 
-    /// The set of distinct values decided by *any* process.
-    pub fn decision_set(&self) -> Vec<Out> {
-        let mut vals: Vec<Out> = self.decisions.values().cloned().collect();
-        vals.sort();
-        vals.dedup();
-        vals
+    fn deref(&self) -> &Outcome<Out> {
+        &self.run
     }
+}
 
-    /// Restriction of the decision map to correct processes.
-    pub fn correct_decisions(&self) -> BTreeMap<ProcessId, Out> {
-        self.correct
-            .iter()
-            .filter_map(|p| self.decisions.get(p).map(|v| (*p, v.clone())))
-            .collect()
+impl<Val, Out> SmOutcome<Val, Out> {
+    /// Consumes the outcome, returning the substrate-generic part and
+    /// discarding the memory snapshot — for code paths generic over both
+    /// communication models.
+    pub fn into_run(self) -> Outcome<Out> {
+        self.run
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kset_sim::{RunStats, Trace};
 
     fn outcome() -> SmOutcome<u8, u32> {
         let mut decisions = BTreeMap::new();
@@ -73,14 +50,16 @@ mod tests {
         let mut memory = BTreeMap::new();
         memory.insert(RegisterId::new(0, 0), 9u8);
         SmOutcome {
-            decisions,
-            correct: vec![0, 1],
-            faulty: vec![2],
-            terminated: true,
+            run: Outcome {
+                decisions,
+                correct: vec![0, 1],
+                faulty: vec![2],
+                terminated: true,
+                stats: RunStats::default(),
+                trace: Trace::disabled(),
+                metrics: None,
+            },
             memory,
-            stats: RunStats::default(),
-            trace: Trace::disabled(),
-            metrics: None,
         }
     }
 
@@ -104,5 +83,12 @@ mod tests {
         let m = outcome().correct_decisions();
         assert_eq!(m.len(), 2);
         assert!(!m.contains_key(&2));
+    }
+
+    #[test]
+    fn into_run_keeps_the_generic_outcome() {
+        let run = outcome().into_run();
+        assert!(run.terminated);
+        assert_eq!(run.decisions.len(), 3);
     }
 }

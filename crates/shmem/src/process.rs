@@ -1,6 +1,8 @@
 //! The shared-memory process trait and its effect context.
 
-use kset_sim::ProcessId;
+use std::ops::Deref;
+
+use kset_sim::{CallInfo, ContextCore, ProcessId};
 
 use crate::register::RegisterId;
 
@@ -29,11 +31,17 @@ pub enum RawSmAction<Val, Out> {
 /// process's crash budget.
 #[derive(Debug)]
 pub struct SmContext<'a, Val, Out> {
-    me: ProcessId,
-    n: usize,
-    now: u64,
-    decided: bool,
-    actions: &'a mut Vec<RawSmAction<Val, Out>>,
+    core: ContextCore<'a, RawSmAction<Val, Out>>,
+}
+
+/// The identity accessors (`me`, `n`, `now`, `has_decided`) are provided by
+/// the shared [`ContextCore`].
+impl<'a, Val, Out> Deref for SmContext<'a, Val, Out> {
+    type Target = ContextCore<'a, RawSmAction<Val, Out>>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.core
+    }
 }
 
 impl<'a, Val: Clone, Out> SmContext<'a, Val, Out> {
@@ -50,46 +58,28 @@ impl<'a, Val: Clone, Out> SmContext<'a, Val, Out> {
         decided: bool,
         actions: &'a mut Vec<RawSmAction<Val, Out>>,
     ) -> Self {
-        SmContext {
+        let info = CallInfo {
             me,
             n,
             now,
             decided,
-            actions,
+        };
+        SmContext {
+            core: ContextCore::new(info, actions),
         }
-    }
-
-    /// This process's identifier, in `0..n`.
-    pub fn me(&self) -> ProcessId {
-        self.me
-    }
-
-    /// Number of processes in the system.
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// Current virtual time (events fired so far).
-    pub fn now(&self) -> u64 {
-        self.now
-    }
-
-    /// Whether this process has already decided in this run.
-    pub fn has_decided(&self) -> bool {
-        self.decided
     }
 
     /// Issues an asynchronous read of `reg`; the result arrives via
     /// [`SmProcess::on_read`] whenever the scheduler fires the response.
     pub fn read(&mut self, reg: RegisterId) {
-        self.actions.push(RawSmAction::Read(reg));
+        self.core.push(RawSmAction::Read(reg));
     }
 
     /// Issues a read of every process's register at `slot` — one *scan* in
     /// the paper's sense. Responses arrive individually and unordered.
     pub fn read_all(&mut self, slot: usize) {
-        for owner in 0..self.n {
-            self.actions.push(RawSmAction::Read(RegisterId::new(owner, slot)));
+        for owner in 0..self.core.n() {
+            self.core.push(RawSmAction::Read(RegisterId::new(owner, slot)));
         }
     }
 
@@ -100,18 +90,18 @@ impl<'a, Val: Clone, Out> SmContext<'a, Val, Out> {
     /// response is scheduled. Only the caller's own registers are reachable
     /// through this API — single-writer by construction.
     pub fn write(&mut self, slot: usize, value: Val) {
-        self.actions.push(RawSmAction::Write(slot, value));
+        self.core.push(RawSmAction::Write(slot, value));
     }
 
     /// Irreversibly decides `value` (first decision wins).
     pub fn decide(&mut self, value: Out) {
-        self.decided = true;
-        self.actions.push(RawSmAction::Decide(value));
+        self.core.mark_decided();
+        self.core.push(RawSmAction::Decide(value));
     }
 
     /// Requests another spontaneous [`SmProcess::on_step`] callback.
     pub fn schedule_step(&mut self) {
-        self.actions.push(RawSmAction::ScheduleStep);
+        self.core.push(RawSmAction::ScheduleStep);
     }
 }
 

@@ -1,23 +1,21 @@
-//! The shared-memory runtime: builder and run loop.
+//! The shared-memory runtime: the [`SmSubstrate`] implementation plus the
+//! [`SmSystem`] facade over the substrate-generic [`kset_sim::System`].
 
-use std::collections::BTreeMap;
+use std::marker::PhantomData;
 
 use kset_sim::{
-    DelayRule, EventKind, EventMeta, FaultPlan, Fnv64, GatedScheduler, Kernel, MetricsConfig,
-    ProcessId, RandomScheduler, Scheduler, SimError, StateDigest,
+    CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
+    SimError, StateDigest, Substrate, SubstrateDigest, System,
 };
 
 use crate::outcome::SmOutcome;
 use crate::process::{DynSmProcess, RawSmAction, SmContext};
 use crate::register::{Memory, RegisterId};
 
-/// Kernel payloads of the shared-memory model.
+/// Substrate payloads of the shared-memory model: pending operation
+/// responses.
 #[derive(Clone, Copy, Debug)]
-enum Payload {
-    /// The process's initial step.
-    Start,
-    /// A requested spontaneous step.
-    Step,
+pub enum SmOp {
     /// Response to a read of the named register (content resolved when the
     /// response fires — its linearization point).
     ReadResp(RegisterId),
@@ -25,95 +23,193 @@ enum Payload {
     WriteAck(usize),
 }
 
-/// Builder/runtime for one run of a shared-memory system.
+/// The shared-memory substrate: single-writer multi-reader atomic registers.
 ///
-/// Mirrors [`kset_net::MpSystem`](https://docs.rs) in configuration style;
-/// see the crate-level documentation for an end-to-end example.
-pub struct SmSystem {
-    n: usize,
-    plan: FaultPlan,
-    scheduler: Option<Box<dyn Scheduler>>,
-    rules: Vec<DelayRule>,
-    event_limit: Option<u64>,
-    trace_capacity: usize,
-    metrics: MetricsConfig,
-}
+/// Plugged into [`kset_sim::System`], this drives [`crate::SmProcess`]
+/// state machines: the run's shared state is the register store
+/// ([`Memory`]), a `Write` action linearizes at apply time, and a pending
+/// read resolves its value when the response event fires. [`SmSystem`] is
+/// the ready-made facade; use `SmSubstrate` directly only in
+/// substrate-generic tooling.
+pub struct SmSubstrate<Val, Out>(PhantomData<fn() -> (Val, Out)>);
 
-impl std::fmt::Debug for SmSystem {
+impl<Val, Out> std::fmt::Debug for SmSubstrate<Val, Out> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SmSystem")
-            .field("n", &self.n)
-            .field("plan", &self.plan)
-            .field("rules", &self.rules.len())
-            .finish()
+        f.write_str("SmSubstrate")
     }
 }
+
+impl<Val: Clone, Out> Substrate for SmSubstrate<Val, Out> {
+    type Payload = SmOp;
+    type Process = DynSmProcess<Val, Out>;
+    type Action = RawSmAction<Val, Out>;
+    type Output = Out;
+    type Shared = Memory<Val>;
+
+    fn new_shared(_n: usize) -> Self::Shared {
+        Memory::new()
+    }
+
+    fn on_start(
+        proc: &mut Self::Process,
+        _shared: &Self::Shared,
+        info: CallInfo,
+        out: &mut Vec<Self::Action>,
+    ) {
+        let mut ctx = SmContext::new(info.me, info.n, info.now, info.decided, out);
+        proc.on_start(&mut ctx);
+    }
+
+    fn on_step(
+        proc: &mut Self::Process,
+        _shared: &Self::Shared,
+        info: CallInfo,
+        out: &mut Vec<Self::Action>,
+    ) {
+        let mut ctx = SmContext::new(info.me, info.n, info.now, info.decided, out);
+        proc.on_step(&mut ctx);
+    }
+
+    fn on_payload(
+        proc: &mut Self::Process,
+        op: SmOp,
+        _source: Option<ProcessId>,
+        shared: &Self::Shared,
+        info: CallInfo,
+        out: &mut Vec<Self::Action>,
+    ) {
+        let mut ctx = SmContext::new(info.me, info.n, info.now, info.decided, out);
+        match op {
+            SmOp::ReadResp(reg) => {
+                // Linearization point of the read: right now.
+                let value = shared.read(reg);
+                proc.on_read(reg, value, &mut ctx)
+            }
+            SmOp::WriteAck(slot) => proc.on_write_ack(slot, &mut ctx),
+        }
+    }
+
+    fn apply(
+        action: Self::Action,
+        me: ProcessId,
+        _n: usize,
+        shared: &mut Self::Shared,
+    ) -> Result<Effect<SmOp, Out>, SimError> {
+        Ok(match action {
+            RawSmAction::Read(reg) => Effect::Post {
+                kind: EventKind::OpResponse,
+                target: me,
+                source: reg.owner,
+                payload: SmOp::ReadResp(reg),
+            },
+            RawSmAction::Write(slot, value) => {
+                // Linearization point of the write: right now.
+                shared.write(RegisterId::new(me, slot), value);
+                Effect::Post {
+                    kind: EventKind::OpResponse,
+                    target: me,
+                    source: me,
+                    payload: SmOp::WriteAck(slot),
+                }
+            }
+            RawSmAction::Decide(v) => Effect::Decide(v),
+            RawSmAction::ScheduleStep => Effect::Step,
+        })
+    }
+}
+
+impl<Val, Out> SubstrateDigest for SmSubstrate<Val, Out>
+where
+    Val: Clone + StateDigest,
+    Out: StateDigest,
+{
+    fn digest_process(proc: &Self::Process) -> u64 {
+        proc.state_digest()
+    }
+
+    fn digest_payload(op: &SmOp, h: &mut Fnv64) {
+        match op {
+            SmOp::ReadResp(reg) => {
+                h.write_u8(2);
+                h.write_usize(reg.owner);
+                h.write_usize(reg.slot);
+            }
+            SmOp::WriteAck(slot) => {
+                h.write_u8(3);
+                h.write_usize(*slot);
+            }
+        }
+    }
+
+    fn digest_shared(memory: &Self::Shared, h: &mut Fnv64) {
+        // Register store: BTreeMap iteration order is deterministic.
+        for (reg, value) in memory.cells() {
+            h.write_usize(reg.owner);
+            h.write_usize(reg.slot);
+            value.digest_into(h);
+        }
+    }
+}
+
+/// Builder/runtime for one run of a shared-memory system.
+///
+/// A thin facade binding [`kset_sim::System`] to the [`SmSubstrate`],
+/// mirroring `kset_net::MpSystem` in configuration style; see the
+/// crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct SmSystem(System);
 
 impl SmSystem {
     /// A system of `n` processes, all correct, randomly scheduled (seed 0).
     pub fn new(n: usize) -> Self {
-        SmSystem {
-            n,
-            plan: FaultPlan::all_correct(n),
-            scheduler: None,
-            rules: Vec::new(),
-            event_limit: None,
-            trace_capacity: 0,
-            metrics: MetricsConfig::disabled(),
-        }
+        SmSystem(System::new(n))
     }
 
     /// Number of processes.
     pub fn n(&self) -> usize {
-        self.n
+        self.0.n()
     }
 
     /// Sets the fault plan (size must equal `n`, checked at run time).
-    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.plan = plan;
-        self
+    pub fn fault_plan(self, plan: FaultPlan) -> Self {
+        SmSystem(self.0.fault_plan(plan))
     }
 
     /// Uses an explicit scheduler (adversary).
-    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
-        self.scheduler = Some(Box::new(scheduler));
-        self
+    pub fn scheduler(self, scheduler: impl Scheduler + 'static) -> Self {
+        SmSystem(self.0.scheduler(scheduler))
     }
 
-    /// Shorthand for a [`RandomScheduler`] with the given seed.
+    /// Shorthand for a [`kset_sim::RandomScheduler`] with the given seed.
     pub fn seed(self, seed: u64) -> Self {
-        self.scheduler(RandomScheduler::from_seed(seed))
+        SmSystem(self.0.seed(seed))
     }
 
     /// Adds a delay rule.
-    pub fn delay_rule(mut self, rule: DelayRule) -> Self {
-        self.rules.push(rule);
-        self
+    pub fn delay_rule(self, rule: DelayRule) -> Self {
+        SmSystem(self.0.delay_rule(rule))
     }
 
     /// Adds several delay rules at once.
-    pub fn delay_rules(mut self, rules: impl IntoIterator<Item = DelayRule>) -> Self {
-        self.rules.extend(rules);
-        self
+    pub fn delay_rules(self, rules: impl IntoIterator<Item = DelayRule>) -> Self {
+        SmSystem(self.0.delay_rules(rules))
     }
 
     /// Overrides the kernel event limit.
-    pub fn event_limit(mut self, limit: u64) -> Self {
-        self.event_limit = Some(limit);
-        self
+    pub fn event_limit(self, limit: u64) -> Self {
+        SmSystem(self.0.event_limit(limit))
     }
 
     /// Enables trace recording with the given capacity.
-    pub fn trace_capacity(mut self, capacity: usize) -> Self {
-        self.trace_capacity = capacity;
-        self
+    pub fn trace_capacity(self, capacity: usize) -> Self {
+        SmSystem(self.0.trace_capacity(capacity))
     }
 
     /// Configures metrics collection; the outcome's
-    /// [`metrics`](SmOutcome::metrics) field is populated when enabled.
-    pub fn metrics(mut self, config: MetricsConfig) -> Self {
-        self.metrics = config;
-        self
+    /// [`metrics`](kset_sim::Outcome::metrics) field is populated when
+    /// enabled.
+    pub fn metrics(self, config: MetricsConfig) -> Self {
+        SmSystem(self.0.metrics(config))
     }
 
     /// Runs the system, building each process from a factory closure.
@@ -125,7 +221,7 @@ impl SmSystem {
         self,
         mut factory: impl FnMut(ProcessId) -> DynSmProcess<Val, Out>,
     ) -> Result<SmOutcome<Val, Out>, SimError> {
-        let procs = (0..self.n).map(&mut factory).collect();
+        let procs = (0..self.0.n()).map(&mut factory).collect();
         self.run(procs)
     }
 
@@ -139,7 +235,11 @@ impl SmSystem {
         self,
         procs: Vec<DynSmProcess<Val, Out>>,
     ) -> Result<SmOutcome<Val, Out>, SimError> {
-        self.run_core(procs, |_, _, _, _| {})
+        let (run, memory) = self.0.run_shared::<SmSubstrate<Val, Out>>(procs)?;
+        Ok(SmOutcome {
+            memory: memory.snapshot(),
+            run,
+        })
     }
 
     /// Runs the system like [`SmSystem::run`], additionally computing a
@@ -149,7 +249,7 @@ impl SmSystem {
     /// every process's [`crate::SmProcess::state_digest`], its crashed flag and
     /// decision, the register store contents, plus an order-insensitive
     /// multiset hash of the pending event pool. Event ids are excluded —
-    /// see `MpSystem::run_digested` in `kset-net` for the rationale.
+    /// see [`kset_sim::System::run_digested`] for the rationale.
     ///
     /// # Errors
     ///
@@ -162,228 +262,16 @@ impl SmSystem {
         Val: Clone + StateDigest,
         Out: StateDigest,
     {
-        let mut digests = Vec::new();
-        let outcome = self.run_core(procs, |kernel, procs, decisions, memory| {
-            digests.push(sm_state_digest(kernel, procs, decisions, memory));
-        })?;
-        Ok((outcome, digests))
-    }
-
-    /// The shared run loop: `observe` is called once after every fired
-    /// event with the kernel, the processes, the decision table and the
-    /// register store.
-    fn run_core<Val: Clone, Out>(
-        self,
-        mut procs: Vec<DynSmProcess<Val, Out>>,
-        mut observe: impl FnMut(
-            &Kernel<Payload>,
-            &[DynSmProcess<Val, Out>],
-            &[Option<Out>],
-            &Memory<Val>,
-        ),
-    ) -> Result<SmOutcome<Val, Out>, SimError> {
-        if self.n == 0 {
-            return Err(SimError::InvalidConfig("n must be positive".into()));
-        }
-        if procs.len() != self.n {
-            return Err(SimError::InvalidConfig(format!(
-                "expected {} processes, got {}",
-                self.n,
-                procs.len()
-            )));
-        }
-        if self.plan.n() != self.n {
-            return Err(SimError::InvalidConfig(format!(
-                "fault plan covers {} processes, system has {}",
-                self.plan.n(),
-                self.n
-            )));
-        }
-
-        let n = self.n;
-        let plan = self.plan;
-        let inner: Box<dyn Scheduler> = self
-            .scheduler
-            .unwrap_or_else(|| Box::new(RandomScheduler::from_seed(0)));
-        let mut kernel: Kernel<Payload> = if self.rules.is_empty() {
-            Kernel::with_processes(inner, n)
-        } else {
-            Kernel::with_processes(GatedScheduler::new(inner, self.rules), n)
-        };
-        if let Some(limit) = self.event_limit {
-            kernel = kernel.event_limit(limit);
-        }
-        if self.trace_capacity > 0 {
-            kernel = kernel.trace_capacity(self.trace_capacity);
-        }
-        if self.metrics.enabled {
-            kernel = kernel.collect_metrics(self.metrics);
-        }
-
-        for pid in 0..n {
-            if plan.spec(pid).kind() == kset_sim::FaultKind::Byzantine {
-                kernel.state_mut().mark_byzantine(pid);
-            }
-        }
-        for pid in 0..n {
-            kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Start);
-        }
-
-        let mut memory: Memory<Val> = Memory::new();
-        let mut decisions: Vec<Option<Out>> = (0..n).map(|_| None).collect();
-        let mut buf: Vec<RawSmAction<Val, Out>> = Vec::new();
-
-        loop {
-            if kernel.state().all_correct_decided() {
-                break;
-            }
-            let Some((meta, payload)) = kernel.next_checked()? else {
-                break;
-            };
-            'event: {
-                let pid = meta.target;
-                if kernel.state().has_crashed(pid) {
-                    break 'event;
-                }
-                let done = kernel.state().actions_of(pid);
-                if plan.remaining_budget(pid, done) == Some(0) {
-                    crash(&mut kernel, pid);
-                    break 'event;
-                }
-                kernel.state_mut().charge_action(pid);
-
-                buf.clear();
-                {
-                    let mut ctx = SmContext::new(
-                        pid,
-                        n,
-                        kernel.now(),
-                        decisions[pid].is_some(),
-                        &mut buf,
-                    );
-                    match payload {
-                        Payload::Start => procs[pid].on_start(&mut ctx),
-                        Payload::Step => procs[pid].on_step(&mut ctx),
-                        Payload::ReadResp(reg) => {
-                            // Linearization point of the read: right now.
-                            let value = memory.read(reg);
-                            procs[pid].on_read(reg, value, &mut ctx)
-                        }
-                        Payload::WriteAck(slot) => procs[pid].on_write_ack(slot, &mut ctx),
-                    }
-                }
-
-                for action in buf.drain(..) {
-                    let done = kernel.state().actions_of(pid);
-                    if plan.remaining_budget(pid, done) == Some(0) {
-                        crash(&mut kernel, pid);
-                        break;
-                    }
-                    kernel.state_mut().charge_action(pid);
-                    match action {
-                        RawSmAction::Read(reg) => {
-                            kernel.post(
-                                EventMeta::new(EventKind::OpResponse, pid).from_process(reg.owner),
-                                Payload::ReadResp(reg),
-                            );
-                        }
-                        RawSmAction::Write(slot, value) => {
-                            // Linearization point of the write: right now.
-                            memory.write(RegisterId::new(pid, slot), value);
-                            kernel.post(
-                                EventMeta::new(EventKind::OpResponse, pid).from_process(pid),
-                                Payload::WriteAck(slot),
-                            );
-                        }
-                        RawSmAction::Decide(v) => {
-                            if decisions[pid].is_none() {
-                                decisions[pid] = Some(v);
-                                kernel.note_decision(pid);
-                            }
-                        }
-                        RawSmAction::ScheduleStep => {
-                            kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Step);
-                        }
-                    }
-                }
-            }
-            observe(&kernel, &procs, &decisions, &memory);
-        }
-
-        let terminated = kernel.state().all_correct_decided();
-        let decisions: BTreeMap<ProcessId, Out> = decisions
-            .into_iter()
-            .enumerate()
-            .filter_map(|(p, d)| d.map(|v| (p, v)))
-            .collect();
-        Ok(SmOutcome {
-            decisions,
-            correct: plan.correct_set(),
-            faulty: plan.faulty_set(),
-            terminated,
-            memory: memory.snapshot(),
-            stats: *kernel.stats(),
-            trace: kernel.trace().clone(),
-            metrics: kernel.metrics().cloned(),
-        })
+        let (run, digests, memory) = self.0.run_digested_shared::<SmSubstrate<Val, Out>>(procs)?;
+        Ok((
+            SmOutcome {
+                memory: memory.snapshot(),
+                run,
+            },
+            digests,
+        ))
     }
 }
-
-fn crash(kernel: &mut Kernel<Payload>, pid: ProcessId) {
-    kernel.state_mut().mark_crashed(pid);
-    kernel.cancel_where(|m| m.target == pid);
-}
-
-/// Digest of the full system state: per-process protocol state, crash and
-/// decision status, the register store, plus the pending pool as an
-/// id-insensitive multiset.
-fn sm_state_digest<Val, Out>(
-    kernel: &Kernel<Payload>,
-    procs: &[DynSmProcess<Val, Out>],
-    decisions: &[Option<Out>],
-    memory: &Memory<Val>,
-) -> u64
-where
-    Val: Clone + StateDigest,
-    Out: StateDigest,
-{
-    let mut h = Fnv64::new();
-    for (pid, proc) in procs.iter().enumerate() {
-        h.write_u64(proc.state_digest());
-        h.write_u8(u8::from(kernel.state().has_crashed(pid)));
-        decisions[pid].as_ref().digest_into(&mut h);
-    }
-    // Register store: BTreeMap iteration order is deterministic.
-    for (reg, value) in memory.cells() {
-        h.write_usize(reg.owner);
-        h.write_usize(reg.slot);
-        value.digest_into(&mut h);
-    }
-    // Pending pool as an order- and id-insensitive multiset.
-    let mut pool = 0u64;
-    kernel.for_each_pending(|meta, payload| {
-        let mut eh = Fnv64::new();
-        eh.write_usize(meta.target);
-        meta.source.digest_into(&mut eh);
-        match payload {
-            Payload::Start => eh.write_u8(0),
-            Payload::Step => eh.write_u8(1),
-            Payload::ReadResp(reg) => {
-                eh.write_u8(2);
-                eh.write_usize(reg.owner);
-                eh.write_usize(reg.slot);
-            }
-            Payload::WriteAck(slot) => {
-                eh.write_u8(3);
-                eh.write_usize(*slot);
-            }
-        }
-        pool = pool.wrapping_add(eh.finish());
-    });
-    h.write_u64(pool);
-    h.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

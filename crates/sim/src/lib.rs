@@ -33,8 +33,15 @@
 //!   caller (see `kset-adversary` for a strategy library).
 //!
 //! The kernel itself is model-agnostic: it stores opaque payloads `E` and
-//! exposes only [`EventMeta`] to schedulers. The message-passing and
-//! shared-memory models (`kset-net`, `kset-shmem`) are thin runtimes on top.
+//! exposes only [`EventMeta`] to schedulers. On top of it, this crate also
+//! hosts the substrate-generic runtime: the [`Substrate`] trait captures
+//! what distinguishes one communication model from another (payloads,
+//! process interface, delivery semantics, digest hooks), and the [`System`]
+//! builder drives any substrate through one shared run loop into one
+//! generic [`Outcome`]. The message-passing and shared-memory models
+//! (`kset-net`, `kset-shmem`) are thin [`Substrate`] implementations plus
+//! model-specific facades. See `ARCHITECTURE.md` ("The substrate layer")
+//! for the full picture.
 //!
 //! ## Example
 //!
@@ -64,9 +71,12 @@ mod fault;
 mod gate;
 mod kernel;
 mod metrics;
+mod outcome;
 mod replay;
 mod sched;
 mod state;
+mod substrate;
+mod system;
 mod trace;
 
 pub use choice::{ChoiceLog, ChoiceOption, ChoicePoint, ChoiceScheduler};
@@ -78,10 +88,13 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use gate::{DelayRule, GatedScheduler, Until};
 pub use kernel::Kernel;
 pub use metrics::{Histogram, MetricsConfig, ProcessMetrics, RunMetrics, HISTOGRAM_BUCKETS};
+pub use outcome::Outcome;
 pub use replay::{RecordingScheduler, ReplayScheduler};
 pub use sched::{
     FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, ScriptedScheduler,
     StarvationScheduler,
 };
 pub use state::RunState;
+pub use substrate::{CallInfo, ContextCore, Effect, Substrate, SubstrateDigest};
+pub use system::{DigestedRun, System};
 pub use trace::{RunStats, Trace, TraceEntry};

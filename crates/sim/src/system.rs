@@ -1,0 +1,499 @@
+//! The substrate-generic runtime: one builder and one run loop for every
+//! communication model.
+
+use std::collections::BTreeMap;
+
+use crate::digest::{Fnv64, StateDigest};
+use crate::error::SimError;
+use crate::event::{EventKind, EventMeta, ProcessId};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::gate::{DelayRule, GatedScheduler};
+use crate::kernel::Kernel;
+use crate::metrics::MetricsConfig;
+use crate::outcome::Outcome;
+use crate::sched::{RandomScheduler, Scheduler};
+use crate::substrate::{CallInfo, Effect, Substrate, SubstrateDigest};
+
+/// Everything [`System::run_digested_shared`] returns: the outcome, the
+/// per-event [`StateDigest`] sequence, and the substrate's final shared
+/// state (e.g. the register store).
+pub type DigestedRun<S> = (
+    Outcome<<S as Substrate>::Output>,
+    Vec<u64>,
+    <S as Substrate>::Shared,
+);
+
+/// Kernel payloads of a substrate-generic run: the universal start/step
+/// events plus whatever the substrate delivers.
+#[derive(Clone, Debug)]
+enum Payload<P> {
+    /// The process's initial step.
+    Start,
+    /// A requested spontaneous step.
+    Step,
+    /// A substrate event (message in transit, operation response, ...).
+    Sub(P),
+}
+
+/// Builder/runtime for one run of an asynchronous system over any
+/// [`Substrate`].
+///
+/// Configure the fault plan, scheduler, delay rules, and limits, then call
+/// [`System::run`] (or a sibling entry point) with the substrate as a type
+/// parameter and one process per slot. Byzantine slots (per the fault plan)
+/// are filled by the caller with strategy objects — see the
+/// `kset-adversary` crate.
+///
+/// The model-specific facades `kset_net::MpSystem` and
+/// `kset_shmem::SmSystem` wrap this builder with their substrate
+/// pre-applied; use them unless you are writing substrate-generic tooling
+/// (the model checker and experiment harnesses in `kset-experiments` use
+/// `System` directly so both models provably share one code path).
+pub struct System {
+    n: usize,
+    plan: FaultPlan,
+    scheduler: Option<Box<dyn Scheduler>>,
+    rules: Vec<DelayRule>,
+    event_limit: Option<u64>,
+    trace_capacity: usize,
+    metrics: MetricsConfig,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("n", &self.n)
+            .field("plan", &self.plan)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// A system of `n` processes, all correct, randomly scheduled (seed 0).
+    pub fn new(n: usize) -> Self {
+        System {
+            n,
+            plan: FaultPlan::all_correct(n),
+            scheduler: None,
+            rules: Vec::new(),
+            event_limit: None,
+            trace_capacity: 0,
+            metrics: MetricsConfig::disabled(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the fault plan. Its size must equal `n` (checked at run time).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Uses an explicit scheduler (adversary).
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Some(Box::new(scheduler));
+        self
+    }
+
+    /// Shorthand for a [`RandomScheduler`] with the given seed.
+    pub fn seed(self, seed: u64) -> Self {
+        self.scheduler(RandomScheduler::from_seed(seed))
+    }
+
+    /// Adds a delay rule; the scheduler is wrapped in a
+    /// [`GatedScheduler`] when any rules are present.
+    pub fn delay_rule(mut self, rule: DelayRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds several delay rules at once.
+    pub fn delay_rules(mut self, rules: impl IntoIterator<Item = DelayRule>) -> Self {
+        self.rules.extend(rules);
+        self
+    }
+
+    /// Overrides the kernel event limit.
+    pub fn event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Enables trace recording with the given capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Configures metrics collection; the outcome's
+    /// [`metrics`](Outcome::metrics) field is populated when enabled.
+    pub fn metrics(mut self, config: MetricsConfig) -> Self {
+        self.metrics = config;
+        self
+    }
+
+    /// Runs the system, building each process from a factory closure.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_with<S: Substrate, F: FnMut(ProcessId) -> S::Process>(
+        self,
+        mut factory: F,
+    ) -> Result<Outcome<S::Output>, SimError> {
+        let procs = (0..self.n).map(&mut factory).collect();
+        self.run::<S>(procs)
+    }
+
+    /// Runs the system to completion.
+    ///
+    /// The run ends when every correct process has decided, when no events
+    /// remain (in which case `terminated` is `false` if some correct process
+    /// is still undecided), or with an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] if `procs.len()` or the fault plan size
+    ///   differ from `n`, or `n == 0`.
+    /// * [`SimError::EventLimitExceeded`] if the protocol livelocks.
+    /// * Any error surfaced by [`Substrate::apply`], e.g.
+    ///   [`SimError::ProcessOutOfRange`] for a send outside `0..n`.
+    pub fn run<S: Substrate>(self, procs: Vec<S::Process>) -> Result<Outcome<S::Output>, SimError> {
+        self.run_shared::<S>(procs).map(|(outcome, _)| outcome)
+    }
+
+    /// Runs the system like [`System::run`] and additionally returns the
+    /// substrate's final shared state (e.g. the register store).
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_shared<S: Substrate>(
+        self,
+        procs: Vec<S::Process>,
+    ) -> Result<(Outcome<S::Output>, S::Shared), SimError> {
+        self.run_core::<S, _>(procs, |_, _, _, _| {})
+    }
+
+    /// Runs the system like [`System::run`], additionally computing a
+    /// stable digest of the whole system state after every fired event.
+    ///
+    /// `digests[i]` fingerprints the state reached after the `i`-th event:
+    /// every process's digest, its crashed flag and decision, the
+    /// substrate's shared state, plus an order-insensitive multiset hash of
+    /// the pending event pool (kind, target, source, payload). Event *ids*
+    /// are deliberately excluded, so two schedules reaching the same
+    /// protocol state digest equal — the property the model checker's state
+    /// deduplication relies on.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_digested<S: SubstrateDigest>(
+        self,
+        procs: Vec<S::Process>,
+    ) -> Result<(Outcome<S::Output>, Vec<u64>), SimError>
+    where
+        S::Output: StateDigest,
+    {
+        self.run_digested_shared::<S>(procs)
+            .map(|(outcome, digests, _)| (outcome, digests))
+    }
+
+    /// [`System::run_digested`] plus the final shared state.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_digested_shared<S: SubstrateDigest>(
+        self,
+        procs: Vec<S::Process>,
+    ) -> Result<DigestedRun<S>, SimError>
+    where
+        S::Output: StateDigest,
+    {
+        let mut digests = Vec::new();
+        let (outcome, shared) = self.run_core::<S, _>(procs, |kernel, procs, decisions, shared| {
+            digests.push(state_digest::<S>(kernel, procs, decisions, shared));
+        })?;
+        Ok((outcome, digests, shared))
+    }
+
+    /// The shared run loop: `observe` is called once after every fired
+    /// event (whether or not it dispatched a callback) with the kernel, the
+    /// processes, the decision table and the shared state.
+    fn run_core<S, O>(
+        self,
+        mut procs: Vec<S::Process>,
+        mut observe: O,
+    ) -> Result<(Outcome<S::Output>, S::Shared), SimError>
+    where
+        S: Substrate,
+        O: FnMut(&Kernel<Payload<S::Payload>>, &[S::Process], &[Option<S::Output>], &S::Shared),
+    {
+        if self.n == 0 {
+            return Err(SimError::InvalidConfig("n must be positive".into()));
+        }
+        if procs.len() != self.n {
+            return Err(SimError::InvalidConfig(format!(
+                "expected {} processes, got {}",
+                self.n,
+                procs.len()
+            )));
+        }
+        if self.plan.n() != self.n {
+            return Err(SimError::InvalidConfig(format!(
+                "fault plan covers {} processes, system has {}",
+                self.plan.n(),
+                self.n
+            )));
+        }
+
+        let n = self.n;
+        let plan = self.plan;
+        let inner: Box<dyn Scheduler> = self
+            .scheduler
+            .unwrap_or_else(|| Box::new(RandomScheduler::from_seed(0)));
+        let mut kernel: Kernel<Payload<S::Payload>> = if self.rules.is_empty() {
+            Kernel::with_processes(inner, n)
+        } else {
+            Kernel::with_processes(GatedScheduler::new(inner, self.rules), n)
+        };
+        if let Some(limit) = self.event_limit {
+            kernel = kernel.event_limit(limit);
+        }
+        if self.trace_capacity > 0 {
+            kernel = kernel.trace_capacity(self.trace_capacity);
+        }
+        if self.metrics.enabled {
+            kernel = kernel.collect_metrics(self.metrics);
+        }
+
+        for pid in 0..n {
+            if plan.spec(pid).kind() == FaultKind::Byzantine {
+                kernel.state_mut().mark_byzantine(pid);
+            }
+        }
+        for pid in 0..n {
+            kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Start);
+        }
+
+        let mut shared = S::new_shared(n);
+        let mut decisions: Vec<Option<S::Output>> = (0..n).map(|_| None).collect();
+        let mut started = vec![false; n];
+        let mut buf: Vec<S::Action> = Vec::new();
+
+        loop {
+            if kernel.state().all_correct_decided() {
+                break;
+            }
+            let Some((meta, payload)) = kernel.next_checked()? else {
+                break;
+            };
+            'event: {
+                let pid = meta.target;
+                if kernel.state().has_crashed(pid) {
+                    break 'event;
+                }
+                // A process's first step is always its `on_start`: if
+                // another event (an early delivery) reaches it before its
+                // explicit start event fired, start it lazily first. (In
+                // substrates where every non-start event at a process is
+                // caused by that process's own earlier actions — shared
+                // memory — the lazy branch never triggers.)
+                if !started[pid] {
+                    started[pid] = true;
+                    dispatch::<S, _>(
+                        &mut kernel,
+                        &mut procs,
+                        &mut decisions,
+                        &mut shared,
+                        &plan,
+                        n,
+                        pid,
+                        &mut buf,
+                        |p, sh, info, out| S::on_start(p, sh, info, out),
+                    )?;
+                    if matches!(payload, Payload::Start) {
+                        break 'event;
+                    }
+                    if kernel.state().has_crashed(pid) {
+                        break 'event;
+                    }
+                } else if matches!(payload, Payload::Start) {
+                    // Explicit start event arriving after a lazy start: spent.
+                    break 'event;
+                }
+                match payload {
+                    Payload::Start => unreachable!("start handled above"),
+                    Payload::Step => {
+                        dispatch::<S, _>(
+                            &mut kernel,
+                            &mut procs,
+                            &mut decisions,
+                            &mut shared,
+                            &plan,
+                            n,
+                            pid,
+                            &mut buf,
+                            |p, sh, info, out| S::on_step(p, sh, info, out),
+                        )?;
+                    }
+                    Payload::Sub(x) => {
+                        let source = meta.source;
+                        dispatch::<S, _>(
+                            &mut kernel,
+                            &mut procs,
+                            &mut decisions,
+                            &mut shared,
+                            &plan,
+                            n,
+                            pid,
+                            &mut buf,
+                            |p, sh, info, out| S::on_payload(p, x, source, sh, info, out),
+                        )?;
+                    }
+                }
+            }
+            observe(&kernel, &procs, &decisions, &shared);
+        }
+
+        let terminated = kernel.state().all_correct_decided();
+        let decisions: BTreeMap<ProcessId, S::Output> = decisions
+            .into_iter()
+            .enumerate()
+            .filter_map(|(p, d)| d.map(|v| (p, v)))
+            .collect();
+        Ok((
+            Outcome {
+                decisions,
+                correct: plan.correct_set(),
+                faulty: plan.faulty_set(),
+                terminated,
+                stats: *kernel.stats(),
+                trace: kernel.trace().clone(),
+                metrics: kernel.metrics().cloned(),
+            },
+            shared,
+        ))
+    }
+}
+
+/// Dispatches one callback to `pid` under its crash budget, then drains the
+/// buffered effects. Returns early (after marking the crash) when the
+/// budget runs out.
+#[allow(clippy::too_many_arguments)]
+fn dispatch<S, F>(
+    kernel: &mut Kernel<Payload<S::Payload>>,
+    procs: &mut [S::Process],
+    decisions: &mut [Option<S::Output>],
+    shared: &mut S::Shared,
+    plan: &FaultPlan,
+    n: usize,
+    pid: ProcessId,
+    buf: &mut Vec<S::Action>,
+    call: F,
+) -> Result<(), SimError>
+where
+    S: Substrate,
+    F: FnOnce(&mut S::Process, &S::Shared, CallInfo, &mut Vec<S::Action>),
+{
+    let done = kernel.state().actions_of(pid);
+    if plan.remaining_budget(pid, done) == Some(0) {
+        crash(kernel, pid);
+        return Ok(());
+    }
+    kernel.state_mut().charge_action(pid);
+
+    buf.clear();
+    let info = CallInfo {
+        me: pid,
+        n,
+        now: kernel.now(),
+        decided: decisions[pid].is_some(),
+    };
+    call(&mut procs[pid], shared, info, buf);
+
+    for action in buf.drain(..) {
+        let done = kernel.state().actions_of(pid);
+        if plan.remaining_budget(pid, done) == Some(0) {
+            crash(kernel, pid);
+            break;
+        }
+        kernel.state_mut().charge_action(pid);
+        match S::apply(action, pid, n, shared)? {
+            Effect::Post {
+                kind,
+                target,
+                source,
+                payload,
+            } => {
+                kernel.post(
+                    EventMeta::new(kind, target).from_process(source),
+                    Payload::Sub(payload),
+                );
+            }
+            Effect::Decide(v) => {
+                if decisions[pid].is_none() {
+                    decisions[pid] = Some(v);
+                    kernel.note_decision(pid);
+                }
+            }
+            Effect::Step => {
+                kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Step);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn crash<P>(kernel: &mut Kernel<Payload<P>>, pid: ProcessId) {
+    kernel.state_mut().mark_crashed(pid);
+    // Steps and deliveries *to* the crashed process will never be handled;
+    // substrate events it already caused stay pending (the network is
+    // reliable, and a linearized write stays visible).
+    kernel.cancel_where(|m| m.target == pid);
+}
+
+/// Digest of the full system state: per-process protocol state, crash and
+/// decision status, the substrate's shared state, plus the pending pool as
+/// an id-insensitive multiset.
+fn state_digest<S>(
+    kernel: &Kernel<Payload<S::Payload>>,
+    procs: &[S::Process],
+    decisions: &[Option<S::Output>],
+    shared: &S::Shared,
+) -> u64
+where
+    S: SubstrateDigest,
+    S::Output: StateDigest,
+{
+    let mut h = Fnv64::new();
+    for (pid, proc) in procs.iter().enumerate() {
+        h.write_u64(S::digest_process(proc));
+        h.write_u8(u8::from(kernel.state().has_crashed(pid)));
+        decisions[pid].as_ref().digest_into(&mut h);
+    }
+    S::digest_shared(shared, &mut h);
+    // The pending pool hashes as a sum over per-event digests: insensitive
+    // to pool order and to event ids, both of which are schedule artifacts.
+    let mut pool = 0u64;
+    kernel.for_each_pending(|meta, payload| {
+        let mut eh = Fnv64::new();
+        eh.write_usize(meta.target);
+        meta.source.digest_into(&mut eh);
+        match payload {
+            Payload::Start => eh.write_u8(0),
+            Payload::Step => eh.write_u8(1),
+            Payload::Sub(p) => S::digest_payload(p, &mut eh),
+        }
+        pool = pool.wrapping_add(eh.finish());
+    });
+    h.write_u64(pool);
+    h.finish()
+}

@@ -203,7 +203,8 @@ fn protocol_e_rv2_for_any_t() {
                 .seed(seed)
                 .fault_plan(FaultPlan::silent_crashes(n, &crashed))
                 .run_with(|p| ProtocolE::boxed(n, t, inputs[p], DEFAULT))
-                .unwrap();
+                .unwrap()
+                .into_run();
             prop_assert!(outcome.terminated);
             prop_assert!(outcome.correct_decision_set().len() <= 2);
             check(n, 2, t, ValidityCondition::RV2, &inputs,
@@ -231,7 +232,8 @@ fn protocol_f_sv2_in_region() {
                 .seed(seed)
                 .fault_plan(FaultPlan::silent_crashes(n, &(0..t).collect::<Vec<_>>()))
                 .run_with(|p| ProtocolF::boxed(n, t, inputs[p], DEFAULT))
-                .unwrap();
+                .unwrap()
+                .into_run();
             prop_assert!(outcome.terminated);
             prop_assert_eq!(outcome.correct_decision_set(), vec![val]);
             check(n, k, t, ValidityCondition::SV2, &inputs,

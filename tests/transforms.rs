@@ -59,7 +59,8 @@ fn mp_protocols_survive_the_round_trip_to_shared_memory() {
             .event_limit(20_000_000)
             .fault_plan(FaultPlan::silent_crashes(n, &[2]))
             .run_with(|p| Simulated::boxed(n, FloodMin::new(n, t, inputs[p])))
-            .unwrap();
+            .unwrap()
+            .into_run();
         spec_check(
             n, k, t,
             ValidityCondition::RV1,
@@ -83,7 +84,8 @@ fn sm_protocols_survive_the_round_trip_to_message_passing() {
             .seed(seed)
             .fault_plan(FaultPlan::silent_crashes(n, &[0]))
             .run_with(|p| ProtocolE::boxed(n, t, inputs[p], DEFAULT))
-            .unwrap();
+            .unwrap()
+            .into_run();
         spec_check(
             n, k, t,
             ValidityCondition::RV2,
