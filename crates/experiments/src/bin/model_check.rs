@@ -20,7 +20,11 @@
 //! `--depth D`, `--preemptions P`, `--max-runs R`, `--max-states S`.
 //! Parallelism: `--threads N` (`0`/`auto` = available parallelism, the
 //! default; every verdict, counter and counterexample byte is identical
-//! for every `N`). Ablation: `--no-por`, `--no-dedup`. Observability:
+//! for every `N`). Reductions: `--symmetry` deduplicates on fingerprints
+//! canonicalized modulo process-id permutation (off by default — on the
+//! canonical all-distinct inputs it merges nothing and measurably loses;
+//! see `PERFORMANCE.md`), `--no-symmetry` forces it off explicitly.
+//! Ablation: `--no-por`, `--no-dedup`. Observability:
 //! `--progress N` (stderr counters every N runs), `--json PATH` (one
 //! `RunRecord` per explored crash pattern, schema in `OBSERVABILITY.md`),
 //! `--bench-json PATH` (machine-readable wall-clock/throughput summary of
@@ -52,6 +56,8 @@ struct Args {
     max_states: Option<usize>,
     no_por: bool,
     no_dedup: bool,
+    symmetry: bool,
+    no_symmetry: bool,
     progress: Option<u64>,
     threads: Option<usize>,
     counterexample: Option<PathBuf>,
@@ -74,6 +80,8 @@ fn parse_args() -> Args {
         max_states: None,
         no_por: false,
         no_dedup: false,
+        symmetry: false,
+        no_symmetry: false,
         progress: None,
         threads: None,
         counterexample: None,
@@ -109,6 +117,8 @@ fn parse_args() -> Args {
             }
             "--no-por" => parsed.no_por = true,
             "--no-dedup" => parsed.no_dedup = true,
+            "--symmetry" => parsed.symmetry = true,
+            "--no-symmetry" => parsed.no_symmetry = true,
             "--progress" => parsed.progress = Some(value("--progress").parse().expect("--progress")),
             "--threads" => {
                 let raw = value("--threads");
@@ -144,6 +154,9 @@ fn apply_bounds(cfg: &mut CheckerConfig, args: &Args) {
     }
     cfg.por = !args.no_por;
     cfg.dedup = !args.no_dedup;
+    // Off by default; `--symmetry` opts in, `--no-symmetry` pins the
+    // default explicitly (and wins if both are given).
+    cfg.symmetry = args.symmetry && !args.no_symmetry;
     cfg.progress = args.progress;
     if let Some(threads) = args.threads {
         cfg.threads = threads;
@@ -186,7 +199,12 @@ impl BenchCell {
 /// value is a number or an escape-free string, and keeping `serde_json`
 /// out of the hot binary's required path keeps the bench usable in
 /// minimal build environments.
-fn write_bench_json(path: &PathBuf, threads: usize, cells: &[BenchCell]) -> std::io::Result<()> {
+fn write_bench_json(
+    path: &PathBuf,
+    threads: usize,
+    symmetry: bool,
+    cells: &[BenchCell],
+) -> std::io::Result<()> {
     use std::io::Write as _;
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -198,6 +216,7 @@ fn write_bench_json(path: &PathBuf, threads: usize, cells: &[BenchCell]) -> std:
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"model_check_certification\",\n");
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"symmetry\": {symmetry},\n"));
     out.push_str(&format!(
         "  \"host_logical_cpus\": {},\n",
         kset_experiments::engine::available_threads()
@@ -361,7 +380,8 @@ fn main() -> ExitCode {
     let mut bench: Vec<BenchCell> = Vec::new();
     let report_bench = |bench: &[BenchCell], threads: usize| {
         if let Some(path) = &args.bench_json {
-            write_bench_json(path, threads, bench).expect("write --bench-json");
+            write_bench_json(path, threads, args.symmetry && !args.no_symmetry, bench)
+                .expect("write --bench-json");
             println!("  (timing summary written to {})", path.display());
         }
     };

@@ -98,6 +98,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs;
+use std::hash::BuildHasherDefault;
 use std::io::{self, Write as _};
 use std::path::Path;
 
@@ -108,8 +109,8 @@ use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
 use kset_regions::Model;
 use kset_shmem::{DynSmProcess, SmSubstrate};
 use kset_sim::{
-    ChoiceLog, ChoiceScheduler, EventId, FaultPlan, MetricsConfig, ProcessId, RunMetrics,
-    RunStats, SimError, System,
+    ChoiceLog, ChoiceScheduler, DigestMode, EventId, FaultPlan, MetricsConfig, ProcessId,
+    RunArena, RunMetrics, RunStats, SimError, System,
 };
 
 use crate::cells::DEFAULT_VALUE;
@@ -151,6 +152,19 @@ pub struct CheckerConfig {
     pub por: bool,
     /// State-digest deduplication.
     pub dedup: bool,
+    /// Symmetry reduction: deduplicate on fingerprints canonicalized
+    /// modulo permutation of process ids ([`DigestMode::Canonical`])
+    /// instead of the id-sensitive plain digest. Sound for the symmetric
+    /// protocols this checker drives, and verdicts and counterexamples
+    /// are identical either way — only the dedup accounting differs.
+    ///
+    /// **Off by default**: on the canonical all-distinct input vector
+    /// every orbit is a singleton, so canonicalization merges nothing
+    /// while its crash-budget component makes the partition strictly
+    /// *finer* on multi-crash patterns — measurably more states and more
+    /// time (see `PERFORMANCE.md` for the accounting). Enable it
+    /// (`--symmetry`) for workloads with genuinely symmetric inputs.
+    pub symmetry: bool,
     /// Emit a progress line to stderr every this many runs.
     pub progress: Option<u64>,
     /// Worker threads for the parallel exploration engine. Verdicts,
@@ -161,8 +175,10 @@ pub struct CheckerConfig {
 
 impl CheckerConfig {
     /// A configuration with effectively unbounded exploration (the
-    /// practical limits `max_runs`/`max_states` still apply) and all
-    /// reductions enabled.
+    /// practical limits `max_runs`/`max_states` still apply), partial-order
+    /// reduction and dedup enabled, and symmetry reduction off (see
+    /// [`CheckerConfig::symmetry`] for why that is the better default on
+    /// the canonical inputs).
     pub fn new(
         protocol: QuorumProtocol,
         n: usize,
@@ -182,6 +198,7 @@ impl CheckerConfig {
             max_states: 1 << 22,
             por: true,
             dedup: true,
+            symmetry: false,
             progress: None,
             threads: crate::engine::available_threads(),
         }
@@ -193,6 +210,16 @@ impl CheckerConfig {
             Model::SmCrash
         } else {
             Model::MpCrash
+        }
+    }
+
+    /// The digest mode exploration runs under: canonical fingerprints when
+    /// symmetry reduction is on, the plain id-sensitive digest otherwise.
+    fn digest_mode(&self) -> DigestMode {
+        if self.symmetry {
+            DigestMode::Canonical
+        } else {
+            DigestMode::Plain
         }
     }
 }
@@ -210,7 +237,7 @@ pub struct ScheduleRun {
     /// The recorded decision points, one per fired event.
     pub log: ChoiceLog,
     /// System-state digest after each fired event (`digests[i]` is the
-    /// state `log.points[i]` produced).
+    /// state `log.point(i)` produced).
     pub digests: Vec<u64>,
     /// Decisions by process id.
     pub decisions: BTreeMap<ProcessId, u64>,
@@ -242,6 +269,11 @@ impl ScheduleRun {
 /// Executes one schedule of `protocol` under `plan`, following `prefix`
 /// and then scheduler defaults, against the real kernel.
 ///
+/// A convenience wrapper over [`execute_schedule_in`] with a throwaway
+/// [`RunArena`] and the plain digest mode — fine for one-off replays
+/// (shrinking, record emission, benches); the exploration loops thread a
+/// recycled arena instead.
+///
 /// # Errors
 ///
 /// Propagates simulator errors (e.g. the event limit, which bounds
@@ -255,8 +287,48 @@ pub fn execute_schedule(
     por: bool,
     metrics: bool,
 ) -> Result<ScheduleRun, SimError> {
+    let mut arena = RunArena::new();
+    execute_schedule_in(
+        protocol,
+        inputs,
+        t,
+        plan,
+        prefix.to_vec(),
+        por,
+        metrics,
+        DigestMode::Plain,
+        &mut arena,
+    )
+}
+
+/// [`execute_schedule`] recycling per-run storage from `arena` and
+/// fingerprinting states under `mode` — the exploration hot path.
+///
+/// The run's choice log and digest vector are *taken* from the arena;
+/// return them via [`RunArena::put_log`]/[`RunArena::put_digests`] once
+/// the [`ScheduleRun`] has been consumed, so the next run reuses their
+/// capacity.
+///
+/// # Errors
+///
+/// See [`execute_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_schedule_in(
+    protocol: QuorumProtocol,
+    inputs: &[u64],
+    t: usize,
+    plan: &FaultPlan,
+    prefix: Vec<usize>,
+    por: bool,
+    metrics: bool,
+    mode: DigestMode,
+    arena: &mut RunArena,
+) -> Result<ScheduleRun, SimError> {
     let n = inputs.len();
-    let sched = ChoiceScheduler::new(prefix.to_vec()).prefer_noops(por);
+    // The prefix is consumed (the scheduler owns it for the run), so the
+    // exploration loop moves each work item's prefix here instead of
+    // copying it — one fewer allocation per executed schedule.
+    let sched = ChoiceScheduler::with_log(prefix, arena.take_log()).prefer_noops(por);
     let log = sched.log_handle();
     // The kernel consumes (and at run end drops) the scheduler, so once
     // the run returns this handle is the log's only owner and the
@@ -279,7 +351,8 @@ pub fn execute_schedule(
     let sys = System::new(n)
         .scheduler(sched)
         .fault_plan(plan.clone())
-        .metrics(metrics_config);
+        .metrics(metrics_config)
+        .digest_mode(mode);
     let (outcome, digests) = if protocol.shared_memory() {
         let procs: Vec<DynSmProcess<u64, u64>> = (0..n)
             .map(|p| match protocol {
@@ -288,7 +361,8 @@ pub fn execute_schedule(
                 _ => unreachable!("shared_memory() gates the protocol"),
             })
             .collect();
-        sys.run_digested::<SmSubstrate<u64, u64>>(procs)?
+        let (outcome, digests, _) = sys.run_digested_in::<SmSubstrate<u64, u64>>(procs, arena)?;
+        (outcome, digests)
     } else {
         let procs: Vec<DynMpProcess<u64, u64>> = (0..n)
             .map(|p| match protocol {
@@ -298,7 +372,8 @@ pub fn execute_schedule(
                 _ => unreachable!("shared_memory() gates the protocol"),
             })
             .collect();
-        sys.run_digested::<MpSubstrate<u64, u64>>(procs)?
+        let (outcome, digests, _) = sys.run_digested_in::<MpSubstrate<u64, u64>>(procs, arena)?;
+        (outcome, digests)
     };
     Ok(ScheduleRun {
         log: take_log(log),
@@ -410,9 +485,33 @@ const TASK_BUDGET: u64 = 2048;
 /// states are revisited under many incomparable sleep sets.
 #[derive(Default)]
 struct Visited {
-    map: HashMap<u64, Vec<Box<[SleepEntry]>>>,
+    map: HashMap<u64, Vec<Box<[SleepEntry]>>, BuildHasherDefault<FingerprintHasher>>,
     /// Cumulative insertions (the memoization budget `max_states` caps).
     inserted: usize,
+}
+
+/// Passes a 64-bit fingerprint key through unchanged instead of re-hashing
+/// it.
+///
+/// [`Visited`] keys are [`kset_sim::Mix64`]-avalanched digests, already
+/// uniformly distributed over `u64`, so feeding them through the standard
+/// library's SipHash again costs a measurable slice of every certification
+/// (`Visited::covers`/`merge_from` showed ≈18% of a profiled n=4 cell,
+/// much of it hashing) and adds no dispersion. Only `u64` keys are ever
+/// written; any other write is a logic error, not a fallback.
+#[derive(Clone, Copy, Default)]
+struct FingerprintHasher(u64);
+
+impl std::hash::Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys hash as u64, never as raw bytes");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
 }
 
 impl Visited {
@@ -485,23 +584,59 @@ impl TaskOutcome {
     }
 }
 
+/// Reusable buffers for [`walk_run`], owned by one exploration task. The
+/// walk's transient storage (taken indices, staged siblings, explored
+/// entries) keeps its capacity across runs, and sleep vectors recycled
+/// from completed work items back a free list that child items draw from —
+/// in the steady state the walk allocates only for genuinely new child
+/// prefixes.
+#[derive(Default)]
+struct WalkScratch {
+    /// The current run's taken canonical indices (child-prefix source).
+    taken: Vec<usize>,
+    /// Entries already explored at the current point (sleep-set seeds).
+    explored: Vec<SleepEntry>,
+    /// Siblings staged at the current point, drained onto the stack in
+    /// reverse canonical order.
+    children: Vec<WorkItem>,
+    /// Free list of sleep vectors recycled from completed work items.
+    sleeps: Vec<Vec<SleepEntry>>,
+}
+
 /// Walks the beyond-prefix decision points of one executed run: dedup
 /// bookkeeping against the task-local `visited`, sibling generation onto
 /// `stack` (per point, in reverse canonical order, so the canonically
 /// first sibling pops first under LIFO — the order the accumulated sleep
 /// sets assume).
+///
+/// `prefix_len`, `preemptions` and `sleep` are the executed work item's
+/// fields; the prefix itself was consumed by [`execute_schedule_in`], and
+/// only its length matters here (in-prefix points were already walked when
+/// the prefix was recorded — the [`kset_sim::ChoiceScheduler`] does not
+/// even log their options).
+#[allow(clippy::too_many_arguments)]
 fn walk_run(
     cfg: &CheckerConfig,
-    item: WorkItem,
+    prefix_len: usize,
+    preemptions: usize,
+    sleep: Vec<SleepEntry>,
     run: &ScheduleRun,
     global: &Visited,
     out: &mut TaskOutcome,
     stack: &mut Vec<WorkItem>,
+    scratch: &mut WalkScratch,
 ) {
-    let mut sleep = item.sleep;
-    let taken = run.log.taken_indices();
-    for d in item.prefix.len()..run.log.points.len() {
-        let point = &run.log.points[d];
+    let mut sleep = sleep;
+    let WalkScratch {
+        taken,
+        explored,
+        children,
+        sleeps,
+    } = scratch;
+    taken.clear();
+    taken.extend((0..run.log.len()).map(|i| run.log.taken(i)));
+    for d in prefix_len..run.log.len() {
+        let point = run.log.point(d);
 
         // Deduplicate on the state this point decides from (the state
         // after d fired events; the root state, d = 0, is unique per
@@ -534,15 +669,15 @@ fn walk_run(
                 }
             } else {
                 let prev_target =
-                    (d > 0).then(|| run.log.points[d - 1].taken_meta().target);
+                    (d > 0).then(|| run.log.point(d - 1).taken_meta().target);
                 // Alternatives in canonical order; `explored` grows so
                 // each later sibling sleeps on the earlier ones (their
                 // subtrees complete first under LIFO scheduling).
-                let mut explored = vec![SleepEntry {
+                explored.clear();
+                explored.push(SleepEntry {
                     id: taken_meta.id,
                     target: taken_meta.target,
-                }];
-                let mut children: Vec<WorkItem> = Vec::new();
+                });
                 for (i, opt) in point.options.iter().enumerate() {
                     if i == point.taken || opt.noop {
                         continue;
@@ -551,7 +686,7 @@ fn walk_run(
                         out.sleep_skips += 1;
                         continue;
                     }
-                    let mut preemptions = item.preemptions;
+                    let mut preemptions = preemptions;
                     if let Some(bound) = cfg.preemptions {
                         let preempts = prev_target.is_some_and(|prev| {
                             opt.meta.target != prev
@@ -571,8 +706,8 @@ fn walk_run(
                     let mut prefix = Vec::with_capacity(d + 1);
                     prefix.extend_from_slice(&taken[..d]);
                     prefix.push(i);
-                    let mut child_sleep =
-                        Vec::with_capacity(sleep.len() + explored.len());
+                    let mut child_sleep = sleeps.pop().unwrap_or_default();
+                    child_sleep.clear();
                     child_sleep.extend(
                         sleep
                             .iter()
@@ -593,7 +728,7 @@ fn walk_run(
                 // Reverse so the canonically-first sibling pops first;
                 // its whole subtree finishes before the next sibling,
                 // which is what the accumulated sleep sets assume.
-                for child in children.into_iter().rev() {
+                for child in children.drain(..).rev() {
                     stack.push(child);
                 }
             }
@@ -601,6 +736,8 @@ fn walk_run(
         // Firing the taken event wakes its dependents.
         sleep.retain(|s| s.target != taken_meta.target);
     }
+    // The walked item's sleep vector feeds the free list.
+    sleeps.push(sleep);
 }
 
 /// Runs one exploration task: a serial DFS over the stack segment
@@ -620,6 +757,11 @@ fn explore_task(
 ) -> TaskOutcome {
     let mut out = TaskOutcome::new();
     let mut stack = stack;
+    // The arena and walk scratch live for the whole task: every run of the
+    // task's (up to TASK_BUDGET-schedule) DFS reuses the same kernel
+    // buffers, choice log, digest vectors and walk staging.
+    let mut arena = RunArena::new();
+    let mut scratch = WalkScratch::default();
     while let Some(item) = stack.pop() {
         if out.runs >= cfg.max_runs {
             out.complete = false;
@@ -630,14 +772,22 @@ fn explore_task(
             out.spill = std::mem::take(&mut stack);
             break;
         }
-        let run = execute_schedule(
+        let WorkItem {
+            prefix,
+            sleep,
+            preemptions,
+        } = item;
+        let prefix_len = prefix.len();
+        let run = execute_schedule_in(
             cfg.protocol,
             inputs,
             cfg.t,
             plan,
-            &item.prefix,
+            prefix,
             cfg.por,
             false,
+            cfg.digest_mode(),
+            &mut arena,
         )
         .expect("checker-built system configurations are valid");
         out.runs += 1;
@@ -666,7 +816,19 @@ fn explore_task(
             });
             break;
         }
-        walk_run(cfg, item, &run, global, &mut out, &mut stack);
+        walk_run(
+            cfg,
+            prefix_len,
+            preemptions,
+            sleep,
+            &run,
+            global,
+            &mut out,
+            &mut stack,
+            &mut scratch,
+        );
+        arena.put_log(run.log);
+        arena.put_digests(run.digests);
     }
     out
 }
@@ -695,8 +857,19 @@ pub fn explore_pattern(
     // shared snapshot — exactly the serial explorer's view after run 1.
     let mut root_out = TaskOutcome::new();
     let mut seeded: Vec<WorkItem> = Vec::new();
-    let root_run = execute_schedule(cfg.protocol, inputs, cfg.t, plan, &[], cfg.por, false)
-        .expect("checker-built system configurations are valid");
+    let mut root_arena = RunArena::new();
+    let root_run = execute_schedule_in(
+        cfg.protocol,
+        inputs,
+        cfg.t,
+        plan,
+        Vec::new(),
+        cfg.por,
+        false,
+        cfg.digest_mode(),
+        &mut root_arena,
+    )
+    .expect("checker-built system configurations are valid");
     root_out.runs = 1;
     root_out.worst_agreement = root_run.distinct_correct_decisions();
     if let Some(message) = violation_of(spec, inputs, &root_run) {
@@ -708,17 +881,17 @@ pub fn explore_pattern(
         });
     } else {
         let empty = Visited::default();
+        let mut scratch = WalkScratch::default();
         walk_run(
             cfg,
-            WorkItem {
-                prefix: Vec::new(),
-                sleep: Vec::new(),
-                preemptions: 0,
-            },
+            0,
+            0,
+            Vec::new(),
             &root_run,
             &empty,
             &mut root_out,
             &mut seeded,
+            &mut scratch,
         );
     }
 

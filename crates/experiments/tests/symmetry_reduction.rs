@@ -1,0 +1,80 @@
+//! Symmetry reduction is an *optimization*, not a semantics change: the
+//! checker's verdicts — holds/violated, worst agreement, completeness, and
+//! the shrunk counterexample's exact serialized bytes — must be identical
+//! with canonical (symmetry-reduced) and plain (id-sensitive) digests.
+//! Only the dedup accounting may differ, and only in one direction: the
+//! canonical state partition is coarser, so it can never visit *more*
+//! distinct states than the plain one (see `PERFORMANCE.md`).
+
+use kset_core::ValidityCondition;
+use kset_experiments::checker::{check_cell, write_counterexample, CheckerConfig, CellVerdict};
+use kset_experiments::exhaustive::QuorumProtocol;
+
+fn verdict(n: usize, k: usize, t: usize, symmetry: bool) -> CellVerdict {
+    let mut cfg = CheckerConfig::new(QuorumProtocol::FloodMin, n, k, t, ValidityCondition::RV1);
+    cfg.symmetry = symmetry;
+    check_cell(&cfg)
+}
+
+fn counterexample_bytes(n: usize, k: usize, t: usize, v: &CellVerdict) -> String {
+    let cfg = CheckerConfig::new(QuorumProtocol::FloodMin, n, k, t, ValidityCondition::RV1);
+    let ce = v.counterexample.as_ref().expect("cell is violated");
+    let path = std::env::temp_dir().join(format!(
+        "kset-symmetry-{}-{n}-{k}-{t}.schedule",
+        std::process::id()
+    ));
+    write_counterexample(&path, &cfg, ce).expect("write");
+    let bytes = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn total_states(v: &CellVerdict) -> usize {
+    v.patterns.iter().map(|p| p.states).sum()
+}
+
+/// Both digest modes certify the same holding cell, and the canonical
+/// visited set is no larger than the plain one.
+#[test]
+fn holding_cell_verdicts_agree_at_n3() {
+    let sym = verdict(3, 2, 1, true);
+    let plain = verdict(3, 2, 1, false);
+    assert!(sym.holds() && plain.holds());
+    assert!(sym.complete && plain.complete);
+    assert_eq!(sym.worst_agreement, plain.worst_agreement);
+    assert!(
+        total_states(&sym) <= total_states(&plain),
+        "canonicalization must merge states, not split them: {} > {}",
+        total_states(&sym),
+        total_states(&plain)
+    );
+}
+
+/// Both digest modes refute the same violated cell with byte-identical
+/// shrunk counterexamples at n = 3.
+#[test]
+fn violated_cell_counterexamples_match_at_n3() {
+    let sym = verdict(3, 1, 1, true);
+    let plain = verdict(3, 1, 1, false);
+    assert!(!sym.holds() && !plain.holds());
+    assert_eq!(sym.worst_agreement, plain.worst_agreement);
+    assert_eq!(
+        counterexample_bytes(3, 1, 1, &sym),
+        counterexample_bytes(3, 1, 1, &plain)
+    );
+}
+
+/// Same at n = 4 (the benchmark's violated frontier cell): identical
+/// verdict and counterexample bytes, canonical visited set no larger.
+#[test]
+fn violated_cell_counterexamples_match_at_n4() {
+    let sym = verdict(4, 2, 2, true);
+    let plain = verdict(4, 2, 2, false);
+    assert!(!sym.holds() && !plain.holds());
+    assert_eq!(sym.worst_agreement, plain.worst_agreement);
+    assert_eq!(
+        counterexample_bytes(4, 2, 2, &sym),
+        counterexample_bytes(4, 2, 2, &plain)
+    );
+    assert!(total_states(&sym) <= total_states(&plain));
+}

@@ -228,6 +228,9 @@ impl MpSystem {
     /// decision, plus an order-insensitive multiset hash of the pending
     /// event pool (kind, target, source, payload). Event *ids* are
     /// deliberately excluded — see [`kset_sim::System::run_digested`].
+    /// Digests are maintained incrementally (only the dispatched process
+    /// re-hashes; the pool hash is a running sum), with values identical
+    /// to a from-scratch recomputation.
     ///
     /// # Errors
     ///

@@ -78,6 +78,15 @@ impl<V: Clone> Memory<V> {
     pub fn cells(&self) -> impl Iterator<Item = (&RegisterId, &V)> {
         self.cells.iter()
     }
+
+    /// Iterates over the written registers owned by `owner`, in slot
+    /// order. Because `RegisterId` orders by `(owner, slot)`, this is a
+    /// contiguous range of the store; the symmetry-canonical digest hashes
+    /// it as `owner`'s id-free shared-state component.
+    pub fn cells_of(&self, owner: ProcessId) -> impl Iterator<Item = (&RegisterId, &V)> {
+        self.cells
+            .range(RegisterId::new(owner, 0)..=RegisterId::new(owner, usize::MAX))
+    }
 }
 
 #[cfg(test)]

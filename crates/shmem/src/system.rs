@@ -149,6 +149,32 @@ where
             value.digest_into(h);
         }
     }
+
+    fn digest_shared_of(memory: &Self::Shared, owner: ProcessId, h: &mut Fnv64) {
+        // The single-writer model partitions the store by owner, so a
+        // process's id-free component is its own registers as (slot, value)
+        // pairs — the owner id is exactly what the canonical digest strips.
+        for (reg, value) in memory.cells_of(owner) {
+            h.write_usize(reg.slot);
+            value.digest_into(h);
+        }
+    }
+
+    fn digest_payload_symm(op: &SmOp, h: &mut Fnv64) {
+        match op {
+            SmOp::ReadResp(reg) => {
+                // `reg.owner` is always the event's source process (see
+                // `apply`), which the canonical digest re-keys by its
+                // id-free component; only the slot stays in the payload.
+                h.write_u8(2);
+                h.write_usize(reg.slot);
+            }
+            SmOp::WriteAck(slot) => {
+                h.write_u8(3);
+                h.write_usize(*slot);
+            }
+        }
+    }
 }
 
 /// Builder/runtime for one run of a shared-memory system.
@@ -249,7 +275,10 @@ impl SmSystem {
     /// every process's [`crate::SmProcess::state_digest`], its crashed flag and
     /// decision, the register store contents, plus an order-insensitive
     /// multiset hash of the pending event pool. Event ids are excluded —
-    /// see [`kset_sim::System::run_digested`] for the rationale.
+    /// see [`kset_sim::System::run_digested`] for the rationale. Digests
+    /// are maintained incrementally (only the dispatched process
+    /// re-hashes; the pool hash is a running sum), with values identical
+    /// to a from-scratch recomputation.
     ///
     /// # Errors
     ///

@@ -23,7 +23,20 @@
 //!
 //! Every choice point is appended to a shared [`ChoiceLog`]
 //! ([`ChoiceScheduler::log_handle`]), which the explorer reads back after
-//! the run to enumerate untried alternatives.
+//! the run to enumerate untried alternatives. The log is **flat**: one
+//! options arena plus per-point index records, so recording a choice point
+//! is a couple of `Vec` pushes into recycled storage instead of an
+//! allocation per fired event — the allocation that used to dominate the
+//! model checker's hot loop (see `PERFORMANCE.md`).
+//!
+//! Points *inside* the replayed prefix take a fast path: the explorer never
+//! branches there (their alternatives were already enumerated when the
+//! prefix was first recorded), so the pick skips the no-op scan, logs no
+//! options — [`ChoicePoint::options`] is empty for such points — and
+//! replaces the full canonical sort with a rank selection. The taken
+//! event's metadata is still recorded per point, so
+//! [`ChoicePoint::taken_meta`] and [`ChoiceLog::fired_ids`] work at every
+//! depth.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -42,34 +55,90 @@ pub struct ChoiceOption {
     pub noop: bool,
 }
 
-/// One scheduler decision: the canonically-ordered alternatives and which
-/// one fired.
-#[derive(Clone, Debug)]
-pub struct ChoicePoint {
+/// The per-point record of the flat log: where the point's options start in
+/// the shared arena, which was taken (and its metadata), and whether the
+/// pick was forced. In-prefix points log no options — their record spans an
+/// empty arena slice — so `meta` is the only per-point copy of the fired
+/// event that is guaranteed to exist.
+#[derive(Clone, Copy, Debug)]
+struct PointRec {
+    start: usize,
+    taken: usize,
+    forced: bool,
+    meta: EventMeta,
+}
+
+/// A borrowed view of one choice point: the canonically-ordered
+/// alternatives and which one fired.
+#[derive(Clone, Copy, Debug)]
+pub struct ChoicePoint<'a> {
     /// The pending events at this point, sorted by ascending [`EventId`].
-    pub options: Vec<ChoiceOption>,
+    /// **Empty for in-prefix points**: the explorer only branches beyond
+    /// the replayed prefix, so alternatives inside it are not re-recorded
+    /// (see the module documentation).
+    pub options: &'a [ChoiceOption],
     /// Canonical index of the event that fired.
     pub taken: usize,
     /// True when the pick was a beyond-prefix no-op preference: the
     /// explorer treats such points as having a single successor.
     pub forced: bool,
+    meta: EventMeta,
 }
 
-impl ChoicePoint {
-    /// The metadata of the event that fired at this point.
+impl ChoicePoint<'_> {
+    /// The metadata of the event that fired at this point. Available for
+    /// every point, including in-prefix ones whose `options` are empty.
     pub fn taken_meta(&self) -> EventMeta {
-        self.options[self.taken].meta
+        self.meta
     }
 }
 
-/// The recorded sequence of choice points of one run.
+/// The recorded sequence of choice points of one run, stored flat: all
+/// points' options live in one arena vector, so a cleared log retains its
+/// capacity and recording a run allocates nothing in the steady state.
 #[derive(Clone, Debug, Default)]
 pub struct ChoiceLog {
-    /// Choice points in firing order; entry `i` is the `i`-th fired event.
-    pub points: Vec<ChoicePoint>,
+    options: Vec<ChoiceOption>,
+    points: Vec<PointRec>,
 }
 
 impl ChoiceLog {
+    /// Number of recorded choice points (= fired events).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no choice point was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `i`-th choice point, as a borrowed view into the arena.
+    pub fn point(&self, i: usize) -> ChoicePoint<'_> {
+        let rec = self.points[i];
+        let end = self
+            .points
+            .get(i + 1)
+            .map_or(self.options.len(), |next| next.start);
+        ChoicePoint {
+            options: &self.options[rec.start..end],
+            taken: rec.taken,
+            forced: rec.forced,
+            meta: rec.meta,
+        }
+    }
+
+    /// The canonical index taken at point `i`.
+    pub fn taken(&self, i: usize) -> usize {
+        self.points[i].taken
+    }
+
+    /// Clears the recorded points, keeping the arena capacity for reuse.
+    pub fn clear(&mut self) {
+        self.options.clear();
+        self.points.clear();
+    }
+
     /// The canonical index taken at every point — the full schedule of the
     /// run as a prefix that replays it exactly.
     pub fn taken_indices(&self) -> Vec<usize> {
@@ -78,7 +147,7 @@ impl ChoiceLog {
 
     /// The ids fired, in order — a [`crate::ReplayScheduler`] script.
     pub fn fired_ids(&self) -> Vec<EventId> {
-        self.points.iter().map(|p| p.taken_meta().id).collect()
+        self.points.iter().map(|p| p.meta.id).collect()
     }
 }
 
@@ -103,12 +172,20 @@ pub struct ChoiceScheduler {
 impl ChoiceScheduler {
     /// A scheduler that follows `prefix` and then fires defaults.
     pub fn new(prefix: Vec<usize>) -> Self {
+        Self::with_log(prefix, ChoiceLog::default())
+    }
+
+    /// Like [`ChoiceScheduler::new`], recording into a recycled log whose
+    /// arena capacity is reused (the log is cleared first). This is the
+    /// model checker's entry point: one log per worker, reset per run.
+    pub fn with_log(prefix: Vec<usize>, mut log: ChoiceLog) -> Self {
+        log.clear();
         ChoiceScheduler {
             prefix,
             step: 0,
             prefer_noops: true,
             canonical: Vec::new(),
-            log: Rc::new(RefCell::new(ChoiceLog::default())),
+            log: Rc::new(RefCell::new(log)),
         }
     }
 
@@ -128,40 +205,52 @@ impl ChoiceScheduler {
 
 impl Scheduler for ChoiceScheduler {
     fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
-        // Canonical order: pending indices sorted by event id. The
-        // permutation lives in a reused scratch buffer; `options` is a
-        // fresh allocation by necessity (it moves into the log).
+        let mut log = self.log.borrow_mut();
+        let start = log.options.len();
         let canonical = &mut self.canonical;
         canonical.clear();
         canonical.extend(0..pending.len());
-        canonical.sort_by_key(|&i| pending[i].id);
-        let options: Vec<ChoiceOption> = canonical
-            .iter()
-            .map(|&i| {
+
+        let (taken, forced, idx) = if self.step < self.prefix.len() {
+            // Replay fast path. The explorer only branches *beyond* the
+            // prefix (in-prefix alternatives were enumerated when the
+            // prefix was first recorded), so there is nothing to log here
+            // beyond the taken event itself, and no full sort is needed:
+            // a rank selection finds the `prefix[step]`-th smallest id.
+            let taken = self.prefix[self.step].min(pending.len() - 1);
+            let (_, &mut idx, _) =
+                canonical.select_nth_unstable_by_key(taken, |&i| pending[i].id);
+            (taken, false, idx)
+        } else {
+            // Canonical order: pending indices sorted by event id. The
+            // permutation lives in a reused scratch buffer, and the
+            // options are appended directly to the flat log's arena — no
+            // per-pick allocation anywhere on this path.
+            canonical.sort_unstable_by_key(|&i| pending[i].id);
+            log.options.extend(canonical.iter().map(|&i| {
                 let meta = pending[i];
                 ChoiceOption {
                     meta,
                     noop: state.has_decided(meta.target) || state.has_crashed(meta.target),
                 }
-            })
-            .collect();
-
-        let (taken, forced) = if self.step < self.prefix.len() {
-            (self.prefix[self.step].min(options.len() - 1), false)
-        } else if self.prefer_noops {
-            match options.iter().position(|o| o.noop) {
-                Some(i) => (i, true),
-                None => (0, false),
-            }
-        } else {
-            (0, false)
+            }));
+            let options = &log.options[start..];
+            let (taken, forced) = if self.prefer_noops {
+                match options.iter().position(|o| o.noop) {
+                    Some(i) => (i, true),
+                    None => (0, false),
+                }
+            } else {
+                (0, false)
+            };
+            (taken, forced, canonical[taken])
         };
         self.step += 1;
-        let idx = canonical[taken];
-        self.log.borrow_mut().points.push(ChoicePoint {
-            options,
+        log.points.push(PointRec {
+            start,
             taken,
             forced,
+            meta: pending[idx],
         });
         idx
     }
@@ -193,8 +282,8 @@ mod tests {
         assert_eq!(fired, vec![0, 1, 2]);
         let log = log.borrow();
         assert_eq!(log.taken_indices(), vec![0, 0, 0]);
-        assert_eq!(log.points[0].options.len(), 3);
-        assert!(log.points.iter().all(|p| !p.forced));
+        assert_eq!(log.point(0).options.len(), 3);
+        assert!((0..log.len()).all(|i| !log.point(i).forced));
     }
 
     #[test]
@@ -207,6 +296,26 @@ mod tests {
         let fired: Vec<u32> = std::iter::from_fn(|| k.next_event().map(|(_, p)| p)).collect();
         assert_eq!(fired, vec![2, 0, 1]);
         assert_eq!(log.borrow().taken_indices(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn in_prefix_points_log_metadata_but_no_options() {
+        let sched = ChoiceScheduler::new(vec![2, 0]);
+        let log = sched.log_handle();
+        let mut k: Kernel<u32> = Kernel::new(sched);
+        post_three(&mut k);
+        while k.next_event().is_some() {}
+        let log = log.borrow();
+        // The two in-prefix points skip option recording; the first
+        // beyond-prefix point still records its full pending pool.
+        assert!(log.point(0).options.is_empty());
+        assert!(log.point(1).options.is_empty());
+        assert_eq!(log.point(2).options.len(), 1);
+        // Metadata of the fired event survives at every depth.
+        let ids = log.fired_ids();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(log.point(0).taken_meta().id, ids[0]);
+        assert_eq!(log.point(2).taken_meta().id, ids[2]);
     }
 
     #[test]
@@ -245,7 +354,8 @@ mod tests {
         // as a forced no-op.
         let (_, p) = k.next_event().unwrap();
         assert_eq!(p, 2);
-        let first = log.borrow().points[0].clone();
+        let log = log.borrow();
+        let first = log.point(0);
         assert!(first.forced);
         assert_eq!(first.taken, 2);
         assert!(first.options[2].noop);
@@ -260,6 +370,26 @@ mod tests {
         k.state_mut().mark_decided(2);
         let (_, p) = k.next_event().unwrap();
         assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn recycled_log_is_cleared_but_keeps_recording() {
+        let sched = ChoiceScheduler::new(vec![1]);
+        let log_handle = sched.log_handle();
+        let mut k: Kernel<u32> = Kernel::new(sched);
+        post_three(&mut k);
+        while k.next_event().is_some() {}
+        let first_ids = log_handle.borrow().fired_ids();
+        drop(k); // the kernel owns the scheduler, which shares the log
+        let recycled = std::rc::Rc::try_unwrap(log_handle).unwrap().into_inner();
+
+        let sched = ChoiceScheduler::with_log(vec![1], recycled);
+        let log_handle = sched.log_handle();
+        let mut k: Kernel<u32> = Kernel::new(sched);
+        post_three(&mut k);
+        while k.next_event().is_some() {}
+        assert_eq!(log_handle.borrow().fired_ids(), first_ids);
+        assert_eq!(log_handle.borrow().len(), 3);
     }
 
     #[test]

@@ -14,6 +14,10 @@ use crate::trace::{RunStats, Trace, TraceEntry};
 /// accidental livelock into a fast, diagnosable failure.
 pub const DEFAULT_EVENT_LIMIT: u64 = 2_000_000;
 
+/// An incremental per-event hasher installed with [`Kernel::event_hasher`]:
+/// maps an event to its (plain pool hash, auxiliary payload hash) pair.
+pub type EventHasher<E> = fn(&EventMeta, &E) -> (u64, u64);
+
 /// A deterministic discrete-event kernel with payloads of type `E`.
 ///
 /// The kernel owns the pending-event pool, the virtual clock, the
@@ -31,6 +35,17 @@ pub struct Kernel<E> {
     // would make whole runs quadratic.
     metas: Vec<EventMeta>,
     payloads: Vec<E>,
+    // Optional incremental pool hashing (see `Kernel::event_hasher`): when a
+    // hasher is installed, `hashes[i]`/`payload_hashes[i]` cache the two
+    // per-event digests of `metas[i]`/`payloads[i]`, and `pool_sum` is the
+    // running order-insensitive (wrapping-sum) combination of `hashes`.
+    // Posting, firing and cancelling an event each adjust the sum in O(1),
+    // so digesting the pending pool per fired event costs nothing extra —
+    // the re-digest-everything loop the runtimes used to pay is gone.
+    hasher: Option<EventHasher<E>>,
+    hashes: Vec<u64>,
+    payload_hashes: Vec<u64>,
+    pool_sum: u64,
     scheduler: Box<dyn Scheduler>,
     state: RunState,
     trace: Trace,
@@ -60,6 +75,10 @@ impl<E> Kernel<E> {
         Kernel {
             metas: Vec::new(),
             payloads: Vec::new(),
+            hasher: None,
+            hashes: Vec::new(),
+            payload_hashes: Vec::new(),
+            pool_sum: 0,
             scheduler: Box::new(scheduler),
             state: RunState::new(0),
             trace: Trace::disabled(),
@@ -93,6 +112,45 @@ impl<E> Kernel<E> {
         self
     }
 
+    /// Installs an incremental pool hasher (builder style).
+    ///
+    /// `hasher(meta, payload)` must return two digests of the event: the
+    /// *plain* per-event hash folded into [`Kernel::pool_digest`] (the
+    /// order-insensitive fingerprint of the whole pending pool), and an
+    /// auxiliary payload hash cached for [`Kernel::for_each_pending_hashed`]
+    /// (used by symmetry-canonical digests, which re-key events by the
+    /// *current* state of their target/source and so cannot be summed at
+    /// post time). Both are computed exactly once per event, at post time.
+    pub fn event_hasher(mut self, hasher: EventHasher<E>) -> Self {
+        assert!(
+            self.metas.is_empty(),
+            "install the event hasher before posting events"
+        );
+        self.hasher = Some(hasher);
+        self
+    }
+
+    /// Adopts recycled buffers for the pending-pool vectors (builder
+    /// style). The buffers are cleared; only their capacity is reused —
+    /// this is what lets a model checker reset its per-run kernel state
+    /// with [`Kernel::reclaim_buffers`] instead of reallocating it millions
+    /// of times (see `kset_sim::RunArena`).
+    pub fn recycled_buffers(
+        mut self,
+        mut metas: Vec<EventMeta>,
+        mut hashes: Vec<u64>,
+        mut payload_hashes: Vec<u64>,
+    ) -> Self {
+        assert!(self.metas.is_empty(), "adopt buffers before posting events");
+        metas.clear();
+        hashes.clear();
+        payload_hashes.clear();
+        self.metas = metas;
+        self.hashes = hashes;
+        self.payload_hashes = payload_hashes;
+        self
+    }
+
     /// Configures metrics collection (builder style).
     ///
     /// A config with `enabled: false` leaves the kernel on the zero-cost
@@ -118,6 +176,12 @@ impl<E> Kernel<E> {
         self.next_id += 1;
         meta.id = id;
         meta.posted_at = self.time;
+        if let Some(hasher) = self.hasher {
+            let (plain, aux) = hasher(&meta, &payload);
+            self.hashes.push(plain);
+            self.payload_hashes.push(aux);
+            self.pool_sum = self.pool_sum.wrapping_add(plain);
+        }
         self.metas.push(meta);
         self.payloads.push(payload);
         if let Some(m) = self.metrics.as_deref_mut() {
@@ -147,6 +211,11 @@ impl<E> Kernel<E> {
         assert!(idx < self.metas.len(), "scheduler returned out-of-range index");
         let meta = self.metas.swap_remove(idx);
         let payload = self.payloads.swap_remove(idx);
+        if self.hasher.is_some() {
+            let plain = self.hashes.swap_remove(idx);
+            self.payload_hashes.swap_remove(idx);
+            self.pool_sum = self.pool_sum.wrapping_sub(plain);
+        }
         self.time += 1;
         self.stats.count(meta.kind);
         if self.trace.is_enabled() {
@@ -189,6 +258,11 @@ impl<E> Kernel<E> {
                 }
                 self.metas.swap_remove(i);
                 self.payloads.swap_remove(i);
+                if self.hasher.is_some() {
+                    let plain = self.hashes.swap_remove(i);
+                    self.payload_hashes.swap_remove(i);
+                    self.pool_sum = self.pool_sum.wrapping_sub(plain);
+                }
             } else {
                 i += 1;
             }
@@ -225,6 +299,41 @@ impl<E> Kernel<E> {
         for (meta, payload) in self.metas.iter().zip(&self.payloads) {
             f(meta, payload);
         }
+    }
+
+    /// The order-insensitive digest of the pending pool: the wrapping sum
+    /// of every pending event's plain hash, maintained incrementally by
+    /// `post`/`next_checked`/`cancel_where`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`Kernel::event_hasher`] is installed.
+    pub fn pool_digest(&self) -> u64 {
+        assert!(self.hasher.is_some(), "pool_digest needs an event hasher");
+        self.pool_sum
+    }
+
+    /// Visits every pending event with its cached auxiliary payload hash
+    /// (the second value the installed [`Kernel::event_hasher`] returned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no event hasher is installed.
+    pub fn for_each_pending_hashed(&self, mut f: impl FnMut(&EventMeta, u64)) {
+        assert!(
+            self.hasher.is_some(),
+            "for_each_pending_hashed needs an event hasher"
+        );
+        for (meta, &aux) in self.metas.iter().zip(&self.payload_hashes) {
+            f(meta, aux);
+        }
+    }
+
+    /// Tears the kernel down, handing back the pool buffers so a caller
+    /// holding a `kset_sim::RunArena` can reuse their capacity for the
+    /// next run.
+    pub fn reclaim_buffers(self) -> (Vec<EventMeta>, Vec<u64>, Vec<u64>) {
+        (self.metas, self.hashes, self.payload_hashes)
     }
 
     /// Current virtual time (number of events fired so far).

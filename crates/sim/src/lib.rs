@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs, missing_debug_implementations)]
 
+mod arena;
 mod choice;
 mod digest;
 mod error;
@@ -79,14 +80,15 @@ mod substrate;
 mod system;
 mod trace;
 
+pub use arena::{DigestMode, RunArena};
 pub use choice::{ChoiceLog, ChoiceOption, ChoicePoint, ChoiceScheduler};
-pub use digest::{Fnv64, StateDigest};
+pub use digest::{Fnv64, Mix64, StateDigest};
 pub use error::SimError;
 pub use event::{ChannelId, EventId, EventKind, EventMeta, ProcessId};
 pub use fifo_channels::ChannelFifo;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use gate::{DelayRule, GatedScheduler, Until};
-pub use kernel::Kernel;
+pub use kernel::{EventHasher, Kernel};
 pub use metrics::{Histogram, MetricsConfig, ProcessMetrics, RunMetrics, HISTOGRAM_BUCKETS};
 pub use outcome::Outcome;
 pub use replay::{RecordingScheduler, ReplayScheduler};

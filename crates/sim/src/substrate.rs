@@ -206,4 +206,26 @@ pub trait SubstrateDigest: Substrate {
     /// Feeds the shared state (if any) into the run digest. Called after
     /// the per-process digests and before the pending-pool digest.
     fn digest_shared(shared: &Self::Shared, h: &mut Fnv64);
+
+    /// Feeds the part of the shared state *owned by* `owner` into `h` —
+    /// the shared-memory substrate hashes `owner`'s registers as
+    /// `(slot, value)` pairs, dropping the owner id itself. Used by the
+    /// symmetry-canonical digest, which folds each process's registers
+    /// into that process's id-free component so the combined fingerprint
+    /// is invariant under process-id permutation. Substrates without
+    /// per-process shared state (message passing) keep the default no-op.
+    fn digest_shared_of(_shared: &Self::Shared, _owner: ProcessId, _h: &mut Fnv64) {}
+
+    /// Like [`SubstrateDigest::digest_payload`] but **process-id-free**:
+    /// any process id the payload carries redundantly with the event's
+    /// `target`/`source` (e.g. the register owner inside a shared-memory
+    /// read response, which always equals the event source) must be
+    /// dropped, because the symmetry-canonical digest re-keys events by
+    /// the id-free components of their target and source instead. The
+    /// default forwards to `digest_payload`, which is correct whenever the
+    /// payload carries no process ids (the message-passing substrate's
+    /// protocol messages carry values, not ids).
+    fn digest_payload_symm(payload: &Self::Payload, h: &mut Fnv64) {
+        Self::digest_payload(payload, h);
+    }
 }

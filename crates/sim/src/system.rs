@@ -3,7 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::digest::{Fnv64, StateDigest};
+use crate::arena::{DigestMode, RunArena};
+use crate::digest::{Fnv64, Mix64, StateDigest};
 use crate::error::SimError;
 use crate::event::{EventKind, EventMeta, ProcessId};
 use crate::fault::{FaultKind, FaultPlan};
@@ -57,6 +58,7 @@ pub struct System {
     event_limit: Option<u64>,
     trace_capacity: usize,
     metrics: MetricsConfig,
+    digest_mode: DigestMode,
 }
 
 impl std::fmt::Debug for System {
@@ -80,6 +82,7 @@ impl System {
             event_limit: None,
             trace_capacity: 0,
             metrics: MetricsConfig::disabled(),
+            digest_mode: DigestMode::Plain,
         }
     }
 
@@ -137,6 +140,15 @@ impl System {
         self
     }
 
+    /// Selects how the `run_digested*` entry points fingerprint states:
+    /// [`DigestMode::Plain`] (the default, id-sensitive) or
+    /// [`DigestMode::Canonical`] (invariant under process-id permutation,
+    /// for symmetry-reduced deduplication).
+    pub fn digest_mode(mut self, mode: DigestMode) -> Self {
+        self.digest_mode = mode;
+        self
+    }
+
     /// Runs the system, building each process from a factory closure.
     ///
     /// # Errors
@@ -177,7 +189,8 @@ impl System {
         self,
         procs: Vec<S::Process>,
     ) -> Result<(Outcome<S::Output>, S::Shared), SimError> {
-        self.run_core::<S, _>(procs, |_, _, _, _| {})
+        let mut scratch = RunArena::new();
+        self.run_core::<S, _>(procs, &mut scratch, None, |_, _, _, _, _| {})
     }
 
     /// Runs the system like [`System::run`], additionally computing a
@@ -191,6 +204,18 @@ impl System {
     /// protocol state digest equal — the property the model checker's state
     /// deduplication relies on.
     ///
+    /// Digests are computed *incrementally*: each fired event re-hashes
+    /// only the dispatched process's component (the only one whose state
+    /// can have changed), reuses cached digests for every other process,
+    /// and maintains the pending-pool hash as a running sum updated in
+    /// O(1) per posted/fired event. The resulting values are identical to
+    /// recomputing everything from scratch — pinned against
+    /// [`System::run_digested_reference`] by the property suite.
+    ///
+    /// With [`DigestMode::Canonical`] (see [`System::digest_mode`]) the
+    /// digests are instead canonicalized modulo permutation of process
+    /// ids, for symmetry-reduced deduplication.
+    ///
     /// # Errors
     ///
     /// See [`System::run`].
@@ -201,7 +226,8 @@ impl System {
     where
         S::Output: StateDigest,
     {
-        self.run_digested_shared::<S>(procs)
+        let mut arena = RunArena::new();
+        self.run_digested_in::<S>(procs, &mut arena)
             .map(|(outcome, digests, _)| (outcome, digests))
     }
 
@@ -217,24 +243,139 @@ impl System {
     where
         S::Output: StateDigest,
     {
+        let mut arena = RunArena::new();
+        self.run_digested_in::<S>(procs, &mut arena)
+    }
+
+    /// [`System::run_digested_shared`], recycling per-run storage from a
+    /// caller-held [`RunArena`] — the model checker's hot entry point.
+    ///
+    /// The arena lends the kernel its pool buffers and the digest engine
+    /// its scratch vectors; all are returned (with grown capacity) when
+    /// the run completes, so a long exploration allocates only during its
+    /// first few runs. The returned digest vector is the only allocation
+    /// handed to the caller — return it via [`RunArena::put_digests`] once
+    /// consumed to close the loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_digested_in<S: SubstrateDigest>(
+        self,
+        procs: Vec<S::Process>,
+        arena: &mut RunArena,
+    ) -> Result<DigestedRun<S>, SimError>
+    where
+        S::Output: StateDigest,
+    {
+        let n = self.n;
+        let mode = self.digest_mode;
+        // Only the canonical digest reads the fault plan (for crash
+        // budgets); don't pay the clone on the plain hot path.
+        let plan = matches!(mode, DigestMode::Canonical).then(|| self.plan.clone());
+        let mut digests = std::mem::take(&mut arena.digests);
+        digests.clear();
+        let mut proc_digests = std::mem::take(&mut arena.proc_digests);
+        proc_digests.clear();
+        let mut components = std::mem::take(&mut arena.components);
+        let mut sorted = std::mem::take(&mut arena.sorted);
+
+        let result = self.run_core::<S, _>(
+            procs,
+            arena,
+            Some(event_hashes::<S>),
+            |fired, kernel, procs, decisions, shared| {
+                // Only the dispatched process can have changed its protocol
+                // state or decision; every other cached component is current.
+                if proc_digests.is_empty() {
+                    proc_digests.extend(procs.iter().map(|p| S::digest_process(p)));
+                } else {
+                    proc_digests[fired.target] = S::digest_process(&procs[fired.target]);
+                }
+                let d = match mode {
+                    DigestMode::Plain => {
+                        plain_digest::<S>(n, &proc_digests, kernel, decisions, shared)
+                    }
+                    DigestMode::Canonical => canonical_digest::<S>(
+                        n,
+                        &proc_digests,
+                        kernel,
+                        decisions,
+                        shared,
+                        plan.as_ref().expect("cloned above for canonical mode"),
+                        &mut components,
+                        &mut sorted,
+                    ),
+                };
+                digests.push(d);
+            },
+        );
+
+        arena.proc_digests = proc_digests;
+        arena.components = components;
+        arena.sorted = sorted;
+        match result {
+            Ok((outcome, shared)) => Ok((outcome, digests, shared)),
+            Err(e) => {
+                arena.digests = digests;
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs like [`System::run_digested`] but recomputes every digest from
+    /// scratch after every event — the historical implementation, kept as
+    /// the oracle the property suite pins the incremental engine against.
+    /// Always uses the id-sensitive [`DigestMode::Plain`] encoding (the
+    /// builder's digest mode is ignored); there is no from-scratch twin of
+    /// the canonical mode, which is instead validated by mirrored-input
+    /// enumeration tests.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_digested_reference<S: SubstrateDigest>(
+        self,
+        procs: Vec<S::Process>,
+    ) -> Result<(Outcome<S::Output>, Vec<u64>), SimError>
+    where
+        S::Output: StateDigest,
+    {
+        let mut scratch = RunArena::new();
         let mut digests = Vec::new();
-        let (outcome, shared) = self.run_core::<S, _>(procs, |kernel, procs, decisions, shared| {
-            digests.push(state_digest::<S>(kernel, procs, decisions, shared));
-        })?;
-        Ok((outcome, digests, shared))
+        let (outcome, _shared) = self.run_core::<S, _>(
+            procs,
+            &mut scratch,
+            None,
+            |_, kernel, procs, decisions, shared| {
+                digests.push(state_digest::<S>(kernel, procs, decisions, shared));
+            },
+        )?;
+        Ok((outcome, digests))
     }
 
     /// The shared run loop: `observe` is called once after every fired
-    /// event (whether or not it dispatched a callback) with the kernel, the
-    /// processes, the decision table and the shared state.
+    /// event (whether or not it dispatched a callback) with the fired
+    /// event's metadata, the kernel, the processes, the decision table and
+    /// the shared state. The kernel borrows its pool buffers from `arena`
+    /// and returns them on teardown; `hasher`, when given, is installed as
+    /// the kernel's per-event hasher before any event is posted.
     fn run_core<S, O>(
         self,
         mut procs: Vec<S::Process>,
+        arena: &mut RunArena,
+        hasher: Option<crate::kernel::EventHasher<Payload<S::Payload>>>,
         mut observe: O,
     ) -> Result<(Outcome<S::Output>, S::Shared), SimError>
     where
         S: Substrate,
-        O: FnMut(&Kernel<Payload<S::Payload>>, &[S::Process], &[Option<S::Output>], &S::Shared),
+        O: FnMut(
+            &EventMeta,
+            &Kernel<Payload<S::Payload>>,
+            &[S::Process],
+            &[Option<S::Output>],
+            &S::Shared,
+        ),
     {
         if self.n == 0 {
             return Err(SimError::InvalidConfig("n must be positive".into()));
@@ -273,6 +414,14 @@ impl System {
         if self.metrics.enabled {
             kernel = kernel.collect_metrics(self.metrics);
         }
+        if let Some(hasher) = hasher {
+            kernel = kernel.event_hasher(hasher);
+        }
+        kernel = kernel.recycled_buffers(
+            std::mem::take(&mut arena.metas),
+            std::mem::take(&mut arena.hashes),
+            std::mem::take(&mut arena.payload_hashes),
+        );
 
         for pid in 0..n {
             if plan.spec(pid).kind() == FaultKind::Byzantine {
@@ -360,7 +509,7 @@ impl System {
                     }
                 }
             }
-            observe(&kernel, &procs, &decisions, &shared);
+            observe(&meta, &kernel, &procs, &decisions, &shared);
         }
 
         let terminated = kernel.state().all_correct_decided();
@@ -369,18 +518,20 @@ impl System {
             .enumerate()
             .filter_map(|(p, d)| d.map(|v| (p, v)))
             .collect();
-        Ok((
-            Outcome {
-                decisions,
-                correct: plan.correct_set(),
-                faulty: plan.faulty_set(),
-                terminated,
-                stats: *kernel.stats(),
-                trace: kernel.trace().clone(),
-                metrics: kernel.metrics().cloned(),
-            },
-            shared,
-        ))
+        let outcome = Outcome {
+            decisions,
+            correct: plan.correct_set(),
+            faulty: plan.faulty_set(),
+            terminated,
+            stats: *kernel.stats(),
+            trace: kernel.trace().clone(),
+            metrics: kernel.metrics().cloned(),
+        };
+        let (metas, hashes, payload_hashes) = kernel.reclaim_buffers();
+        arena.metas = metas;
+        arena.hashes = hashes;
+        arena.payload_hashes = payload_hashes;
+        Ok((outcome, shared))
     }
 }
 
@@ -460,9 +611,198 @@ fn crash<P>(kernel: &mut Kernel<Payload<P>>, pid: ProcessId) {
     kernel.cancel_where(|m| m.target == pid);
 }
 
-/// Digest of the full system state: per-process protocol state, crash and
-/// decision status, the substrate's shared state, plus the pending pool as
-/// an id-insensitive multiset.
+/// Per-event hashes installed into the kernel when a run is digested: the
+/// first value is the id-sensitive event hash, computed identically by the
+/// reference pool walk in [`state_digest`] (which calls this function, so
+/// the incrementally maintained pool sum equals the from-scratch one by
+/// construction); the second is the id-free payload hash the canonical
+/// digest re-keys by component.
+///
+/// Payload *contents* hash byte-wise through the substrate's
+/// [`SubstrateDigest`] hooks ([`Fnv64`]); the event-level composition —
+/// target, source, payload-kind tag, payload hash — folds word-wise
+/// through [`Mix64`], since each part is already a word.
+fn event_hashes<S: SubstrateDigest>(meta: &EventMeta, payload: &Payload<S::Payload>) -> (u64, u64) {
+    let mut eh = Mix64::new();
+    eh.mix(meta.target as u64);
+    match meta.source {
+        None => {
+            eh.mix(0);
+            eh.mix(0);
+        }
+        Some(s) => {
+            eh.mix(1);
+            eh.mix(s as u64);
+        }
+    }
+    let mut ah = Mix64::new();
+    match payload {
+        Payload::Start => {
+            eh.mix(0);
+            ah.mix(0);
+        }
+        Payload::Step => {
+            eh.mix(1);
+            ah.mix(1);
+        }
+        Payload::Sub(p) => {
+            let mut ph = Fnv64::new();
+            S::digest_payload(p, &mut ph);
+            eh.mix(2);
+            eh.mix(ph.finish());
+            let mut sh = Fnv64::new();
+            S::digest_payload_symm(p, &mut sh);
+            ah.mix(2);
+            ah.mix(sh.finish());
+        }
+    }
+    (eh.finish(), ah.finish())
+}
+
+/// Mixes a decision slot as a fixed two-word `(tag, value)` pair, so every
+/// process contributes the same number of words regardless of decision
+/// status and word positions never shift across states.
+fn mix_decision<T: StateDigest>(h: &mut Mix64, decision: &Option<T>) {
+    match decision {
+        None => {
+            h.mix(0);
+            h.mix(0);
+        }
+        Some(v) => {
+            h.mix(1);
+            h.mix(v.state_digest());
+        }
+    }
+}
+
+/// The id-sensitive digest over cached per-process digests and the
+/// kernel's incrementally maintained pool sum. Bit-for-bit the same value
+/// as [`state_digest`] recomputed from scratch. Every input here is
+/// already a word-sized digest, so the composition folds through
+/// [`Mix64`]: four words per process, one for the shared state, one for
+/// the pool — a handful of multiplies per event instead of a byte-wise
+/// hash over the whole encoding.
+fn plain_digest<S>(
+    n: usize,
+    proc_digests: &[u64],
+    kernel: &Kernel<Payload<S::Payload>>,
+    decisions: &[Option<S::Output>],
+    shared: &S::Shared,
+) -> u64
+where
+    S: SubstrateDigest,
+    S::Output: StateDigest,
+{
+    let mut h = Mix64::new();
+    for pid in 0..n {
+        h.mix(proc_digests[pid]);
+        h.mix(u64::from(kernel.state().has_crashed(pid)));
+        mix_decision(&mut h, &decisions[pid]);
+    }
+    let mut sh = Fnv64::new();
+    S::digest_shared(shared, &mut sh);
+    h.mix(sh.finish());
+    h.mix(kernel.pool_digest());
+    h.finish()
+}
+
+/// The symmetry-canonical digest: invariant under any permutation of
+/// process ids applied consistently to processes, crash flags, decisions,
+/// per-process shared state and pending events.
+///
+/// Each process contributes an id-free *component* — its remaining crash
+/// budget, protocol-state digest, crashed flag, decision, and its slice of
+/// the shared state ([`SubstrateDigest::digest_shared_of`]). The state
+/// fingerprint is the hash of the *sorted* component list plus a pool sum
+/// whose events are re-keyed by the components of their target and source
+/// (with the id-free payload hash) instead of by raw process ids.
+///
+/// When two components tie, the component→process map is ambiguous and the
+/// re-keyed pool could merge states that differ only behind the tie; the
+/// digest then falls back to hashing the id-sensitive [`plain_digest`]
+/// under a distinct domain tag. That is a *finer* partition (plain-equal
+/// states are equal outright), so the fallback is always sound — it only
+/// forfeits the reduction on tied states.
+#[allow(clippy::too_many_arguments)]
+fn canonical_digest<S>(
+    n: usize,
+    proc_digests: &[u64],
+    kernel: &Kernel<Payload<S::Payload>>,
+    decisions: &[Option<S::Output>],
+    shared: &S::Shared,
+    plan: &FaultPlan,
+    components: &mut Vec<u64>,
+    sorted: &mut Vec<u64>,
+) -> u64
+where
+    S: SubstrateDigest,
+    S::Output: StateDigest,
+{
+    components.clear();
+    for pid in 0..n {
+        let mut ch = Mix64::new();
+        // The crash budget is part of the state a permutation must respect:
+        // swapping a process that may still crash with one that cannot is
+        // not a symmetry of the remaining execution tree.
+        match plan.remaining_budget(pid, kernel.state().actions_of(pid)) {
+            None => {
+                ch.mix(0);
+                ch.mix(0);
+            }
+            Some(b) => {
+                ch.mix(1);
+                ch.mix(b);
+            }
+        }
+        ch.mix(proc_digests[pid]);
+        ch.mix(u64::from(kernel.state().has_crashed(pid)));
+        mix_decision(&mut ch, &decisions[pid]);
+        let mut sh = Fnv64::new();
+        S::digest_shared_of(shared, pid, &mut sh);
+        ch.mix(sh.finish());
+        components.push(ch.finish());
+    }
+    sorted.clear();
+    sorted.extend_from_slice(components);
+    sorted.sort_unstable();
+    let ties = sorted.windows(2).any(|w| w[0] == w[1]);
+    let mut h = Mix64::new();
+    if ties {
+        h.mix(0xFF);
+        h.mix(plain_digest::<S>(n, proc_digests, kernel, decisions, shared));
+    } else {
+        h.mix(0xAA);
+        for &c in sorted.iter() {
+            h.mix(c);
+        }
+        let mut pool = 0u64;
+        kernel.for_each_pending_hashed(|meta, aux| {
+            let mut eh = Mix64::new();
+            eh.mix(components[meta.target]);
+            match meta.source {
+                None => {
+                    eh.mix(0);
+                    eh.mix(0);
+                }
+                Some(s) => {
+                    eh.mix(1);
+                    eh.mix(components[s]);
+                }
+            }
+            eh.mix(aux);
+            pool = pool.wrapping_add(eh.finish());
+        });
+        h.mix(pool);
+    }
+    h.finish()
+}
+
+/// Reference digest of the full system state, recomputed from scratch:
+/// per-process protocol state, crash and decision status, the substrate's
+/// shared state, plus the pending pool as an id-insensitive multiset. The
+/// hot paths use the incremental engine in [`System::run_digested_in`]
+/// instead; this walk survives as the oracle behind
+/// [`System::run_digested_reference`].
 fn state_digest<S>(
     kernel: &Kernel<Payload<S::Payload>>,
     procs: &[S::Process],
@@ -473,27 +813,23 @@ where
     S: SubstrateDigest,
     S::Output: StateDigest,
 {
-    let mut h = Fnv64::new();
+    let mut h = Mix64::new();
     for (pid, proc) in procs.iter().enumerate() {
-        h.write_u64(S::digest_process(proc));
-        h.write_u8(u8::from(kernel.state().has_crashed(pid)));
-        decisions[pid].as_ref().digest_into(&mut h);
+        h.mix(S::digest_process(proc));
+        h.mix(u64::from(kernel.state().has_crashed(pid)));
+        mix_decision(&mut h, &decisions[pid]);
     }
-    S::digest_shared(shared, &mut h);
+    let mut sh = Fnv64::new();
+    S::digest_shared(shared, &mut sh);
+    h.mix(sh.finish());
     // The pending pool hashes as a sum over per-event digests: insensitive
     // to pool order and to event ids, both of which are schedule artifacts.
+    // Each event hashes through `event_hashes` itself, so this walk equals
+    // the kernel's incrementally maintained sum by construction.
     let mut pool = 0u64;
     kernel.for_each_pending(|meta, payload| {
-        let mut eh = Fnv64::new();
-        eh.write_usize(meta.target);
-        meta.source.digest_into(&mut eh);
-        match payload {
-            Payload::Start => eh.write_u8(0),
-            Payload::Step => eh.write_u8(1),
-            Payload::Sub(p) => S::digest_payload(p, &mut eh),
-        }
-        pool = pool.wrapping_add(eh.finish());
+        pool = pool.wrapping_add(event_hashes::<S>(meta, payload).0);
     });
-    h.write_u64(pool);
+    h.mix(pool);
     h.finish()
 }
