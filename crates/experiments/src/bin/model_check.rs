@@ -31,12 +31,26 @@
 //! the checked cells — the format recorded in `BENCH_model_check.json`).
 //! Counterexamples are written to `--counterexample PATH` (default
 //! `target/model_check/<cell>.schedule`) and replayed with `--replay`.
+//!
+//! Campaigns (`CAMPAIGNS.md`): `--campaign-dir PATH` turns an explicit
+//! cell into a checkpointed, resumable on-disk job; `--checkpoint-every N`
+//! sets the snapshot cadence in runs (default 250000), `--campaign-shards
+//! N` the visited-store shard count (default 16, fixed at creation), and
+//! `--resume` continues a killed campaign from its last durable
+//! checkpoint — with bit-identical verdicts, counters, and counterexample
+//! bytes to an uninterrupted run. On `--resume` the cell and bounds may
+//! be omitted (the campaign manifest restores them).
+//! `--pause-after-checkpoints N` stops cleanly after N checkpoints of
+//! this invocation (the kill/resume test hook).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use kset_core::ValidityCondition;
+use kset_experiments::campaign::{
+    manifest::read_manifest, resume_campaign, run_campaign, CampaignOptions, CampaignOutcome,
+};
 use kset_experiments::checker::{
     check_cell, cross_validate, parse_protocol, parse_validity, read_counterexample,
     replay_fired, to_run_records, write_counterexample, CellVerdict, CheckerConfig,
@@ -65,6 +79,11 @@ struct Args {
     json: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     smoke: bool,
+    campaign_dir: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    campaign_shards: Option<usize>,
+    resume: bool,
+    pause_after_checkpoints: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +108,11 @@ fn parse_args() -> Args {
         json: None,
         bench_json: None,
         smoke: false,
+        campaign_dir: None,
+        checkpoint_every: None,
+        campaign_shards: None,
+        resume: false,
+        pause_after_checkpoints: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -132,6 +156,23 @@ fn parse_args() -> Args {
             "--json" => parsed.json = Some(value("--json").into()),
             "--bench-json" => parsed.bench_json = Some(value("--bench-json").into()),
             "--smoke" => parsed.smoke = true,
+            "--campaign-dir" => parsed.campaign_dir = Some(value("--campaign-dir").into()),
+            "--checkpoint-every" => {
+                parsed.checkpoint_every =
+                    Some(value("--checkpoint-every").parse().expect("--checkpoint-every"))
+            }
+            "--campaign-shards" => {
+                parsed.campaign_shards =
+                    Some(value("--campaign-shards").parse().expect("--campaign-shards"))
+            }
+            "--resume" => parsed.resume = true,
+            "--pause-after-checkpoints" => {
+                parsed.pause_after_checkpoints = Some(
+                    value("--pause-after-checkpoints")
+                        .parse()
+                        .expect("--pause-after-checkpoints"),
+                )
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -272,11 +313,29 @@ fn run_cell(
 ) -> (bool, CellVerdict) {
     let started = Instant::now();
     let verdict = check_cell(cfg);
-    bench.push(BenchCell::from_verdict(
+    let ok = report_cell(
         cfg,
+        args,
+        expect_holds,
+        bench,
         &verdict,
         started.elapsed().as_secs_f64(),
-    ));
+    );
+    (ok, verdict)
+}
+
+/// The reporting half of [`run_cell`], shared with campaign mode (which
+/// produces its verdict through the checkpointed driver instead of
+/// [`check_cell`] but emits the identical output from it).
+fn report_cell(
+    cfg: &CheckerConfig,
+    args: &Args,
+    expect_holds: Option<bool>,
+    bench: &mut Vec<BenchCell>,
+    verdict: &CellVerdict,
+    wall_s: f64,
+) -> bool {
+    bench.push(BenchCell::from_verdict(cfg, verdict, wall_s));
     println!(
         "SC(k={}, t={}, {}) for {} at n={}: {}",
         cfg.k,
@@ -313,7 +372,7 @@ fn run_cell(
     }
     if let Some(json) = &args.json {
         let mut sink = JsonlSink::create(json).expect("create --json sink");
-        for record in to_run_records(cfg, &verdict) {
+        for record in to_run_records(cfg, verdict) {
             sink.write(&record).expect("write run record");
         }
         let written = sink.finish().expect("flush --json sink");
@@ -328,7 +387,7 @@ fn run_cell(
             ok = false;
         }
     }
-    (ok, verdict)
+    ok
 }
 
 /// Cross-validates the checker against the analytic enumerator on a cell
@@ -385,6 +444,91 @@ fn main() -> ExitCode {
             println!("  (timing summary written to {})", path.display());
         }
     };
+
+    if let Some(dir) = &args.campaign_dir {
+        // Campaign mode: an explicit cell driven as a checkpointed,
+        // resumable on-disk job (see CAMPAIGNS.md). On --resume the cell
+        // may be omitted; the campaign manifest restores it.
+        let cfg = if let Some(protocol) = args.protocol {
+            let n = args.n.expect("--campaign-dir needs --n");
+            let k = args.k.expect("--campaign-dir needs --k");
+            let t = args.t.expect("--campaign-dir needs --t");
+            let validity = args.validity.expect("--campaign-dir needs --validity");
+            let mut cfg = CheckerConfig::new(protocol, n, k, t, validity);
+            apply_bounds(&mut cfg, &args);
+            cfg
+        } else if args.resume {
+            let manifest = read_manifest(dir).unwrap_or_else(|e| {
+                eprintln!("model_check: cannot resume: {e}");
+                std::process::exit(2);
+            });
+            let mut cfg = manifest.checker_config();
+            // Contract-covered knobs may still be set; the cell and
+            // bounds come from the manifest.
+            cfg.progress = args.progress;
+            if let Some(threads) = args.threads {
+                cfg.threads = threads;
+            }
+            cfg
+        } else {
+            eprintln!(
+                "model_check: --campaign-dir needs an explicit cell \
+                 (--protocol/--n/--k/--t/--validity), or --resume"
+            );
+            std::process::exit(2);
+        };
+        let opts = CampaignOptions {
+            shards: args.campaign_shards.unwrap_or(CampaignOptions::default().shards),
+            checkpoint_every: args
+                .checkpoint_every
+                .unwrap_or(CampaignOptions::default().checkpoint_every),
+            pause_after_checkpoints: args.pause_after_checkpoints,
+        };
+        let started = Instant::now();
+        let outcome = if args.resume {
+            resume_campaign(&cfg, dir, &opts)
+        } else {
+            run_campaign(&cfg, dir, &opts)
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("model_check: campaign error: {e}");
+            std::process::exit(2);
+        });
+        return match outcome {
+            CampaignOutcome::Paused { checkpoints, runs } => {
+                println!(
+                    "campaign paused at checkpoint {checkpoints} with {runs} run(s) recorded; \
+                     continue with --resume"
+                );
+                ExitCode::SUCCESS
+            }
+            CampaignOutcome::Finished(verdict) => {
+                let ok = report_cell(
+                    &cfg,
+                    &args,
+                    None,
+                    &mut bench,
+                    &verdict,
+                    started.elapsed().as_secs_f64(),
+                );
+                if let Ok(manifest) = read_manifest(dir) {
+                    println!(
+                        "  campaign manifest: {} (status {}, {} checkpoint(s), {} resume(s))",
+                        dir.join("MANIFEST").display(),
+                        manifest.status,
+                        manifest.checkpoints,
+                        manifest.resumes,
+                    );
+                }
+                report_bench(&bench, cfg.threads);
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+        };
+    }
 
     if let Some(protocol) = args.protocol {
         // Explicit single-cell mode.

@@ -1,0 +1,462 @@
+//! The campaign manifest: a human-readable, versioned summary of what a
+//! campaign is checking and how far it has come.
+//!
+//! The manifest is the campaign's audit surface (`OBSERVABILITY.md`
+//! documents the schema): the cell and bounds it was created with, the
+//! shard layout, the lifecycle status, and cumulative counters (runs,
+//! states, dedup hits, checkpoints, resume lineage). It is rewritten
+//! atomically at every checkpoint, and CI uploads it as an artifact next
+//! to the bench JSONs.
+//!
+//! Unlike the snapshot, the manifest is *advisory*: resuming validates
+//! only its [`config digest`](config_digest) and status, and every
+//! counter in it is recomputed from the authoritative snapshot on resume.
+//! The format is line-based `key: value` text in the same family as the
+//! counterexample scripts — diffable, greppable, committable.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use std::collections::HashMap;
+
+use crate::checker::{parse_protocol, parse_validity, CheckerConfig};
+use crate::exhaustive::QuorumProtocol;
+use kset_core::ValidityCondition;
+
+use super::store::fnv1a;
+
+/// File name of the manifest inside a campaign directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Current manifest schema version (the `# kset campaign manifest vN`
+/// header line). Bump on any field change; readers reject other versions.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Lifecycle status of a campaign.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CampaignStatus {
+    /// Created or resumed, not yet finished; `--resume` continues it.
+    Running,
+    /// Finished with no violation in any crash pattern.
+    Holds,
+    /// Finished at a violation; the counterexample is in the snapshot and
+    /// (if requested) the emitted script.
+    Violated,
+}
+
+impl fmt::Display for CampaignStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CampaignStatus::Running => "running",
+            CampaignStatus::Holds => "holds",
+            CampaignStatus::Violated => "violated",
+        })
+    }
+}
+
+impl CampaignStatus {
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s.trim() {
+            "running" => CampaignStatus::Running,
+            "holds" => CampaignStatus::Holds,
+            "violated" => CampaignStatus::Violated,
+            _ => return None,
+        })
+    }
+}
+
+/// The manifest contents (see the module docs and `OBSERVABILITY.md` for
+/// field-by-field semantics).
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// Protocol under test.
+    pub protocol: QuorumProtocol,
+    /// System size.
+    pub n: usize,
+    /// Agreement bound.
+    pub k: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Validity condition.
+    pub validity: ValidityCondition,
+    /// Whether symmetry reduction (canonical digests) is on.
+    pub symmetry: bool,
+    /// Depth bound (`usize::MAX` = unbounded).
+    pub depth: usize,
+    /// Preemption bound (`None` = unbounded).
+    pub preemptions: Option<usize>,
+    /// Per-pattern run budget.
+    pub max_runs: u64,
+    /// Per-task memoization budget.
+    pub max_states: usize,
+    /// Partial-order reduction switch.
+    pub por: bool,
+    /// State-digest deduplication switch.
+    pub dedup: bool,
+    /// Shard count of the visited store, fixed at creation.
+    pub shards: usize,
+    /// FNV-1a digest of the exploration-relevant configuration
+    /// ([`config_digest`]); resume refuses a mismatch.
+    pub config_digest: u64,
+    /// Lifecycle status.
+    pub status: CampaignStatus,
+    /// Times this campaign has been resumed (lineage).
+    pub resumes: u64,
+    /// Checkpoints written over the campaign's whole life.
+    pub checkpoints: u64,
+    /// Cumulative schedules executed (done patterns + in-progress).
+    pub runs: u64,
+    /// Cumulative sleep-set entries cached across all task tables.
+    pub states: u64,
+    /// Cumulative dedup hits.
+    pub dedup_hits: u64,
+    /// Cumulative sleep-set skips.
+    pub sleep_skips: u64,
+    /// Crash patterns fully explored so far.
+    pub patterns_done: u64,
+    /// Live minimal entries in the visited store at the last checkpoint
+    /// (the in-progress pattern's table; zero at pattern boundaries).
+    pub store_entries: u64,
+    /// Durable shard-log bytes at the last checkpoint.
+    pub store_log_bytes: u64,
+}
+
+/// Digest of every configuration field that can change verdicts,
+/// counters, or counterexample bytes: the cell coordinates, the digest
+/// mode, and all exploration bounds and reduction switches.
+///
+/// Deliberately **excluded**: `threads` (the determinism contract already
+/// covers every thread count), `progress` (stderr only), and the
+/// checkpoint cadence (checkpoints observe, never steer — see
+/// `CAMPAIGNS.md`). A campaign may therefore be resumed with a different
+/// `--threads`, `--progress`, or `--checkpoint-every` and still produce
+/// bit-identical results.
+pub fn config_digest(cfg: &CheckerConfig) -> u64 {
+    let text = format!(
+        "protocol={};n={};k={};t={};validity={};symmetry={};depth={};preemptions={};max_runs={};max_states={};por={};dedup={}",
+        cfg.protocol.name(),
+        cfg.n,
+        cfg.k,
+        cfg.t,
+        cfg.validity,
+        cfg.symmetry,
+        cfg.depth,
+        cfg.preemptions.map_or(-1i64, |p| p as i64),
+        cfg.max_runs,
+        cfg.max_states,
+        cfg.por,
+        cfg.dedup,
+    );
+    fnv1a(text.as_bytes())
+}
+
+impl Manifest {
+    /// A fresh manifest for a campaign just created from `cfg` with
+    /// `shards` shards: status running, all counters zero.
+    pub fn new(cfg: &CheckerConfig, shards: usize) -> Self {
+        Manifest {
+            protocol: cfg.protocol,
+            n: cfg.n,
+            k: cfg.k,
+            t: cfg.t,
+            validity: cfg.validity,
+            symmetry: cfg.symmetry,
+            depth: cfg.depth,
+            preemptions: cfg.preemptions,
+            max_runs: cfg.max_runs,
+            max_states: cfg.max_states,
+            por: cfg.por,
+            dedup: cfg.dedup,
+            shards,
+            config_digest: config_digest(cfg),
+            status: CampaignStatus::Running,
+            resumes: 0,
+            checkpoints: 0,
+            runs: 0,
+            states: 0,
+            dedup_hits: 0,
+            sleep_skips: 0,
+            patterns_done: 0,
+            store_entries: 0,
+            store_log_bytes: 0,
+        }
+    }
+}
+
+impl Manifest {
+    /// Reconstructs the checker configuration the campaign was created
+    /// with (exploration-relevant fields only; `threads`/`progress` take
+    /// their defaults — the caller sets them freely, they are outside the
+    /// determinism contract's inputs). `model_check --resume` uses this
+    /// so a resume does not have to restate the cell and bounds.
+    pub fn checker_config(&self) -> CheckerConfig {
+        let mut cfg = CheckerConfig::new(self.protocol, self.n, self.k, self.t, self.validity);
+        cfg.symmetry = self.symmetry;
+        cfg.depth = self.depth;
+        cfg.preemptions = self.preemptions;
+        cfg.max_runs = self.max_runs;
+        cfg.max_states = self.max_states;
+        cfg.por = self.por;
+        cfg.dedup = self.dedup;
+        cfg
+    }
+}
+
+/// `path` of the manifest inside campaign directory `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+/// Writes `manifest` as `dir/MANIFEST` (write-temp-then-rename, so a
+/// crash mid-checkpoint never leaves a half-written manifest).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> io::Result<()> {
+    let mut out = Vec::new();
+    writeln!(out, "# kset campaign manifest v{MANIFEST_VERSION}")?;
+    writeln!(out, "protocol: {}", manifest.protocol.name())?;
+    writeln!(out, "n: {}", manifest.n)?;
+    writeln!(out, "k: {}", manifest.k)?;
+    writeln!(out, "t: {}", manifest.t)?;
+    writeln!(out, "validity: {}", manifest.validity)?;
+    writeln!(out, "symmetry: {}", manifest.symmetry)?;
+    if manifest.depth == usize::MAX {
+        writeln!(out, "depth: unbounded")?;
+    } else {
+        writeln!(out, "depth: {}", manifest.depth)?;
+    }
+    match manifest.preemptions {
+        None => writeln!(out, "preemptions: unbounded")?,
+        Some(p) => writeln!(out, "preemptions: {p}")?,
+    }
+    writeln!(out, "max_runs: {}", manifest.max_runs)?;
+    writeln!(out, "max_states: {}", manifest.max_states)?;
+    writeln!(out, "por: {}", manifest.por)?;
+    writeln!(out, "dedup: {}", manifest.dedup)?;
+    writeln!(out, "shards: {}", manifest.shards)?;
+    writeln!(out, "config_digest: {:016x}", manifest.config_digest)?;
+    writeln!(out, "status: {}", manifest.status)?;
+    writeln!(out, "resumes: {}", manifest.resumes)?;
+    writeln!(out, "checkpoints: {}", manifest.checkpoints)?;
+    writeln!(out, "runs: {}", manifest.runs)?;
+    writeln!(out, "states: {}", manifest.states)?;
+    writeln!(out, "dedup_hits: {}", manifest.dedup_hits)?;
+    writeln!(out, "sleep_skips: {}", manifest.sleep_skips)?;
+    writeln!(out, "patterns_done: {}", manifest.patterns_done)?;
+    writeln!(out, "store_entries: {}", manifest.store_entries)?;
+    writeln!(out, "store_log_bytes: {}", manifest.store_log_bytes)?;
+    let tmp = dir.join("MANIFEST.tmp");
+    fs::write(&tmp, &out)?;
+    fs::rename(&tmp, manifest_path(dir))
+}
+
+/// Reads `dir/MANIFEST`.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::NotFound`] when no manifest exists (not a campaign
+/// directory); [`io::ErrorKind::InvalidData`] on an unsupported version
+/// or malformed fields.
+pub fn read_manifest(dir: &Path) -> io::Result<Manifest> {
+    let path = manifest_path(dir);
+    let text = fs::read_to_string(&path)?;
+    let bad = |msg: String| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("manifest {}: {msg}", path.display()),
+        )
+    };
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    let version: u64 = header
+        .strip_prefix("# kset campaign manifest v")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| bad(format!("bad header line {header:?}")))?;
+    if version != MANIFEST_VERSION {
+        return Err(bad(format!(
+            "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+        )));
+    }
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    for line in lines {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed line {line:?}")))?;
+        fields.insert(key.trim(), value.trim());
+    }
+    let field = |key: &str| {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| bad(format!("missing field '{key}'")))
+    };
+    let num = |key: &str| -> io::Result<u64> {
+        field(key)?
+            .parse()
+            .map_err(|e| bad(format!("bad {key}: {e}")))
+    };
+    let flag = |key: &str| -> io::Result<bool> {
+        match field(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(bad(format!("bad {key}: {other:?}"))),
+        }
+    };
+    let protocol = parse_protocol(field("protocol")?)
+        .ok_or_else(|| bad(format!("unknown protocol {:?}", fields["protocol"])))?;
+    let validity = parse_validity(field("validity")?)
+        .ok_or_else(|| bad(format!("unknown validity {:?}", fields["validity"])))?;
+    let depth = match field("depth")? {
+        "unbounded" => usize::MAX,
+        other => other
+            .parse()
+            .map_err(|e| bad(format!("bad depth: {e}")))?,
+    };
+    let preemptions = match field("preemptions")? {
+        "unbounded" => None,
+        other => Some(
+            other
+                .parse()
+                .map_err(|e| bad(format!("bad preemptions: {e}")))?,
+        ),
+    };
+    let config_digest = u64::from_str_radix(field("config_digest")?, 16)
+        .map_err(|e| bad(format!("bad config_digest: {e}")))?;
+    let status = CampaignStatus::parse(field("status")?)
+        .ok_or_else(|| bad(format!("unknown status {:?}", fields["status"])))?;
+    Ok(Manifest {
+        protocol,
+        n: num("n")? as usize,
+        k: num("k")? as usize,
+        t: num("t")? as usize,
+        validity,
+        symmetry: flag("symmetry")?,
+        depth,
+        preemptions,
+        max_runs: num("max_runs")?,
+        max_states: num("max_states")? as usize,
+        por: flag("por")?,
+        dedup: flag("dedup")?,
+        shards: num("shards")? as usize,
+        config_digest,
+        status,
+        resumes: num("resumes")?,
+        checkpoints: num("checkpoints")?,
+        runs: num("runs")?,
+        states: num("states")?,
+        dedup_hits: num("dedup_hits")?,
+        sleep_skips: num("sleep_skips")?,
+        patterns_done: num("patterns_done")?,
+        store_entries: num("store_entries")?,
+        store_log_bytes: num("store_log_bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> CheckerConfig {
+        let mut cfg = CheckerConfig::new(
+            QuorumProtocol::FloodMin,
+            4,
+            2,
+            1,
+            ValidityCondition::RV1,
+        );
+        cfg.preemptions = Some(3);
+        cfg.max_runs = 123_456;
+        cfg
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = std::env::temp_dir().join(format!("kset_manifest_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let cfg = sample_config();
+        let mut manifest = Manifest::new(&cfg, 8);
+        manifest.status = CampaignStatus::Running;
+        manifest.resumes = 2;
+        manifest.checkpoints = 7;
+        manifest.runs = 1_000_000;
+        manifest.store_entries = 42;
+        write_manifest(&dir, &manifest).unwrap();
+        let back = read_manifest(&dir).unwrap();
+        assert_eq!(back.protocol, manifest.protocol);
+        assert_eq!(back.n, manifest.n);
+        assert_eq!(back.validity, manifest.validity);
+        assert_eq!(back.depth, usize::MAX);
+        assert_eq!(back.preemptions, Some(3));
+        assert_eq!(back.max_runs, 123_456);
+        assert_eq!(back.shards, 8);
+        assert_eq!(back.config_digest, manifest.config_digest);
+        assert_eq!(back.status, CampaignStatus::Running);
+        assert_eq!(back.resumes, 2);
+        assert_eq!(back.checkpoints, 7);
+        assert_eq!(back.runs, 1_000_000);
+        assert_eq!(back.store_entries, 42);
+        // The reconstructed configuration digests back to the original —
+        // the property `--resume` without restated flags relies on.
+        assert_eq!(config_digest(&back.checker_config()), manifest.config_digest);
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_digest_tracks_exploration_relevant_fields_only() {
+        let base = sample_config();
+        let d0 = config_digest(&base);
+
+        // threads and progress are contract-covered; cadence isn't even a
+        // checker field. Digest must not move.
+        let mut threads = base.clone();
+        threads.threads = 1 + base.threads;
+        threads.progress = Some(1000);
+        assert_eq!(config_digest(&threads), d0);
+
+        // Every exploration-relevant knob must move it.
+        let mut other = base.clone();
+        other.k = 3;
+        assert_ne!(config_digest(&other), d0);
+        let mut other = base.clone();
+        other.max_runs += 1;
+        assert_ne!(config_digest(&other), d0);
+        let mut other = base.clone();
+        other.symmetry = true;
+        assert_ne!(config_digest(&other), d0);
+        let mut other = base.clone();
+        other.preemptions = None;
+        assert_ne!(config_digest(&other), d0);
+        let mut other = base.clone();
+        other.protocol = QuorumProtocol::ProtocolA;
+        assert_ne!(config_digest(&other), d0);
+    }
+
+    #[test]
+    fn version_skew_is_refused() {
+        let dir =
+            std::env::temp_dir().join(format!("kset_manifest_skew_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        write_manifest(&dir, &Manifest::new(&sample_config(), 4)).unwrap();
+        let path = manifest_path(&dir);
+        let text = fs::read_to_string(&path).unwrap();
+        let skewed = text.replace(
+            &format!("manifest v{MANIFEST_VERSION}"),
+            &format!("manifest v{}", MANIFEST_VERSION + 1),
+        );
+        fs::write(&path, skewed).unwrap();
+        let err = read_manifest(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

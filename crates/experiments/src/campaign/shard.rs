@@ -1,0 +1,475 @@
+//! One hash partition of the disk-backed visited store: an append-log
+//! file mirrored by an in-memory compacted open-addressing table.
+//!
+//! The table maps a 64-bit state fingerprint to the minimal antichain of
+//! sleep sets it was expanded under — the same data the checker's
+//! [`Visited`](crate::checker::Visited) keeps, laid out for identity
+//! hashing: fingerprints are already avalanched (`PERFORMANCE.md`), so
+//! the probe sequence starts at the fingerprint's low bits directly and
+//! linear probing stays clustered-free without re-hashing. (The shard
+//! *partition* uses high bits — [`super::store::DiskStore`] — so the two
+//! never correlate.)
+//!
+//! The log is append-only between checkpoints: an insertion that
+//! supersedes earlier entries (a subset arriving after its supersets)
+//! only edits the in-memory antichain; the stale records stay in the log
+//! and are re-minimized on load. That is sound because extra supersets
+//! can never change a `covers` answer — any query a superset covers, its
+//! subset covers too — and it keeps the durable write path a pure append.
+//! Compaction ([`Shard::rewrite_to`]) rewrites the log from the live
+//! table when the stale fraction grows, as part of a generation switch.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use kset_sim::EventId;
+
+use crate::checker::{sleep_subset, SleepEntry};
+
+use super::store::{put_u64, take_u64};
+
+/// Grow the slot array when distinct fingerprints exceed 3/4 of it.
+const MAX_LOAD_NUM: usize = 3;
+const MAX_LOAD_DEN: usize = 4;
+
+/// Compact once a log holds this many records *and* more than four times
+/// the live entry count (i.e. is at least 3/4 stale).
+const COMPACT_MIN_RECORDS: u64 = 1 << 14;
+
+/// One fingerprint's bucket: the minimal antichain of sleep sets it was
+/// expanded under.
+#[derive(Debug)]
+struct Bucket {
+    fingerprint: u64,
+    antichain: Vec<Box<[SleepEntry]>>,
+}
+
+/// One shard: the in-memory open-addressing table plus the bookkeeping
+/// of its on-disk append log (the file itself is owned by
+/// [`super::store::DiskStore`], which hands paths in).
+#[derive(Debug, Default)]
+pub struct Shard {
+    /// Open-addressing slot array (power-of-two length): `0` = empty,
+    /// else an index+1 into `buckets`.
+    slots: Vec<u32>,
+    buckets: Vec<Bucket>,
+    /// Live minimal entries across all buckets.
+    live: u64,
+    /// Serialized records absorbed since the last flush.
+    pending: Vec<u8>,
+    pending_records: u64,
+    /// Durable bytes in the current log file (the snapshot watermark).
+    log_bytes: u64,
+    /// Records in the current log file, including superseded ones.
+    log_records: u64,
+}
+
+impl Shard {
+    /// An empty shard with no log bookkeeping.
+    pub fn new() -> Self {
+        Shard::default()
+    }
+
+    /// The subset-rule query, identical in semantics to
+    /// [`Visited::covers`](crate::checker::Visited::covers).
+    pub fn covers(&self, fingerprint: u64, sleep: &[SleepEntry]) -> bool {
+        self.find(fingerprint).is_some_and(|idx| {
+            self.buckets[idx]
+                .antichain
+                .iter()
+                .any(|s| sleep_subset(s, sleep))
+        })
+    }
+
+    /// Absorbs one entry: skipped if covered, otherwise inserted (stored
+    /// supersets dropped, keeping the antichain minimal) and buffered for
+    /// the next log flush. Returns whether the entry was new.
+    pub fn absorb(&mut self, fingerprint: u64, sleep: &[SleepEntry]) -> bool {
+        if self.covers(fingerprint, sleep) {
+            return false;
+        }
+        self.insert_minimal(fingerprint, sleep);
+        encode_record(&mut self.pending, fingerprint, sleep);
+        self.pending_records += 1;
+        true
+    }
+
+    /// Live minimal entries in the table.
+    pub fn live_entries(&self) -> u64 {
+        self.live
+    }
+
+    /// Durable log bytes (the watermark a snapshot records). Unflushed
+    /// pending records are *not* counted — they are not durable.
+    pub fn log_bytes(&self) -> u64 {
+        self.log_bytes
+    }
+
+    /// Records written to the current log, including superseded ones.
+    pub fn log_records(&self) -> u64 {
+        self.log_records
+    }
+
+    /// Whether the log is mostly stale records a compaction would drop.
+    pub fn wants_compaction(&self) -> bool {
+        let total = self.log_records + self.pending_records;
+        total >= COMPACT_MIN_RECORDS && total > 4 * self.live
+    }
+
+    /// Empties the table and forgets the log (the caller starts a fresh
+    /// generation).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.buckets.clear();
+        self.live = 0;
+        self.pending.clear();
+        self.pending_records = 0;
+        self.log_bytes = 0;
+        self.log_records = 0;
+    }
+
+    /// Appends the pending records to `path` (the current generation's
+    /// log) and advances the durable watermark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn flush_to(&mut self, path: &Path) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(&self.pending)?;
+        file.sync_data()?;
+        self.log_bytes += self.pending.len() as u64;
+        self.log_records += self.pending_records;
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Rewrites the shard as a fresh log at `path` containing exactly the
+    /// live minimal entries (write-temp-then-rename), resetting the log
+    /// bookkeeping to the compacted contents. Pending records are part of
+    /// the live table, so they are implicitly flushed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn rewrite_to(&mut self, path: &Path) -> io::Result<()> {
+        let mut out = Vec::new();
+        for bucket in &self.buckets {
+            for sleep in &bucket.antichain {
+                encode_record(&mut out, bucket.fingerprint, sleep);
+            }
+        }
+        let tmp = path.with_extension("log.tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&out)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        self.log_bytes = out.len() as u64;
+        self.log_records = self.live;
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Loads `bytes` (a log truncated to its snapshot watermark) into the
+    /// table, re-minimizing as it goes — stale supersets the append-only
+    /// log kept are dropped again here. `path` is for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on a torn record below the
+    /// watermark (the snapshot then references data that was never fully
+    /// written — a corrupt campaign directory).
+    pub fn load(&mut self, bytes: &[u8], path: &Path) -> io::Result<()> {
+        let mut at = 0;
+        let mut records = 0u64;
+        while at < bytes.len() {
+            let record_start = at;
+            let torn = move || {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard log {} has a torn record at byte {record_start} below the watermark",
+                        path.display()
+                    ),
+                )
+            };
+            let fingerprint = take_u64(bytes, &mut at).ok_or_else(torn)?;
+            let len = take_u64(bytes, &mut at).ok_or_else(torn)? as usize;
+            let mut sleep = Vec::with_capacity(len);
+            for _ in 0..len {
+                let id = take_u64(bytes, &mut at).ok_or_else(torn)?;
+                let target = take_u64(bytes, &mut at).ok_or_else(torn)? as usize;
+                sleep.push(SleepEntry {
+                    id: EventId::from_u64(id),
+                    target,
+                });
+            }
+            if !self.covers(fingerprint, &sleep) {
+                self.insert_minimal(fingerprint, &sleep);
+            }
+            records += 1;
+        }
+        self.log_bytes = bytes.len() as u64;
+        self.log_records = records;
+        Ok(())
+    }
+
+    /// Index of `fingerprint`'s bucket, if present.
+    fn find(&self, fingerprint: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (fingerprint as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                slot => {
+                    let idx = (slot - 1) as usize;
+                    if self.buckets[idx].fingerprint == fingerprint {
+                        return Some(idx);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts without the covers check (callers have already done it),
+    /// dropping stored supersets of `sleep`.
+    fn insert_minimal(&mut self, fingerprint: u64, sleep: &[SleepEntry]) {
+        let idx = match self.find(fingerprint) {
+            Some(idx) => idx,
+            None => {
+                self.grow_if_needed();
+                let idx = self.buckets.len();
+                self.buckets.push(Bucket {
+                    fingerprint,
+                    antichain: Vec::new(),
+                });
+                let mask = self.slots.len() - 1;
+                let mut i = (fingerprint as usize) & mask;
+                while self.slots[i] != 0 {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] =
+                    u32::try_from(idx + 1).expect("shard bucket count fits u32");
+                idx
+            }
+        };
+        let antichain = &mut self.buckets[idx].antichain;
+        let before = antichain.len();
+        antichain.retain(|s| !sleep_subset(sleep, s));
+        self.live -= (before - antichain.len()) as u64;
+        antichain.push(sleep.to_vec().into_boxed_slice());
+        self.live += 1;
+    }
+
+    fn grow_if_needed(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = vec![0; 1024];
+            return;
+        }
+        if (self.buckets.len() + 1) * MAX_LOAD_DEN <= self.slots.len() * MAX_LOAD_NUM {
+            return;
+        }
+        let new_len = self.slots.len() * 2;
+        let mut slots = vec![0u32; new_len];
+        let mask = new_len - 1;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let mut i = (bucket.fingerprint as usize) & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = u32::try_from(idx + 1).expect("shard bucket count fits u32");
+        }
+        self.slots = slots;
+    }
+}
+
+/// Serializes one `(fingerprint, sleep set)` log record.
+fn encode_record(out: &mut Vec<u8>, fingerprint: u64, sleep: &[SleepEntry]) {
+    put_u64(out, fingerprint);
+    put_u64(out, sleep.len() as u64);
+    for entry in sleep {
+        put_u64(out, entry.id.as_u64());
+        put_u64(out, entry.target as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Visited;
+
+    fn entry(id: u64, target: usize) -> SleepEntry {
+        SleepEntry {
+            id: EventId::from_u64(id),
+            target,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kset_shard_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_matches_visited_semantics() {
+        // Feed the same entry sequence into a shard and a Visited table;
+        // covers answers must coincide, including superset dropping.
+        let mut shard = Shard::new();
+        let mut visited = Visited::default();
+        let sequences: Vec<(u64, Vec<SleepEntry>)> = vec![
+            (7, vec![entry(1, 0), entry(2, 1)]),
+            (7, vec![entry(1, 0)]), // subset supersedes the first
+            (7, vec![entry(3, 2)]),
+            (9, vec![]),
+            (u64::MAX, vec![entry(4, 0)]),
+        ];
+        for (fp, sleep) in &sequences {
+            if !visited.covers(*fp, sleep) {
+                visited.insert(*fp, sleep);
+            }
+            shard.absorb(*fp, sleep);
+        }
+        let queries: Vec<(u64, Vec<SleepEntry>)> = vec![
+            (7, vec![entry(1, 0), entry(2, 1), entry(3, 2)]),
+            (7, vec![entry(2, 1)]),
+            (7, vec![entry(1, 0)]),
+            (9, vec![entry(99, 3)]),
+            (8, vec![]),
+            (u64::MAX, vec![entry(4, 0)]),
+        ];
+        for (fp, sleep) in &queries {
+            assert_eq!(
+                shard.covers(*fp, sleep),
+                visited.covers(*fp, sleep),
+                "fp={fp} sleep={sleep:?}"
+            );
+        }
+        // The subset insert dropped its superset: 7 has {1},{3}; 9 has {};
+        // MAX has {4}.
+        assert_eq!(shard.live_entries(), 4);
+    }
+
+    #[test]
+    fn many_fingerprints_survive_table_growth() {
+        let mut shard = Shard::new();
+        for fp in 0..5000u64 {
+            // Low bits collide heavily with a 1024-slot table; growth and
+            // probing must keep every entry findable.
+            assert!(shard.absorb(fp.wrapping_mul(0x9e37_79b9_7f4a_7c15), &[entry(fp, 0)]));
+        }
+        for fp in 0..5000u64 {
+            let key = fp.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert!(shard.covers(key, &[entry(fp, 0), entry(fp + 1, 1)]));
+            assert!(!shard.covers(key, &[entry(fp + 1, 1)]));
+        }
+        assert_eq!(shard.live_entries(), 5000);
+    }
+
+    #[test]
+    fn flush_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let log = dir.join("shard.log");
+        fs::write(&log, []).unwrap();
+        let mut shard = Shard::new();
+        for fp in 0..200u64 {
+            shard.absorb(fp << 40 | fp, &[entry(fp, (fp % 5) as usize)]);
+        }
+        shard.absorb(1 << 40 | 1, &[]); // empty set supersedes fp=1's entry
+        shard.flush_to(&log).unwrap();
+        let watermark = shard.log_bytes();
+        assert_eq!(watermark, fs::metadata(&log).unwrap().len());
+
+        let mut reloaded = Shard::new();
+        reloaded.load(&fs::read(&log).unwrap(), &log).unwrap();
+        assert_eq!(reloaded.live_entries(), shard.live_entries());
+        for fp in 0..200u64 {
+            let key = fp << 40 | fp;
+            assert_eq!(
+                reloaded.covers(key, &[entry(fp, 0)]),
+                shard.covers(key, &[entry(fp, 0)]),
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_round_trips_and_shrinks() {
+        let dir = tmp_dir("compact");
+        let log = dir.join("shard.log");
+        fs::write(&log, []).unwrap();
+        let mut shard = Shard::new();
+        // Append supersets first, then the subsets that supersede them:
+        // the log keeps both, the table only the minimal set.
+        for fp in 0..100u64 {
+            shard.absorb(fp, &[entry(1, 0), entry(2, 1), entry(3, 2)]);
+            shard.absorb(fp, &[entry(1, 0), entry(2, 1)]);
+            shard.absorb(fp, &[entry(1, 0)]);
+        }
+        shard.flush_to(&log).unwrap();
+        let appended = shard.log_bytes();
+        assert_eq!(shard.log_records(), 300);
+        assert_eq!(shard.live_entries(), 100);
+
+        let compacted = dir.join("shard-compacted.log");
+        shard.rewrite_to(&compacted).unwrap();
+        assert!(shard.log_bytes() < appended);
+        assert_eq!(shard.log_records(), 100);
+
+        // The compacted log loads back to an equivalent table.
+        let mut reloaded = Shard::new();
+        reloaded
+            .load(&fs::read(&compacted).unwrap(), &compacted)
+            .unwrap();
+        assert_eq!(reloaded.live_entries(), 100);
+        for fp in 0..100u64 {
+            assert!(reloaded.covers(fp, &[entry(1, 0), entry(9, 9)]));
+            assert!(!reloaded.covers(fp, &[entry(2, 1), entry(3, 2)]));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_record_below_watermark_is_invalid_data() {
+        let dir = tmp_dir("torn");
+        let log = dir.join("shard.log");
+        let mut shard = Shard::new();
+        shard.absorb(42, &[entry(1, 0), entry(2, 1)]);
+        fs::write(&log, []).unwrap();
+        shard.flush_to(&log).unwrap();
+        let bytes = fs::read(&log).unwrap();
+        for cut in [bytes.len() - 3, bytes.len() - 8, 7, 17] {
+            let mut torn = Shard::new();
+            let err = torn.load(&bytes[..cut], &log).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut={cut}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_trigger_tracks_staleness() {
+        let mut shard = Shard::new();
+        assert!(!shard.wants_compaction());
+        // One live entry superseding a pile of stale ones.
+        for round in 0..(COMPACT_MIN_RECORDS + 8) {
+            let sleep: Vec<SleepEntry> =
+                (0..2).map(|i| entry(round * 2 + i, 0)).collect();
+            shard.absorb(5, &sleep);
+        }
+        shard.absorb(5, &[]);
+        assert!(shard.wants_compaction());
+    }
+}

@@ -95,12 +95,15 @@
 //! replay script (see [`write_counterexample`]) that the `model_check`
 //! binary can re-execute deterministically.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::fs;
 use std::hash::BuildHasherDefault;
 use std::io::{self, Write as _};
 use std::path::Path;
+
+use crate::campaign::store::CampaignStore;
+use crate::engine::{DrainExit, WaveControl};
 
 use kset_adversary::plans::all_silent_crash_patterns;
 use kset_core::{ProblemSpec, ValidityCondition};
@@ -439,23 +442,30 @@ pub struct PatternVerdict {
 /// One sleeping event: put to sleep after its subtree was fully explored,
 /// woken (removed) by firing any *dependent* event — one with the same
 /// target process.
+///
+/// Public because the campaign layer ([`crate::campaign`]) persists and
+/// queries sleep sets through the [`crate::campaign::store::CampaignStore`]
+/// trait; everything else about the sleep-set machinery stays internal.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct SleepEntry {
-    id: EventId,
-    target: ProcessId,
+pub struct SleepEntry {
+    /// The sleeping event.
+    pub id: EventId,
+    /// The event's target process (dependency key for wake-ups).
+    pub target: ProcessId,
 }
 
 /// `a ⊆ b` by event id.
-fn sleep_subset(a: &[SleepEntry], b: &[SleepEntry]) -> bool {
+pub(crate) fn sleep_subset(a: &[SleepEntry], b: &[SleepEntry]) -> bool {
     a.iter().all(|x| b.iter().any(|y| y.id == x.id))
 }
 
 /// One work item of the re-execution DFS: run `prefix`, then branch on the
 /// beyond-prefix decision points.
-struct WorkItem {
-    prefix: Vec<usize>,
-    sleep: Vec<SleepEntry>,
-    preemptions: usize,
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct WorkItem {
+    pub(crate) prefix: Vec<usize>,
+    pub(crate) sleep: Vec<SleepEntry>,
+    pub(crate) preemptions: usize,
 }
 
 /// Runs one exploration task may execute before it spills the rest of its
@@ -472,8 +482,8 @@ struct WorkItem {
 /// cannot share dedup state.
 const TASK_BUDGET: u64 = 2048;
 
-/// A task-local visited table: node fingerprints already expanded, each
-/// with the minimal antichain of sleep sets it was expanded under.
+/// A visited table: node fingerprints already expanded, each with the
+/// minimal antichain of sleep sets it was expanded under.
 ///
 /// The subset rule needs *every* incomparable sleep set a fingerprint was
 /// expanded with — but it never needs a superset of another entry: if
@@ -483,8 +493,12 @@ const TASK_BUDGET: u64 = 2048;
 /// also what keeps the per-visit subset scan from degrading into the
 /// O(visits²) behaviour the original flat-list buckets had on cells whose
 /// states are revisited under many incomparable sleep sets.
-#[derive(Default)]
-struct Visited {
+///
+/// `Visited` is both the per-task table of the exploration engine and the
+/// in-memory [`crate::campaign::store::CampaignStore`] — the zero-overhead
+/// fast path the disk-backed campaign store is checked against.
+#[derive(Default, Debug)]
+pub struct Visited {
     map: HashMap<u64, Vec<Box<[SleepEntry]>>, BuildHasherDefault<FingerprintHasher>>,
     /// Cumulative insertions (the memoization budget `max_states` caps).
     inserted: usize,
@@ -518,7 +532,7 @@ impl Visited {
     /// The subset-rule check: was `fingerprint` expanded under a sleep set
     /// contained in `sleep`? (If so, that visit explored a superset of
     /// this node's successors and the node can be pruned.)
-    fn covers(&self, fingerprint: u64, sleep: &[SleepEntry]) -> bool {
+    pub fn covers(&self, fingerprint: u64, sleep: &[SleepEntry]) -> bool {
         self.map
             .get(&fingerprint)
             .is_some_and(|seen| seen.iter().any(|s| sleep_subset(s, sleep)))
@@ -527,7 +541,7 @@ impl Visited {
     /// Records that `fingerprint` is being expanded under `sleep`,
     /// dropping stored supersets of `sleep` so the bucket stays a minimal
     /// antichain.
-    fn insert(&mut self, fingerprint: u64, sleep: &[SleepEntry]) {
+    pub fn insert(&mut self, fingerprint: u64, sleep: &[SleepEntry]) {
         let seen = self.map.entry(fingerprint).or_default();
         seen.retain(|s| !sleep_subset(sleep, s));
         seen.push(sleep.to_vec().into_boxed_slice());
@@ -539,7 +553,7 @@ impl Visited {
     /// *set* of minimal elements — and with it every future
     /// [`Visited::covers`] answer — is independent of merge order (only
     /// the unobservable bucket layout varies).
-    fn merge_from(&mut self, other: &Visited) {
+    pub fn merge_from(&mut self, other: &Visited) {
         for (&fingerprint, bucket) in &other.map {
             for sleep in bucket {
                 if !self.covers(fingerprint, sleep) {
@@ -547,6 +561,19 @@ impl Visited {
                 }
             }
         }
+    }
+
+    /// Cumulative [`Visited::insert`] calls (distinct minimal entries ever
+    /// recorded — the quantity `max_states` budgets).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Iterates the stored `(fingerprint, minimal sleep-set antichain)`
+    /// pairs, in the table's (deterministic, but unspecified) bucket
+    /// order. The campaign store absorbs task tables through this.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[Box<[SleepEntry]>])> {
+        self.map.iter().map(|(&fp, bucket)| (fp, bucket.as_slice()))
     }
 }
 
@@ -615,13 +642,13 @@ struct WalkScratch {
 /// the prefix was recorded — the [`kset_sim::ChoiceScheduler`] does not
 /// even log their options).
 #[allow(clippy::too_many_arguments)]
-fn walk_run(
+fn walk_run<S: CampaignStore>(
     cfg: &CheckerConfig,
     prefix_len: usize,
     preemptions: usize,
     sleep: Vec<SleepEntry>,
     run: &ScheduleRun,
-    global: &Visited,
+    global: &S,
     out: &mut TaskOutcome,
     stack: &mut Vec<WorkItem>,
     scratch: &mut WalkScratch,
@@ -746,13 +773,13 @@ fn walk_run(
 /// order), at the `max_runs` truncation bound (marking the verdict
 /// incomplete), or at [`TASK_BUDGET`] — in which case the unexplored
 /// stack is spilled back to the scheduler, not dropped.
-fn explore_task(
+fn explore_task<S: CampaignStore>(
     cfg: &CheckerConfig,
     inputs: &[u64],
     spec: &ProblemSpec,
     plan: &FaultPlan,
     crashed: &[ProcessId],
-    global: &Visited,
+    global: &S,
     stack: Vec<WorkItem>,
 ) -> TaskOutcome {
     let mut out = TaskOutcome::new();
@@ -833,28 +860,36 @@ fn explore_task(
     out
 }
 
-/// Explores every schedule of `protocol` under one crash pattern,
-/// checking each completed run against `spec`, across
-/// [`CheckerConfig::threads`] workers. Stops at the canonically first
-/// violation (unshrunk; [`check_cell`] shrinks it) at the next task-chunk
-/// boundary. Every field of the verdict is identical for every thread
-/// count (see the module docs).
+/// The resumable state of one crash pattern's exploration at a wave
+/// boundary: the verdict accumulated so far and the outstanding task
+/// queue. Together with the shared visited store this is exactly what a
+/// campaign checkpoint persists — the drain is a pure function of
+/// `(verdict, queue, store)`, so restoring all three resumes the
+/// exploration bit-identically (see `CAMPAIGNS.md`).
+#[derive(Debug)]
+pub(crate) struct PatternState {
+    /// Counters and (possible) violation accumulated so far.
+    pub(crate) verdict: PatternVerdict,
+    /// Outstanding task stacks, in claim order.
+    pub(crate) queue: Vec<Vec<WorkItem>>,
+}
+
+/// Phase 1 of a pattern's exploration: executes the canonical
+/// (empty-prefix) run, seeds the first-deviation task queue, and returns
+/// the root task's visited table (which the caller absorbs into the
+/// shared store — exactly the serial explorer's view after run 1).
 ///
-/// # Panics
-///
-/// Panics on simulator configuration errors (the checker builds its own
-/// systems, so these are bugs, not inputs).
-pub fn explore_pattern(
+/// `seeded` comes back in claim order: the walk emits stack order, and
+/// reversing it reproduces the serial explorer's pop order (deepest
+/// deviation first), so violated cells exit after the same shallow wave
+/// of small subtrees the serial search would have tried first.
+pub(crate) fn seed_pattern(
     cfg: &CheckerConfig,
     inputs: &[u64],
     spec: &ProblemSpec,
     plan: &FaultPlan,
-) -> PatternVerdict {
+) -> (PatternState, Visited) {
     let crashed = plan.faulty_set();
-
-    // Phase 1: the canonical (empty-prefix) run seeds the task list. Its
-    // walk records states into its own table, which becomes the initial
-    // shared snapshot — exactly the serial explorer's view after run 1.
     let mut root_out = TaskOutcome::new();
     let mut seeded: Vec<WorkItem> = Vec::new();
     let mut root_arena = RunArena::new();
@@ -894,18 +929,9 @@ pub fn explore_pattern(
             &mut scratch,
         );
     }
-
-    // Phase 2: drain the first-deviation subtrees in waves, folding each
-    // task's visited table into the shared snapshot — and its counters
-    // into the verdict — at the wave barrier, in claim order. Tasks that
-    // exhaust [`TASK_BUDGET`] spill their remaining stack back into the
-    // queue as fresh tasks. `seeded` is in stack order; reversing it
-    // reproduces the serial explorer's pop order (deepest deviation
-    // first), so violated cells exit after the same shallow wave of small
-    // subtrees the serial search would have tried first.
     seeded.reverse();
-    let mut verdict = PatternVerdict {
-        crashed: crashed.clone(),
+    let verdict = PatternVerdict {
+        crashed,
         runs: root_out.runs,
         states: root_out.states,
         sleep_skips: root_out.sleep_skips,
@@ -915,41 +941,102 @@ pub fn explore_pattern(
         tasks: 1,
         violation: root_out.violation,
     };
-    if verdict.violation.is_none() && !seeded.is_empty() {
-        let snapshot = std::mem::take(&mut root_out.visited);
-        let tasks: Vec<Vec<WorkItem>> = seeded.into_iter().map(|item| vec![item]).collect();
-        let mut state = (snapshot, verdict);
-        let stopped_with_work_left = crate::engine::parallel_drain_chunked(
-            cfg.threads,
-            tasks,
-            &mut state,
-            |_, (snapshot, _), stack| {
-                explore_task(cfg, inputs, spec, plan, &crashed, snapshot, stack)
-            },
-            |(snapshot, v), out, queue| {
-                snapshot.merge_from(&out.visited);
-                v.runs += out.runs;
-                v.states += out.states;
-                v.sleep_skips += out.sleep_skips;
-                v.dedup_hits += out.dedup_hits;
-                v.complete &= out.complete;
-                v.worst_agreement = v.worst_agreement.max(out.worst_agreement);
-                v.tasks += 1;
-                if !out.spill.is_empty() {
-                    queue.push(out.spill);
-                }
-                if v.violation.is_none() {
-                    v.violation = out.violation;
-                }
-                v.violation.is_some() || v.runs >= cfg.max_runs
-            },
-        );
-        verdict = state.1;
-        if stopped_with_work_left && verdict.violation.is_none() {
-            // The pattern-level run budget cut the drain short.
-            verdict.complete = false;
-        }
+    let queue: Vec<Vec<WorkItem>> = seeded.into_iter().map(|item| vec![item]).collect();
+    (
+        PatternState { verdict, queue },
+        std::mem::take(&mut root_out.visited),
+    )
+}
+
+/// Phase 2 of a pattern's exploration, generic over the shared visited
+/// store and resumable at any wave boundary: drains the task queue in
+/// waves, folding each task's visited table into `store` — and its
+/// counters into the verdict — at the wave barrier, in claim order.
+/// Tasks that exhaust [`TASK_BUDGET`] spill their remaining stack back
+/// into the queue as fresh tasks.
+///
+/// `on_wave` runs between waves with the store, the verdict so far, and
+/// the remaining queue; returning [`WaveControl::Pause`] ends the drain
+/// with [`DrainExit::Paused`] (the campaign layer checkpoints there).
+/// The observer never influences exploration, so verdicts and counters
+/// are independent of when — or whether — it pauses.
+pub(crate) fn drain_pattern<S: CampaignStore + Sync>(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    plan: &FaultPlan,
+    store: &mut S,
+    state: PatternState,
+    mut on_wave: impl FnMut(&mut S, &PatternVerdict, &VecDeque<Vec<WorkItem>>) -> WaveControl,
+) -> (PatternVerdict, DrainExit) {
+    let PatternState { verdict, queue } = state;
+    let crashed = verdict.crashed.clone();
+    if verdict.violation.is_some() || queue.is_empty() {
+        return (verdict, DrainExit::Drained);
     }
+    let mut drain_state = (store, verdict);
+    let exit = crate::engine::parallel_drain_watched(
+        cfg.threads,
+        queue,
+        &mut drain_state,
+        |_, (store, _), stack| {
+            explore_task(cfg, inputs, spec, plan, &crashed, &**store, stack)
+        },
+        |(store, v), out, queue| {
+            store.absorb(&out.visited);
+            v.runs += out.runs;
+            v.states += out.states;
+            v.sleep_skips += out.sleep_skips;
+            v.dedup_hits += out.dedup_hits;
+            v.complete &= out.complete;
+            v.worst_agreement = v.worst_agreement.max(out.worst_agreement);
+            v.tasks += 1;
+            if !out.spill.is_empty() {
+                queue.push(out.spill);
+            }
+            if v.violation.is_none() {
+                v.violation = out.violation;
+            }
+            v.violation.is_some() || v.runs >= cfg.max_runs
+        },
+        |(store, v), queue| on_wave(store, v, queue),
+    );
+    let mut verdict = drain_state.1;
+    if matches!(exit, DrainExit::Stopped { work_left: true }) && verdict.violation.is_none() {
+        // The pattern-level run budget cut the drain short.
+        verdict.complete = false;
+    }
+    (verdict, exit)
+}
+
+/// Explores every schedule of `protocol` under one crash pattern,
+/// checking each completed run against `spec`, across
+/// [`CheckerConfig::threads`] workers. Stops at the canonically first
+/// violation (unshrunk; [`check_cell`] shrinks it) at the next task-chunk
+/// boundary. Every field of the verdict is identical for every thread
+/// count (see the module docs).
+///
+/// This is the in-memory fast path: the shared store is a plain
+/// [`Visited`] table. The campaign layer (`crate::campaign`) runs the
+/// same `seed_pattern`/`drain_pattern` machinery against a disk-backed
+/// store with checkpoint hooks, and is pinned to produce bit-identical
+/// verdicts.
+///
+/// # Panics
+///
+/// Panics on simulator configuration errors (the checker builds its own
+/// systems, so these are bugs, not inputs).
+pub fn explore_pattern(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    plan: &FaultPlan,
+) -> PatternVerdict {
+    let (state, root_visited) = seed_pattern(cfg, inputs, spec, plan);
+    let mut store = root_visited;
+    let (verdict, _) = drain_pattern(cfg, inputs, spec, plan, &mut store, state, |_, _, _| {
+        WaveControl::Continue
+    });
     verdict
 }
 

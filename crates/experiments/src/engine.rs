@@ -41,6 +41,7 @@
 //! table (see `checker` module docs for the time-vs-sharing trade).
 
 use crossbeam::deque::{Injector, Steal};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// Tasks per chunk in [`parallel_drain_chunked`]. A constant (never derived
@@ -147,7 +148,7 @@ pub fn parallel_drain_chunked<T, R, S, F>(
     initial: Vec<T>,
     state: &mut S,
     f: F,
-    mut absorb: impl FnMut(&mut S, R, &mut Vec<T>) -> bool,
+    absorb: impl FnMut(&mut S, R, &mut Vec<T>) -> bool,
 ) -> bool
 where
     T: Send,
@@ -155,7 +156,70 @@ where
     S: Sync,
     F: Fn(usize, &S, T) -> R + Sync,
 {
-    let mut queue = std::collections::VecDeque::from(initial);
+    match parallel_drain_watched(threads, initial, state, f, absorb, |_, _| {
+        WaveControl::Continue
+    }) {
+        DrainExit::Stopped { work_left } => work_left,
+        DrainExit::Drained => false,
+        DrainExit::Paused => unreachable!("the no-op observer never pauses"),
+    }
+}
+
+/// What a [`parallel_drain_watched`] wave observer asks the drain to do
+/// next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaveControl {
+    /// Claim the next wave.
+    Continue,
+    /// Stop claiming waves and return [`DrainExit::Paused`], leaving the
+    /// remaining queue untouched (the observer is expected to have
+    /// persisted it).
+    Pause,
+}
+
+/// How a [`parallel_drain_watched`] call ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DrainExit {
+    /// The queue drained completely.
+    Drained,
+    /// An `absorb` call requested a stop; `work_left` says whether tasks
+    /// were still queued when the drain obeyed it.
+    Stopped {
+        /// Whether the queue was non-empty at the stop.
+        work_left: bool,
+    },
+    /// The wave observer returned [`WaveControl::Pause`].
+    Paused,
+}
+
+/// [`parallel_drain_chunked`] with a **wave observer**: after every wave's
+/// results are absorbed (and its follow-up tasks queued), `on_wave` sees
+/// the mutable state and the remaining queue, and may pause the drain.
+///
+/// This is the checkpointing seam of the campaign layer (`crate::campaign`):
+/// a wave boundary is the only moment the shared state is both quiescent
+/// and deterministic — a pure function of the initial queue, independent of
+/// `threads` — so a snapshot of `(state, queue)` taken here can be resumed
+/// bit-identically. The observer runs on the caller's thread between waves;
+/// it never races with task execution. `on_wave` is *not* called after a
+/// wave whose absorbs requested a stop (the drain is ending anyway), nor
+/// after the final wave of a completed drain (the caller holds the state
+/// and an empty queue at that point).
+pub fn parallel_drain_watched<T, R, S, F>(
+    threads: usize,
+    initial: Vec<T>,
+    state: &mut S,
+    f: F,
+    mut absorb: impl FnMut(&mut S, R, &mut Vec<T>) -> bool,
+    mut on_wave: impl FnMut(&mut S, &VecDeque<T>) -> WaveControl,
+) -> DrainExit
+where
+    T: Send,
+    R: Send,
+    S: Sync,
+    F: Fn(usize, &S, T) -> R + Sync,
+{
+    let mut queue = VecDeque::from(initial);
     let mut claimed = 0;
     while !queue.is_empty() {
         let wave: Vec<T> = queue.drain(..CHUNK.min(queue.len())).collect();
@@ -170,10 +234,15 @@ where
         }
         queue.extend(followups);
         if stop {
-            return !queue.is_empty();
+            return DrainExit::Stopped {
+                work_left: !queue.is_empty(),
+            };
+        }
+        if !queue.is_empty() && on_wave(state, &queue) == WaveControl::Pause {
+            return DrainExit::Paused;
         }
     }
-    false
+    DrainExit::Drained
 }
 
 #[cfg(test)]

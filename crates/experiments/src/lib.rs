@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs, missing_debug_implementations)]
 
+pub mod campaign;
 pub mod cells;
 pub mod checker;
 pub mod engine;

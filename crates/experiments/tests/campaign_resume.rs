@@ -1,0 +1,289 @@
+//! Kill/resume bit-identity of certification campaigns.
+//!
+//! The campaign contract (`CAMPAIGNS.md`): a campaign killed at *any*
+//! checkpoint and resumed produces byte-identical verdicts, counters, and
+//! counterexample scripts to an uninterrupted run — for every thread
+//! count and checkpoint cadence. This suite pins that contract at n = 3
+//! and n = 4 through the library API (deterministic aborts via the
+//! `pause_after_checkpoints` hook) and through the `model_check` binary's
+//! `--campaign-dir`/`--resume` flags; CI's `campaign-smoke` job adds a
+//! genuine SIGKILL on top.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use kset_core::ValidityCondition;
+use kset_experiments::campaign::{
+    manifest::{read_manifest, CampaignStatus},
+    resume_campaign, run_campaign, CampaignOptions, CampaignOutcome,
+};
+use kset_experiments::checker::{check_cell, write_counterexample, CellVerdict, CheckerConfig};
+use kset_experiments::exhaustive::QuorumProtocol;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "kset_campaign_resume_{name}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Full structural equality of two cell verdicts, field by field — the
+/// "identical verdicts and counters" half of the contract.
+fn assert_identical(a: &CellVerdict, b: &CellVerdict) {
+    assert_eq!(a.holds(), b.holds());
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.complete, b.complete);
+    assert_eq!(a.worst_agreement, b.worst_agreement);
+    assert_eq!(a.counterexample, b.counterexample);
+    assert_eq!(a.patterns.len(), b.patterns.len());
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(x.crashed, y.crashed);
+        assert_eq!(x.runs, y.runs);
+        assert_eq!(x.states, y.states);
+        assert_eq!(x.sleep_skips, y.sleep_skips);
+        assert_eq!(x.dedup_hits, y.dedup_hits);
+        assert_eq!(x.complete, y.complete);
+        assert_eq!(x.worst_agreement, y.worst_agreement);
+        assert_eq!(x.tasks, y.tasks);
+        assert_eq!(x.violation, y.violation);
+    }
+}
+
+/// Drives a campaign to completion through repeated pause/resume cycles —
+/// each cycle is a clean kill at a durable checkpoint — and returns the
+/// final verdict plus the number of interruptions survived.
+fn run_interrupted(cfg: &CheckerConfig, dir: &Path, opts: &CampaignOptions) -> (CellVerdict, u64) {
+    let mut outcome = run_campaign(cfg, dir, opts).expect("campaign create");
+    let mut interruptions = 0;
+    loop {
+        match outcome {
+            CampaignOutcome::Finished(verdict) => return (*verdict, interruptions),
+            CampaignOutcome::Paused { .. } => {
+                interruptions += 1;
+                assert!(interruptions < 20_000, "campaign does not converge");
+                outcome = resume_campaign(cfg, dir, opts).expect("campaign resume");
+            }
+        }
+    }
+}
+
+#[test]
+fn n3_holds_cell_survives_interruption_at_every_checkpoint_cadence() {
+    let mut reference_cfg =
+        CheckerConfig::new(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+    reference_cfg.threads = 1;
+    let reference = check_cell(&reference_cfg);
+    assert!(reference.holds());
+
+    // Interrupt at several cadences (0 = every wave boundary) and under
+    // both serial and 2-thread drains: all runs must converge to the
+    // reference verdict, counters included.
+    for threads in [1, 2] {
+        for checkpoint_every in [0, 400, 2_000] {
+            let dir = tmp_dir(&format!("n3_holds_{threads}_{checkpoint_every}"));
+            let mut cfg = reference_cfg.clone();
+            cfg.threads = threads;
+            let opts = CampaignOptions {
+                shards: 4,
+                checkpoint_every,
+                pause_after_checkpoints: Some(1),
+            };
+            let (verdict, interruptions) = run_interrupted(&cfg, &dir, &opts);
+            assert!(
+                interruptions > 0,
+                "threads={threads} every={checkpoint_every}: pause hook never fired"
+            );
+            assert_identical(&verdict, &reference);
+            let manifest = read_manifest(&dir).unwrap();
+            assert_eq!(manifest.status, CampaignStatus::Holds);
+            assert_eq!(manifest.runs, reference.runs);
+            assert_eq!(manifest.resumes, interruptions);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn n3_violated_cell_reproduces_counterexample_bytes() {
+    // k = 1 with t = 1 is unsolvable: the campaign must find, shrink, and
+    // persist the same counterexample the in-memory checker finds. (The
+    // violation lands inside the first wave here, so the campaign may
+    // legitimately finish without ever reaching a pauseable boundary —
+    // the assertion is bit-identity, not that pauses occur.)
+    let mut cfg = CheckerConfig::new(QuorumProtocol::FloodMin, 3, 1, 1, ValidityCondition::RV1);
+    cfg.threads = 2;
+    let reference = check_cell(&cfg);
+    assert!(!reference.holds());
+
+    let dir = tmp_dir("n3_violated");
+    let opts = CampaignOptions {
+        shards: 2,
+        checkpoint_every: 0,
+        pause_after_checkpoints: Some(1),
+    };
+    let (verdict, _) = run_interrupted(&cfg, &dir, &opts);
+    assert_identical(&verdict, &reference);
+
+    // Byte-level: the emitted replay scripts are identical.
+    let ref_path = dir.join("reference.schedule");
+    let camp_path = dir.join("campaign.schedule");
+    write_counterexample(&ref_path, &cfg, reference.counterexample.as_ref().unwrap()).unwrap();
+    write_counterexample(&camp_path, &cfg, verdict.counterexample.as_ref().unwrap()).unwrap();
+    assert_eq!(fs::read(&ref_path).unwrap(), fs::read(&camp_path).unwrap());
+
+    let manifest = read_manifest(&dir).unwrap();
+    assert_eq!(manifest.status, CampaignStatus::Violated);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn n4_cells_match_check_cell_after_interruptions() {
+    // n = 4: the holds side bounded to a deterministic budget (bounded
+    // verdicts are part of the contract too — max_runs is enforced at
+    // wave boundaries), and the violated side to completion.
+    let mut holds_cfg =
+        CheckerConfig::new(QuorumProtocol::FloodMin, 4, 2, 1, ValidityCondition::RV1);
+    holds_cfg.threads = 2;
+    holds_cfg.max_runs = 6_000;
+    let mut violated_cfg =
+        CheckerConfig::new(QuorumProtocol::FloodMin, 4, 2, 2, ValidityCondition::RV1);
+    violated_cfg.threads = 2;
+
+    for (name, cfg, expect_pauses) in [
+        ("n4_holds", &holds_cfg, true),
+        // The violated cell finds its counterexample inside the first
+        // wave of the first crash pattern, before any pauseable boundary
+        // exists — zero interruptions is the correct outcome there.
+        ("n4_violated", &violated_cfg, false),
+    ] {
+        let reference = check_cell(cfg);
+        let dir = tmp_dir(name);
+        let opts = CampaignOptions {
+            shards: 8,
+            checkpoint_every: 1_500,
+            pause_after_checkpoints: Some(1),
+        };
+        let (verdict, interruptions) = run_interrupted(cfg, &dir, &opts);
+        if expect_pauses {
+            assert!(interruptions > 0, "{name}: pause hook never fired");
+        }
+        assert_identical(&verdict, &reference);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn model_check_binary_campaign_matches_direct_run() {
+    // The CLI surface end to end: a campaign via --campaign-dir /
+    // --pause-after-checkpoints / --resume must print the same verdict
+    // line and emit byte-identical counterexample scripts as a direct
+    // (campaign-less) invocation.
+    let bin = env!("CARGO_BIN_EXE_model_check");
+    let dir = tmp_dir("cli");
+    fs::create_dir_all(&dir).unwrap();
+
+    /// Runs the cell without a campaign and returns its verdict line.
+    fn direct_verdict_line(bin: &str, cell: &[&str], ce: Option<&Path>) -> String {
+        let mut cmd = Command::new(bin);
+        cmd.args(cell).args(["--threads", "2"]);
+        if let Some(ce) = ce {
+            cmd.arg("--counterexample").arg(ce);
+        }
+        let out = cmd.output().expect("run model_check");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .find(|l| l.starts_with("SC("))
+            .expect("verdict line")
+            .to_string()
+    }
+
+    /// Creates a campaign pausing at the first checkpoint, then resumes
+    /// (without restating the cell) until it finishes; returns the final
+    /// stdout and the number of pause/resume rounds.
+    fn drive_campaign(
+        bin: &str,
+        cell: &[&str],
+        campaign: &Path,
+        ce: Option<&Path>,
+    ) -> (String, u64) {
+        let mut cmd = Command::new(bin);
+        cmd.args(cell)
+            .arg("--campaign-dir")
+            .arg(campaign)
+            .args(["--checkpoint-every", "0", "--pause-after-checkpoints", "1", "--threads", "1"]);
+        if let Some(ce) = ce {
+            cmd.arg("--counterexample").arg(ce);
+        }
+        let create = cmd.output().expect("create campaign");
+        assert!(create.status.success(), "{create:?}");
+        let mut finished = String::from_utf8(create.stdout).unwrap();
+        let mut rounds = 0;
+        while finished.contains("campaign paused") {
+            rounds += 1;
+            assert!(rounds < 10_000, "campaign does not converge");
+            let mut cmd = Command::new(bin);
+            cmd.arg("--campaign-dir")
+                .arg(campaign)
+                .args(["--resume", "--threads", "2"]);
+            if let Some(ce) = ce {
+                cmd.arg("--counterexample").arg(ce);
+            }
+            let resume = cmd.output().expect("resume campaign");
+            assert!(resume.status.success(), "{resume:?}");
+            finished = String::from_utf8(resume.stdout).unwrap();
+        }
+        let line = finished
+            .lines()
+            .find(|l| l.starts_with("SC("))
+            .expect("campaign verdict line")
+            .to_string();
+        (line, rounds)
+    }
+
+    // Holds cell: the campaign genuinely pauses and resumes (mixed thread
+    // counts across the kill points) yet prints the same verdict line.
+    let holds_cell = [
+        "--protocol", "floodmin", "--n", "3", "--k", "2", "--t", "1", "--validity", "RV1",
+    ];
+    let holds_campaign = dir.join("holds-campaign");
+    let holds_reference = direct_verdict_line(bin, &holds_cell, None);
+    let (holds_line, rounds) = drive_campaign(bin, &holds_cell, &holds_campaign, None);
+    assert!(rounds > 0, "the pause hook never fired on the holds cell");
+    assert_eq!(holds_line, holds_reference);
+
+    // Violated cell: same verdict line and byte-identical counterexample
+    // script. (This cell violates inside the first wave, so the campaign
+    // may finish without pausing — byte identity is the contract.)
+    let violated_cell = [
+        "--protocol", "floodmin", "--n", "3", "--k", "1", "--t", "1", "--validity", "RV1",
+    ];
+    let violated_campaign = dir.join("violated-campaign");
+    let direct_ce = dir.join("direct.schedule");
+    let campaign_ce = dir.join("campaign.schedule");
+    let violated_reference = direct_verdict_line(bin, &violated_cell, Some(&direct_ce));
+    let (violated_line, _) =
+        drive_campaign(bin, &violated_cell, &violated_campaign, Some(&campaign_ce));
+    assert_eq!(violated_line, violated_reference);
+    assert_eq!(
+        fs::read(&direct_ce).unwrap(),
+        fs::read(&campaign_ce).unwrap(),
+        "counterexample scripts differ"
+    );
+
+    // A finished campaign refuses --resume with a clear error.
+    let again = Command::new(bin)
+        .arg("--campaign-dir")
+        .arg(&holds_campaign)
+        .arg("--resume")
+        .output()
+        .expect("resume finished campaign");
+    assert!(!again.status.success());
+    let stderr = String::from_utf8(again.stderr).unwrap();
+    assert!(stderr.contains("finished"), "{stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}
