@@ -15,12 +15,18 @@
 //!   `parallel_engine` integration tests); the ratio is the engine's
 //!   speedup on this host. CI runs this group in quick mode and uploads
 //!   the timing JSON as an artifact.
+//! * **Fork-mode ablation**: the same cell under the replay oracle, the
+//!   forking executor, and the budgeted default. Verdicts and counters
+//!   are identical for every mode (pinned by `fork_parity`); the gap is
+//!   what snapshot/resume buys over re-executing prefixes from the root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use kset_core::ValidityCondition;
-use kset_experiments::checker::{canonical_inputs, check_cell, execute_schedule, CheckerConfig};
+use kset_experiments::checker::{
+    canonical_inputs, check_cell, execute_schedule, CheckerConfig, ForkMode,
+};
 use kset_experiments::exhaustive::QuorumProtocol;
 use kset_sim::FaultPlan;
 
@@ -113,11 +119,33 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fork_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/fork_mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("replay", ForkMode::Replay),
+        ("fork", ForkMode::Fork),
+        ("auto", ForkMode::Auto),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut cfg = smoke_cell();
+                cfg.fork = mode;
+                let verdict = check_cell(&cfg);
+                assert!(verdict.complete && verdict.holds());
+                black_box(verdict)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_schedule,
     bench_check_cell,
     bench_reductions,
-    bench_threads
+    bench_threads,
+    bench_fork_modes
 );
 criterion_main!(benches);

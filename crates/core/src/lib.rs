@@ -45,7 +45,7 @@ mod record;
 mod spec;
 mod validity;
 
-pub use record::RunRecord;
+pub use record::{DenseRun, RunRecord, RunView};
 pub use spec::{CheckReport, ProblemSpec, SpecError, Violation};
 pub use validity::ValidityCondition;
 

@@ -6,6 +6,144 @@ use std::collections::{BTreeMap, BTreeSet};
 /// dependency (this crate is substrate-agnostic).
 pub type ProcessId = usize;
 
+/// A borrowed, read-only view of one run's observables.
+///
+/// [`crate::ProblemSpec::check`] and
+/// [`crate::ValidityCondition::satisfied_by`] are generic over this trait,
+/// so callers on a hot path — the model checker judges millions of runs per
+/// cell — can hand them raw buffers without materializing an owned
+/// [`RunRecord`] (a `Vec` + `BTreeMap` + `BTreeSet` per run). [`RunRecord`]
+/// implements the trait, so the owned record remains the ergonomic default;
+/// [`DenseRun`] is the allocation-free alternative.
+pub trait RunView<V> {
+    /// Number of processes.
+    fn n(&self) -> usize;
+
+    /// All inputs, indexed by process.
+    fn inputs(&self) -> &[V];
+
+    /// Whether `p` is planned faulty.
+    fn is_faulty(&self, p: ProcessId) -> bool;
+
+    /// Number of planned-faulty processes.
+    fn faulty_count(&self) -> usize;
+
+    /// Decision of `p`, if it decided.
+    fn decision_of(&self, p: ProcessId) -> Option<&V>;
+
+    /// Whether the run's event supply ended with every correct process
+    /// having decided.
+    fn terminated(&self) -> bool;
+
+    /// Short-circuiting ∀ over every recorded decision — faulty deciders
+    /// included, matching [`RunRecord::decisions`] (the weak validity
+    /// conditions quantify over "any process" in failure-free runs).
+    fn all_decisions(&self, pred: &mut dyn FnMut(ProcessId, &V) -> bool) -> bool;
+
+    /// True if the run had no planned failures.
+    fn failure_free(&self) -> bool {
+        self.faulty_count() == 0
+    }
+}
+
+/// The allocation-free [`RunView`]: borrowed inputs, a dense
+/// process-indexed decision table, and the planned-faulty list as a slice.
+///
+/// `decisions` must have one slot per process (`decisions[p]` is `p`'s
+/// decision, if any) and `faulty` must be duplicate-free — it is counted by
+/// length. This is the shape the model checker's executors already hold
+/// their per-run observables in, so checking a run costs no allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseRun<'a, V> {
+    inputs: &'a [V],
+    decisions: &'a [Option<V>],
+    faulty: &'a [ProcessId],
+    terminated: bool,
+}
+
+impl<'a, V> DenseRun<'a, V> {
+    /// Wraps borrowed run observables; see the type docs for the invariants
+    /// (`decisions.len() == inputs.len()`, `faulty` duplicate-free).
+    pub fn new(
+        inputs: &'a [V],
+        decisions: &'a [Option<V>],
+        faulty: &'a [ProcessId],
+        terminated: bool,
+    ) -> Self {
+        debug_assert_eq!(inputs.len(), decisions.len());
+        DenseRun {
+            inputs,
+            decisions,
+            faulty,
+            terminated,
+        }
+    }
+}
+
+impl<V> RunView<V> for DenseRun<'_, V> {
+    fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn inputs(&self) -> &[V] {
+        self.inputs
+    }
+
+    fn is_faulty(&self, p: ProcessId) -> bool {
+        self.faulty.contains(&p)
+    }
+
+    fn faulty_count(&self) -> usize {
+        self.faulty.len()
+    }
+
+    fn decision_of(&self, p: ProcessId) -> Option<&V> {
+        self.decisions.get(p)?.as_ref()
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn all_decisions(&self, pred: &mut dyn FnMut(ProcessId, &V) -> bool) -> bool {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter_map(|(p, d)| d.as_ref().map(|v| (p, v)))
+            .all(|(p, v)| pred(p, v))
+    }
+}
+
+impl<V> RunView<V> for RunRecord<V> {
+    fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn inputs(&self) -> &[V] {
+        &self.inputs
+    }
+
+    fn is_faulty(&self, p: ProcessId) -> bool {
+        self.faulty.contains(&p)
+    }
+
+    fn faulty_count(&self) -> usize {
+        self.faulty.len()
+    }
+
+    fn decision_of(&self, p: ProcessId) -> Option<&V> {
+        self.decisions.get(&p)
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn all_decisions(&self, pred: &mut dyn FnMut(ProcessId, &V) -> bool) -> bool {
+        self.decisions.iter().all(|(&p, v)| pred(p, v))
+    }
+}
+
 /// An abstract run: inputs, the planned fault pattern, and decisions.
 ///
 /// `faulty` is the *planned* fault set of the run — the processes the

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::record::{ProcessId, RunRecord};
+use crate::record::{ProcessId, RunView};
 use crate::validity::ValidityCondition;
 
 /// A validated `SC(k, t, C)` problem instance over `n` processes.
@@ -78,7 +78,13 @@ impl ProblemSpec {
     /// The record's planned-faulty set must be consistent with `t`; a run
     /// with more planned failures than `t` is not a run of this system and
     /// yields [`Violation::FaultBudgetExceeded`].
-    pub fn check<V: Clone + Eq + Ord>(&self, record: &RunRecord<V>) -> CheckReport {
+    ///
+    /// Generic over [`RunView`]: pass a [`crate::RunRecord`] for the
+    /// ergonomic owned path, or a [`crate::DenseRun`] over raw buffers on
+    /// hot paths — a passing run is then judged without a single
+    /// allocation (the distinct-decision count scans rather than sorts;
+    /// `n` is single digits everywhere the paper looks).
+    pub fn check<V: Clone + Eq + Ord>(&self, record: &impl RunView<V>) -> CheckReport {
         let mut violations = Vec::new();
 
         if record.n() != self.n {
@@ -88,25 +94,34 @@ impl ProblemSpec {
             });
             return CheckReport { violations };
         }
-        if record.faulty().len() > self.t {
+        if record.faulty_count() > self.t {
             violations.push(Violation::FaultBudgetExceeded {
                 t: self.t,
-                actual: record.faulty().len(),
+                actual: record.faulty_count(),
             });
         }
 
-        // Termination: every correct process decided.
-        let undecided: Vec<ProcessId> = record
-            .correct()
-            .into_iter()
-            .filter(|p| record.decision_of(*p).is_none())
+        // Termination: every correct process decided. (An empty collect
+        // never allocates, so clean runs skip the Vec entirely.)
+        let undecided: Vec<ProcessId> = (0..record.n())
+            .filter(|&p| !record.is_faulty(p) && record.decision_of(p).is_none())
             .collect();
         if !record.terminated() || !undecided.is_empty() {
             violations.push(Violation::Termination { undecided });
         }
 
-        // Agreement: at most k distinct correct decisions.
-        let decided = record.correct_decision_set().len();
+        // Agreement: at most k distinct correct decisions, counted by
+        // first occurrence.
+        let mut decided = 0;
+        for p in (0..record.n()).filter(|&p| !record.is_faulty(p)) {
+            if let Some(d) = record.decision_of(p) {
+                let seen = (0..p)
+                    .any(|q| !record.is_faulty(q) && record.decision_of(q) == Some(d));
+                if !seen {
+                    decided += 1;
+                }
+            }
+        }
         if decided > self.k {
             violations.push(Violation::Agreement {
                 k: self.k,
@@ -272,6 +287,7 @@ impl fmt::Display for CheckReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::RunRecord;
 
     fn spec(k: usize, t: usize, c: ValidityCondition) -> ProblemSpec {
         ProblemSpec::new(4, k, t, c).unwrap()

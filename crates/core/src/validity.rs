@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::record::RunRecord;
+use crate::record::RunView;
 
 /// A validity condition of the `SC(k, t, C)` problem.
 ///
@@ -87,57 +87,73 @@ impl ValidityCondition {
     /// The predicate quantifies only over decisions actually present in the
     /// record — missing decisions are a *termination* failure, judged
     /// separately by [`crate::ProblemSpec::check`].
-    pub fn satisfied_by<V: Clone + Eq + Ord>(self, record: &RunRecord<V>) -> bool {
+    ///
+    /// Generic over [`RunView`] so the model checker's hot loops can judge
+    /// a run straight from borrowed buffers; the predicates themselves
+    /// allocate nothing (the quantifier sets are small — at most `n`
+    /// processes — so membership is tested by scan, not by set).
+    pub fn satisfied_by<V: Clone + Eq + Ord>(self, record: &impl RunView<V>) -> bool {
         match self {
-            ValidityCondition::SV1 => {
-                let allowed = record.correct_input_set();
-                record
-                    .correct()
-                    .into_iter()
-                    .filter_map(|p| record.decision_of(p))
-                    .all(|d| allowed.contains(d))
-            }
-            ValidityCondition::SV2 => match record.unanimous_correct_input() {
-                Some(v) => record
-                    .correct()
-                    .into_iter()
-                    .filter_map(|p| record.decision_of(p))
-                    .all(|d| *d == v),
+            ValidityCondition::SV1 => all_correct_decisions(record, |d| {
+                (0..record.n()).any(|q| !record.is_faulty(q) && record.inputs()[q] == *d)
+            }),
+            ValidityCondition::SV2 => match unanimous_correct_input(record) {
+                Some(v) => all_correct_decisions(record, |d| d == v),
                 None => true,
             },
-            ValidityCondition::RV1 => record
-                .correct()
-                .into_iter()
-                .filter_map(|p| record.decision_of(p))
-                .all(|d| record.inputs().contains(d)),
-            ValidityCondition::RV2 => match record.unanimous_input() {
-                Some(v) => record
-                    .correct()
-                    .into_iter()
-                    .filter_map(|p| record.decision_of(p))
-                    .all(|d| d == v),
+            ValidityCondition::RV1 => {
+                all_correct_decisions(record, |d| record.inputs().contains(d))
+            }
+            ValidityCondition::RV2 => match unanimous_input(record) {
+                Some(v) => all_correct_decisions(record, |d| d == v),
                 None => true,
             },
             ValidityCondition::WV1 => {
                 if !record.failure_free() {
                     return true;
                 }
-                record
-                    .decisions()
-                    .values()
-                    .all(|d| record.inputs().contains(d))
+                record.all_decisions(&mut |_, d| record.inputs().contains(d))
             }
             ValidityCondition::WV2 => {
                 if !record.failure_free() {
                     return true;
                 }
-                match record.unanimous_input() {
-                    Some(v) => record.decisions().values().all(|d| d == v),
+                match unanimous_input(record) {
+                    Some(v) => record.all_decisions(&mut |_, d| d == v),
                     None => true,
                 }
             }
         }
     }
+}
+
+/// ∀ correct deciders p: `pred(decision_of(p))` — the quantifier shared by
+/// the four strong/regular conditions.
+fn all_correct_decisions<V>(record: &impl RunView<V>, mut pred: impl FnMut(&V) -> bool) -> bool {
+    (0..record.n()).all(|p| {
+        record.is_faulty(p) || record.decision_of(p).map_or(true, &mut pred)
+    })
+}
+
+/// The common input value, if all `n` processes started with the same.
+fn unanimous_input<V: Eq>(record: &impl RunView<V>) -> Option<&V> {
+    let first = record.inputs().first()?;
+    record.inputs().iter().all(|v| v == first).then_some(first)
+}
+
+/// The common input of correct processes, if they all agree (and at least
+/// one process is correct).
+fn unanimous_correct_input<V: Eq>(record: &impl RunView<V>) -> Option<&V> {
+    let mut first: Option<&V> = None;
+    for p in (0..record.n()).filter(|&p| !record.is_faulty(p)) {
+        let v = &record.inputs()[p];
+        match first {
+            None => first = Some(v),
+            Some(f) if f != v => return None,
+            Some(_) => {}
+        }
+    }
+    first
 }
 
 impl std::fmt::Display for ValidityCondition {

@@ -24,7 +24,12 @@
 //! canonicalized modulo process-id permutation (off by default — on the
 //! canonical all-distinct inputs it merges nothing and measurably loses;
 //! see `PERFORMANCE.md`), `--no-symmetry` forces it off explicitly.
-//! Ablation: `--no-por`, `--no-dedup`. Observability:
+//! Ablation: `--no-por`, `--no-dedup`. Execution strategy:
+//! `--fork-mode {fork|replay|auto}` selects how work items reach their
+//! branch points — `fork` resumes from branch-point snapshots, `replay`
+//! re-executes prefixes from the root (the oracle), `auto` (default)
+//! forks under a byte budget with replay fallback; verdicts, counters and
+//! counterexample bytes are identical for every mode. Observability:
 //! `--progress N` (stderr counters every N runs), `--json PATH` (one
 //! `RunRecord` per explored crash pattern, schema in `OBSERVABILITY.md`),
 //! `--bench-json PATH` (machine-readable wall-clock/throughput summary of
@@ -53,7 +58,8 @@ use kset_experiments::campaign::{
 };
 use kset_experiments::checker::{
     check_cell, cross_validate, parse_protocol, parse_validity, read_counterexample,
-    replay_fired, to_run_records, write_counterexample, CellVerdict, CheckerConfig,
+    parse_fork_mode, replay_fired, to_run_records, write_counterexample, CellVerdict,
+    CheckerConfig, ForkMode,
 };
 use kset_experiments::exhaustive::QuorumProtocol;
 use kset_experiments::record_sink::JsonlSink;
@@ -74,6 +80,7 @@ struct Args {
     no_symmetry: bool,
     progress: Option<u64>,
     threads: Option<usize>,
+    fork: Option<ForkMode>,
     counterexample: Option<PathBuf>,
     replay: Option<PathBuf>,
     json: Option<PathBuf>,
@@ -103,6 +110,7 @@ fn parse_args() -> Args {
         no_symmetry: false,
         progress: None,
         threads: None,
+        fork: None,
         counterexample: None,
         replay: None,
         json: None,
@@ -149,6 +157,13 @@ fn parse_args() -> Args {
                 parsed.threads = Some(
                     kset_experiments::engine::parse_threads(&raw)
                         .unwrap_or_else(|| panic!("--threads wants a count, 0 or 'auto', got {raw:?}")),
+                );
+            }
+            "--fork-mode" => {
+                let raw = value("--fork-mode");
+                parsed.fork = Some(
+                    parse_fork_mode(&raw)
+                        .unwrap_or_else(|| panic!("--fork-mode wants fork|replay|auto, got {raw:?}")),
                 );
             }
             "--counterexample" => parsed.counterexample = Some(value("--counterexample").into()),
@@ -202,6 +217,9 @@ fn apply_bounds(cfg: &mut CheckerConfig, args: &Args) {
     if let Some(threads) = args.threads {
         cfg.threads = threads;
     }
+    if let Some(fork) = args.fork {
+        cfg.fork = fork;
+    }
 }
 
 /// One timed cell for the `--bench-json` summary.
@@ -244,6 +262,7 @@ fn write_bench_json(
     path: &PathBuf,
     threads: usize,
     symmetry: bool,
+    fork: ForkMode,
     cells: &[BenchCell],
 ) -> std::io::Result<()> {
     use std::io::Write as _;
@@ -258,6 +277,7 @@ fn write_bench_json(
     out.push_str("  \"bench\": \"model_check_certification\",\n");
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"symmetry\": {symmetry},\n"));
+    out.push_str(&format!("  \"fork_mode\": \"{fork}\",\n"));
     out.push_str(&format!(
         "  \"host_logical_cpus\": {},\n",
         kset_experiments::engine::available_threads()
@@ -437,9 +457,9 @@ fn main() -> ExitCode {
     }
 
     let mut bench: Vec<BenchCell> = Vec::new();
-    let report_bench = |bench: &[BenchCell], threads: usize| {
+    let report_bench = |bench: &[BenchCell], threads: usize, fork: ForkMode| {
         if let Some(path) = &args.bench_json {
-            write_bench_json(path, threads, args.symmetry && !args.no_symmetry, bench)
+            write_bench_json(path, threads, args.symmetry && !args.no_symmetry, fork, bench)
                 .expect("write --bench-json");
             println!("  (timing summary written to {})", path.display());
         }
@@ -468,6 +488,9 @@ fn main() -> ExitCode {
             cfg.progress = args.progress;
             if let Some(threads) = args.threads {
                 cfg.threads = threads;
+            }
+            if let Some(fork) = args.fork {
+                cfg.fork = fork;
             }
             cfg
         } else {
@@ -520,7 +543,7 @@ fn main() -> ExitCode {
                         manifest.resumes,
                     );
                 }
-                report_bench(&bench, cfg.threads);
+                report_bench(&bench, cfg.threads, cfg.fork);
                 if ok {
                     ExitCode::SUCCESS
                 } else {
@@ -539,7 +562,7 @@ fn main() -> ExitCode {
         let mut cfg = CheckerConfig::new(protocol, n, k, t, validity);
         apply_bounds(&mut cfg, &args);
         let (ok, _) = run_cell(&cfg, &args, None, &mut bench);
-        report_bench(&bench, cfg.threads);
+        report_bench(&bench, cfg.threads, cfg.fork);
         return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
@@ -573,7 +596,7 @@ fn main() -> ExitCode {
     );
     apply_bounds(&mut viol_cfg, &args);
     ok &= run_cell(&viol_cfg, &args, Some(false), &mut bench).0;
-    report_bench(&bench, viol_cfg.threads);
+    report_bench(&bench, viol_cfg.threads, viol_cfg.fork);
 
     println!(
         "\n{}",

@@ -128,11 +128,13 @@ pub struct Manifest {
 /// mode, and all exploration bounds and reduction switches.
 ///
 /// Deliberately **excluded**: `threads` (the determinism contract already
-/// covers every thread count), `progress` (stderr only), and the
-/// checkpoint cadence (checkpoints observe, never steer — see
-/// `CAMPAIGNS.md`). A campaign may therefore be resumed with a different
-/// `--threads`, `--progress`, or `--checkpoint-every` and still produce
-/// bit-identical results.
+/// covers every thread count), `fork` (execution strategy, not search
+/// state — fork, replay and auto produce byte-identical verdicts,
+/// counters and counterexamples, pinned by `tests/fork_parity.rs`),
+/// `progress` (stderr only), and the checkpoint cadence (checkpoints
+/// observe, never steer — see `CAMPAIGNS.md`). A campaign may therefore
+/// be resumed with a different `--threads`, `--fork-mode`, `--progress`,
+/// or `--checkpoint-every` and still produce bit-identical results.
 pub fn config_digest(cfg: &CheckerConfig) -> u64 {
     let text = format!(
         "protocol={};n={};k={};t={};validity={};symmetry={};depth={};preemptions={};max_runs={};max_states={};por={};dedup={}",

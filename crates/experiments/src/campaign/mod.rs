@@ -337,7 +337,7 @@ fn drive(
             Some(state) => state,
             None => {
                 let (state, root_visited) = seed_pattern(cfg, &inputs, &spec, plan);
-                store.absorb(&root_visited);
+                store.absorb(root_visited);
                 state
             }
         };

@@ -46,8 +46,10 @@ pub trait CampaignStore {
 
     /// Folds one task's visited table in at the wave barrier. Entries
     /// already covered are skipped; new entries drop their stored
-    /// supersets, keeping each fingerprint's antichain minimal.
-    fn absorb(&mut self, tasks: &Visited);
+    /// supersets, keeping each fingerprint's antichain minimal. Takes the
+    /// table by value — it is dead after the barrier, so the in-memory
+    /// store can steal its allocations ([`Visited::merge_move`]).
+    fn absorb(&mut self, tasks: Visited);
 
     /// Minimal entries currently stored (occupancy, for reporting).
     fn entries(&self) -> u64;
@@ -58,12 +60,12 @@ impl CampaignStore for Visited {
         Visited::covers(self, fingerprint, sleep)
     }
 
-    fn absorb(&mut self, tasks: &Visited) {
-        self.merge_from(tasks);
+    fn absorb(&mut self, tasks: Visited) {
+        self.merge_move(tasks);
     }
 
     fn entries(&self) -> u64 {
-        self.iter().map(|(_, bucket)| bucket.len() as u64).sum()
+        self.iter().map(|(_, bucket)| bucket.count() as u64).sum()
     }
 }
 
@@ -337,7 +339,7 @@ impl CampaignStore for DiskStore {
         self.shards[self.shard_of(fingerprint)].covers(fingerprint, sleep)
     }
 
-    fn absorb(&mut self, tasks: &Visited) {
+    fn absorb(&mut self, tasks: Visited) {
         for (fingerprint, bucket) in tasks.iter() {
             let shard = self.shard_of(fingerprint);
             for sleep in bucket {

@@ -101,6 +101,7 @@ use std::fs;
 use std::hash::BuildHasherDefault;
 use std::io::{self, Write as _};
 use std::path::Path;
+use std::rc::Rc;
 
 use crate::campaign::store::CampaignStore;
 use crate::engine::{DrainExit, WaveControl};
@@ -112,8 +113,9 @@ use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
 use kset_regions::Model;
 use kset_shmem::{DynSmProcess, SmSubstrate};
 use kset_sim::{
-    ChoiceLog, ChoiceScheduler, DigestMode, EventId, FaultPlan, MetricsConfig, ProcessId,
-    RunArena, RunMetrics, RunStats, SimError, System,
+    ChoiceLog, ChoiceScheduler, DigestMode, EventId, FaultPlan, ForkConfig, ForkGate,
+    ForkSession, MetricsConfig, ProcessId, RunArena, RunMetrics, RunSnapshot, RunStats,
+    SimError, SubstrateFork, System,
 };
 
 use crate::cells::DEFAULT_VALUE;
@@ -174,6 +176,58 @@ pub struct CheckerConfig {
     /// counters and counterexamples are identical for every value (see
     /// the module docs); only wall-clock time changes.
     pub threads: usize,
+    /// How work items reach their first beyond-prefix decision point:
+    /// replay from the root, resume from a branch-point snapshot, or
+    /// (the default) snapshots under a byte budget with replay as the
+    /// fallback. Like `threads`, this is a pure execution strategy —
+    /// verdicts, counters and counterexample bytes are identical for
+    /// every value (pinned by `tests/fork_parity.rs`).
+    pub fork: ForkMode,
+}
+
+/// Execution strategy for reaching a work item's branch point — see
+/// [`CheckerConfig::fork`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ForkMode {
+    /// Re-execute every work item's prefix from the initial state — the
+    /// stateless baseline, kept as the cross-checking oracle for the
+    /// forking executor.
+    Replay,
+    /// Resume every work item from the snapshot taken at its branch
+    /// point, with no snapshot byte budget. Items whose snapshot was
+    /// elided (gate-closed points, spilled continuations) still replay.
+    Fork,
+    /// Fork, but stop taking new snapshots while a task's live snapshot
+    /// bytes exceed a fixed budget — those points degrade to replay.
+    /// The default.
+    Auto,
+}
+
+/// Per-task live-snapshot byte budget of [`ForkMode::Auto`]. Generous for
+/// the small-`n` cells the checker targets (an `n = 4` snapshot is ~2 KiB
+/// and a task's DFS stack holds at most a few thousand), yet it bounds
+/// memory on raw (`--no-por --no-dedup`) explosions and larger `n`.
+const AUTO_FORK_BUDGET: usize = 64 << 20;
+
+impl fmt::Display for ForkMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ForkMode::Replay => "replay",
+            ForkMode::Fork => "fork",
+            ForkMode::Auto => "auto",
+        })
+    }
+}
+
+/// Parses a fork mode as accepted by the `model_check` binary
+/// (`fork`/`replay`/`auto`, case-insensitive).
+pub fn parse_fork_mode(arg: &str) -> Option<ForkMode> {
+    Some(match arg.trim().to_ascii_lowercase().as_str() {
+        "replay" => ForkMode::Replay,
+        "fork" => ForkMode::Fork,
+        "auto" => ForkMode::Auto,
+        _ => return None,
+    })
 }
 
 impl CheckerConfig {
@@ -204,6 +258,7 @@ impl CheckerConfig {
             symmetry: false,
             progress: None,
             threads: crate::engine::available_threads(),
+            fork: ForkMode::Auto,
         }
     }
 
@@ -225,6 +280,25 @@ impl CheckerConfig {
             DigestMode::Plain
         }
     }
+
+    /// The forking executor's configuration for this cell: same `n`,
+    /// reductions and digest mode as the replay path, branch snapshots cut
+    /// off at the explorer's depth bound (beyond it nothing branches, so a
+    /// snapshot could never be consumed), and the byte budget of the
+    /// selected [`ForkMode`].
+    fn fork_config(&self) -> ForkConfig {
+        ForkConfig {
+            n: self.n,
+            por: self.por,
+            digest: self.digest_mode(),
+            event_limit: None,
+            max_branch_depth: self.depth,
+            budget_bytes: match self.fork {
+                ForkMode::Auto => Some(AUTO_FORK_BUDGET),
+                _ => None,
+            },
+        }
+    }
 }
 
 /// The canonical model-checking inputs: process `p` starts with value `p`.
@@ -232,6 +306,46 @@ impl CheckerConfig {
 /// which is what makes small-`n` verdicts meaningful.
 pub fn canonical_inputs(n: usize) -> Vec<u64> {
     (0..n as u64).collect()
+}
+
+/// Builds the boxed process vector for a message-passing protocol cell —
+/// the single construction point shared by the replay executor, the
+/// forking executor and the fired-id replayer.
+///
+/// # Panics
+///
+/// Panics on a shared-memory protocol; callers gate on
+/// [`QuorumProtocol::shared_memory`].
+fn mp_processes(
+    protocol: QuorumProtocol,
+    inputs: &[u64],
+    t: usize,
+) -> Vec<DynMpProcess<u64, u64>> {
+    let n = inputs.len();
+    (0..n)
+        .map(|p| match protocol {
+            QuorumProtocol::FloodMin => FloodMin::boxed(n, t, inputs[p]),
+            QuorumProtocol::ProtocolA => ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE),
+            QuorumProtocol::ProtocolB => ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE),
+            _ => unreachable!("shared_memory() gates the protocol"),
+        })
+        .collect()
+}
+
+/// [`mp_processes`] for the shared-memory protocols.
+fn sm_processes(
+    protocol: QuorumProtocol,
+    inputs: &[u64],
+    t: usize,
+) -> Vec<DynSmProcess<u64, u64>> {
+    let n = inputs.len();
+    (0..n)
+        .map(|p| match protocol {
+            QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
+            QuorumProtocol::ProtocolF => ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE),
+            _ => unreachable!("shared_memory() gates the protocol"),
+        })
+        .collect()
 }
 
 /// One executed schedule, distilled for the explorer.
@@ -255,18 +369,48 @@ pub struct ScheduleRun {
 }
 
 impl ScheduleRun {
-    /// Number of distinct values decided by correct processes.
+    /// Number of distinct values decided by correct processes, counted by
+    /// first occurrence — no per-call allocation (`n` is single digits).
     pub fn distinct_correct_decisions(&self) -> usize {
-        let mut vals: Vec<u64> = self
-            .decisions
-            .iter()
-            .filter(|(p, _)| !self.faulty.contains(p))
-            .map(|(_, &v)| v)
-            .collect();
-        vals.sort_unstable();
-        vals.dedup();
-        vals.len()
+        let mut count = 0;
+        for (i, (&p, &v)) in self.decisions.iter().enumerate() {
+            if self.faulty.contains(&p) {
+                continue;
+            }
+            let seen = self
+                .decisions
+                .iter()
+                .take(i)
+                .any(|(&q, &w)| !self.faulty.contains(&q) && w == v);
+            if !seen {
+                count += 1;
+            }
+        }
+        count
     }
+}
+
+/// [`ScheduleRun::distinct_correct_decisions`] over the forking executor's
+/// dense decision table.
+fn distinct_correct_decisions_dense(decisions: &[Option<u64>], faulty: &[ProcessId]) -> usize {
+    let mut count = 0;
+    for (p, v) in decisions
+        .iter()
+        .enumerate()
+        .filter_map(|(p, d)| d.map(|v| (p, v)))
+    {
+        if faulty.contains(&p) {
+            continue;
+        }
+        let seen = decisions[..p]
+            .iter()
+            .enumerate()
+            .any(|(q, w)| !faulty.contains(&q) && *w == Some(v));
+        if !seen {
+            count += 1;
+        }
+    }
+    count
 }
 
 /// Executes one schedule of `protocol` under `plan`, following `prefix`
@@ -357,24 +501,11 @@ pub fn execute_schedule_in(
         .metrics(metrics_config)
         .digest_mode(mode);
     let (outcome, digests) = if protocol.shared_memory() {
-        let procs: Vec<DynSmProcess<u64, u64>> = (0..n)
-            .map(|p| match protocol {
-                QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                QuorumProtocol::ProtocolF => ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                _ => unreachable!("shared_memory() gates the protocol"),
-            })
-            .collect();
+        let procs = sm_processes(protocol, inputs, t);
         let (outcome, digests, _) = sys.run_digested_in::<SmSubstrate<u64, u64>>(procs, arena)?;
         (outcome, digests)
     } else {
-        let procs: Vec<DynMpProcess<u64, u64>> = (0..n)
-            .map(|p| match protocol {
-                QuorumProtocol::FloodMin => FloodMin::boxed(n, t, inputs[p]),
-                QuorumProtocol::ProtocolA => ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                QuorumProtocol::ProtocolB => ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                _ => unreachable!("shared_memory() gates the protocol"),
-            })
-            .collect();
+        let procs = mp_processes(protocol, inputs, t);
         let (outcome, digests, _) = sys.run_digested_in::<MpSubstrate<u64, u64>>(procs, arena)?;
         (outcome, digests)
     };
@@ -390,12 +521,62 @@ pub fn execute_schedule_in(
 }
 
 /// Checks one run against `SC(k, t, C)`; `Some(message)` on violation.
+///
+/// Judged through a borrowed [`kset_core::RunView`] over the run's own
+/// buffers — both executors pay zero allocations per passing run, the
+/// overwhelmingly common case.
 fn violation_of(spec: &ProblemSpec, inputs: &[u64], run: &ScheduleRun) -> Option<String> {
-    let record = kset_core::RunRecord::new(inputs.to_vec())
-        .with_faulty(run.faulty.iter().copied())
-        .with_decisions(run.decisions.clone())
-        .with_terminated(run.terminated);
-    let report = spec.check(&record);
+    let report = spec.check(&ScheduleRunView { inputs, run });
+    (!report.is_ok()).then(|| report.to_string())
+}
+
+/// Borrowed [`kset_core::RunView`] over a [`ScheduleRun`] (whose decision
+/// map is keyed by process) plus the inputs it was run with.
+struct ScheduleRunView<'a> {
+    inputs: &'a [u64],
+    run: &'a ScheduleRun,
+}
+
+impl kset_core::RunView<u64> for ScheduleRunView<'_> {
+    fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn inputs(&self) -> &[u64] {
+        self.inputs
+    }
+
+    fn is_faulty(&self, p: ProcessId) -> bool {
+        self.run.faulty.contains(&p)
+    }
+
+    fn faulty_count(&self) -> usize {
+        self.run.faulty.len()
+    }
+
+    fn decision_of(&self, p: ProcessId) -> Option<&u64> {
+        self.run.decisions.get(&p)
+    }
+
+    fn terminated(&self) -> bool {
+        self.run.terminated
+    }
+
+    fn all_decisions(&self, pred: &mut dyn FnMut(ProcessId, &u64) -> bool) -> bool {
+        self.run.decisions.iter().all(|(&p, v)| pred(p, v))
+    }
+}
+
+/// [`violation_of`] over the forking executor's dense in-place
+/// observables, which never materialize a [`ScheduleRun`].
+fn violation_of_dense(
+    spec: &ProblemSpec,
+    inputs: &[u64],
+    decisions: &[Option<u64>],
+    faulty: &[ProcessId],
+    terminated: bool,
+) -> Option<String> {
+    let report = spec.check(&kset_core::DenseRun::new(inputs, decisions, faulty, terminated));
     (!report.is_ok()).then(|| report.to_string())
 }
 
@@ -439,34 +620,76 @@ pub struct PatternVerdict {
     pub violation: Option<Counterexample>,
 }
 
-/// One sleeping event: put to sleep after its subtree was fully explored,
-/// woken (removed) by firing any *dependent* event — one with the same
-/// target process.
+/// The exploration *frontier* types shared with the campaign layer.
 ///
-/// Public because the campaign layer ([`crate::campaign`]) persists and
-/// queries sleep sets through the [`crate::campaign::store::CampaignStore`]
-/// trait; everything else about the sleep-set machinery stays internal.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct SleepEntry {
-    /// The sleeping event.
-    pub id: EventId,
-    /// The event's target process (dependency key for wake-ups).
-    pub target: ProcessId,
+/// The checker keeps its machinery private, but a resumable campaign
+/// (`crate::campaign`) must persist and restore exactly the frontier of an
+/// exploration: the outstanding work items, the verdict so far, and the
+/// sleep sets both carry. This module is the one sanctioned home for that
+/// plumbing — everything here is either `pub` because the
+/// [`crate::campaign::store::CampaignStore`] trait is public API
+/// ([`SleepEntry`]), or `pub(crate)` for the campaign snapshot codec
+/// ([`WorkItem`], [`PatternState`]) and the sleep-set subset rule the
+/// disk-backed store re-implements ([`sleep_subset`]). Nothing else in the
+/// checker is visible outside this file.
+pub(crate) mod frontier {
+    use super::{EventId, PatternVerdict, ProcessId};
+
+    /// One sleeping event: put to sleep after its subtree was fully
+    /// explored, woken (removed) by firing any *dependent* event — one
+    /// with the same target process.
+    ///
+    /// Public because the campaign layer ([`crate::campaign`]) persists
+    /// and queries sleep sets through the
+    /// [`crate::campaign::store::CampaignStore`] trait; everything else
+    /// about the sleep-set machinery stays internal.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub struct SleepEntry {
+        /// The sleeping event.
+        pub id: EventId,
+        /// The event's target process (dependency key for wake-ups).
+        pub target: ProcessId,
+    }
+
+    /// `a ⊆ b` by event id.
+    pub fn sleep_subset(a: &[SleepEntry], b: &[SleepEntry]) -> bool {
+        a.iter().all(|x| b.iter().any(|y| y.id == x.id))
+    }
+
+    /// One work item of the re-execution DFS: run `prefix`, then branch
+    /// on the beyond-prefix decision points.
+    ///
+    /// Deliberately *execution-strategy free*: the forking executor pairs
+    /// items with branch-point snapshots on its task-local stack, but
+    /// spills, checkpoints and the campaign codec only ever see this
+    /// replayable form.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    pub struct WorkItem {
+        /// Canonical choice indices to replay before branching.
+        pub prefix: Vec<usize>,
+        /// Events asleep at the item's branch point.
+        pub sleep: Vec<SleepEntry>,
+        /// Preemptions already spent by the prefix.
+        pub preemptions: usize,
+    }
+
+    /// The resumable state of one crash pattern's exploration at a wave
+    /// boundary: the verdict accumulated so far and the outstanding task
+    /// queue. Together with the shared visited store this is exactly what
+    /// a campaign checkpoint persists — the drain is a pure function of
+    /// `(verdict, queue, store)`, so restoring all three resumes the
+    /// exploration bit-identically (see `CAMPAIGNS.md`).
+    #[derive(Debug)]
+    pub struct PatternState {
+        /// Counters and (possible) violation accumulated so far.
+        pub verdict: PatternVerdict,
+        /// Outstanding task stacks, in claim order.
+        pub queue: Vec<Vec<WorkItem>>,
+    }
 }
 
-/// `a ⊆ b` by event id.
-pub(crate) fn sleep_subset(a: &[SleepEntry], b: &[SleepEntry]) -> bool {
-    a.iter().all(|x| b.iter().any(|y| y.id == x.id))
-}
-
-/// One work item of the re-execution DFS: run `prefix`, then branch on the
-/// beyond-prefix decision points.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub(crate) struct WorkItem {
-    pub(crate) prefix: Vec<usize>,
-    pub(crate) sleep: Vec<SleepEntry>,
-    pub(crate) preemptions: usize,
-}
+pub use frontier::SleepEntry;
+pub(crate) use frontier::{sleep_subset, PatternState, WorkItem};
 
 /// Runs one exploration task may execute before it spills the rest of its
 /// DFS stack back to the scheduler as a single continuation task. The
@@ -497,9 +720,20 @@ const TASK_BUDGET: u64 = 2048;
 /// `Visited` is both the per-task table of the exploration engine and the
 /// in-memory [`crate::campaign::store::CampaignStore`] — the zero-overhead
 /// fast path the disk-backed campaign store is checked against.
+///
+/// Each fingerprint's antichain is stored *flat*: one contiguous
+/// `Vec<SleepEntry>` holding every stored sleep set as a length-prefixed
+/// group (the prefix entry's `id` carries the group length). A `covers`
+/// probe — the single hottest operation of a certification, issued by the
+/// walk's dedup rule and again by the forking executor's snapshot gate —
+/// then touches exactly two cache lines' worth of pointer chasing (the
+/// hash bucket, the flat buffer) instead of one heap box per stored set.
+/// Buckets average a handful of small groups, so the compaction that
+/// [`Visited::insert`] does to drop supersets is a short `memmove`, not a
+/// structural rebuild.
 #[derive(Default, Debug)]
 pub struct Visited {
-    map: HashMap<u64, Vec<Box<[SleepEntry]>>, BuildHasherDefault<FingerprintHasher>>,
+    map: HashMap<u64, Vec<SleepEntry>, BuildHasherDefault<FingerprintHasher>>,
     /// Cumulative insertions (the memoization budget `max_states` caps).
     inserted: usize,
 }
@@ -535,16 +769,14 @@ impl Visited {
     pub fn covers(&self, fingerprint: u64, sleep: &[SleepEntry]) -> bool {
         self.map
             .get(&fingerprint)
-            .is_some_and(|seen| seen.iter().any(|s| sleep_subset(s, sleep)))
+            .is_some_and(|seen| Groups(seen).any(|s| sleep_subset(s, sleep)))
     }
 
     /// Records that `fingerprint` is being expanded under `sleep`,
     /// dropping stored supersets of `sleep` so the bucket stays a minimal
     /// antichain.
     pub fn insert(&mut self, fingerprint: u64, sleep: &[SleepEntry]) {
-        let seen = self.map.entry(fingerprint).or_default();
-        seen.retain(|s| !sleep_subset(sleep, s));
-        seen.push(sleep.to_vec().into_boxed_slice());
+        bucket_insert(self.map.entry(fingerprint).or_default(), sleep);
         self.inserted += 1;
     }
 
@@ -555,9 +787,41 @@ impl Visited {
     /// the unobservable bucket layout varies).
     pub fn merge_from(&mut self, other: &Visited) {
         for (&fingerprint, bucket) in &other.map {
-            for sleep in bucket {
+            for sleep in Groups(bucket) {
                 if !self.covers(fingerprint, sleep) {
                     self.insert(fingerprint, sleep);
+                }
+            }
+        }
+    }
+
+    /// Consuming [`Visited::merge_from`]: folds `other` in by *moving* its
+    /// flat buckets wholesale for fingerprints this table has never seen,
+    /// instead of re-copying each entry. A task bucket is itself a minimal
+    /// antichain (its inserts maintain that), so the wholesale move equals
+    /// feeding each group through [`Visited::insert`] in turn: same
+    /// minimal sets, same `inserted` count, same every future
+    /// [`Visited::covers`] answer. The wave barrier absorbs task tables
+    /// through this; the tables are dead afterwards, so the per-bucket
+    /// allocation+copy that [`Visited::merge_from`] would pay is pure
+    /// waste.
+    pub fn merge_move(&mut self, other: Visited) {
+        use std::collections::hash_map::Entry;
+        for (fingerprint, bucket) in other.map {
+            match self.map.entry(fingerprint) {
+                Entry::Vacant(slot) => {
+                    self.inserted += Groups(&bucket).count();
+                    slot.insert(bucket);
+                }
+                Entry::Occupied(mut slot) => {
+                    let seen = slot.get_mut();
+                    for sleep in Groups(&bucket) {
+                        if Groups(seen).any(|s| sleep_subset(s, sleep)) {
+                            continue;
+                        }
+                        bucket_insert(seen, sleep);
+                        self.inserted += 1;
+                    }
                 }
             }
         }
@@ -572,9 +836,50 @@ impl Visited {
     /// Iterates the stored `(fingerprint, minimal sleep-set antichain)`
     /// pairs, in the table's (deterministic, but unspecified) bucket
     /// order. The campaign store absorbs task tables through this.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &[Box<[SleepEntry]>])> {
-        self.map.iter().map(|(&fp, bucket)| (fp, bucket.as_slice()))
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Groups<'_>)> {
+        self.map.iter().map(|(&fp, bucket)| (fp, Groups(bucket)))
     }
+}
+
+/// Iterator over the sleep-set groups of one flat [`Visited`] bucket, in
+/// storage order (see the [`Visited`] docs for the length-prefixed
+/// layout).
+#[derive(Clone, Copy, Debug)]
+pub struct Groups<'a>(&'a [SleepEntry]);
+
+impl<'a> Iterator for Groups<'a> {
+    type Item = &'a [SleepEntry];
+
+    fn next(&mut self) -> Option<&'a [SleepEntry]> {
+        let (prefix, rest) = self.0.split_first()?;
+        let (group, rest) = rest.split_at(prefix.id.as_u64() as usize);
+        self.0 = rest;
+        Some(group)
+    }
+}
+
+/// Appends `sleep` to a flat bucket as a new length-prefixed group,
+/// first compacting away every stored superset of it (the minimal
+/// antichain rule of [`Visited::insert`]). The prefix entry's `target` is
+/// meaningless and kept zero.
+fn bucket_insert(bucket: &mut Vec<SleepEntry>, sleep: &[SleepEntry]) {
+    let (mut read, mut write) = (0, 0);
+    while read < bucket.len() {
+        let len = bucket[read].id.as_u64() as usize + 1;
+        if !sleep_subset(sleep, &bucket[read + 1..read + len]) {
+            if write != read {
+                bucket.copy_within(read..read + len, write);
+            }
+            write += len;
+        }
+        read += len;
+    }
+    bucket.truncate(write);
+    bucket.push(SleepEntry {
+        id: EventId::from_u64(sleep.len() as u64),
+        target: 0,
+    });
+    bucket.extend_from_slice(sleep);
 }
 
 /// Counters and outcome of one exploration task (a subtree DFS), merged
@@ -631,10 +936,14 @@ struct WalkScratch {
 }
 
 /// Walks the beyond-prefix decision points of one executed run: dedup
-/// bookkeeping against the task-local `visited`, sibling generation onto
-/// `stack` (per point, in reverse canonical order, so the canonically
+/// bookkeeping against the task-local `visited`, sibling generation into
+/// `push` (per point, in reverse canonical order, so the canonically
 /// first sibling pops first under LIFO — the order the accumulated sleep
 /// sets assume).
+///
+/// `push` receives each staged child in the order it should enter the
+/// caller's DFS stack; the replay executor pushes the bare item, the
+/// forking executor pairs it with the snapshot taken at its branch point.
 ///
 /// `prefix_len`, `preemptions` and `sleep` are the executed work item's
 /// fields; the prefix itself was consumed by [`execute_schedule_in`], and
@@ -647,10 +956,12 @@ fn walk_run<S: CampaignStore>(
     prefix_len: usize,
     preemptions: usize,
     sleep: Vec<SleepEntry>,
-    run: &ScheduleRun,
+    log: &ChoiceLog,
+    digests: &[u64],
+    verified_cut: Option<usize>,
     global: &S,
     out: &mut TaskOutcome,
-    stack: &mut Vec<WorkItem>,
+    push: &mut impl FnMut(WorkItem),
     scratch: &mut WalkScratch,
 ) {
     let mut sleep = sleep;
@@ -661,18 +972,29 @@ fn walk_run<S: CampaignStore>(
         sleeps,
     } = scratch;
     taken.clear();
-    taken.extend((0..run.log.len()).map(|i| run.log.taken(i)));
-    for d in prefix_len..run.log.len() {
-        let point = run.log.point(d);
+    taken.extend((0..log.len()).map(|i| log.taken(i)));
+    for d in prefix_len..log.len() {
+        let point = log.point(d);
 
         // Deduplicate on the state this point decides from (the state
         // after d fired events; the root state, d = 0, is unique per
         // pattern anyway). `global` is the frozen pre-wave snapshot; new
         // insertions go to the task-local table.
         if cfg.dedup && d > 0 {
-            let fingerprint = run.digests[d - 1];
-            if global.covers(fingerprint, &sleep) || out.visited.covers(fingerprint, &sleep)
-            {
+            // The forking executor's gate may have proved this exact
+            // point covered mid-execution ([`WalkGate`] records where it
+            // closed). Visited stores only grow and the gate's sleep set
+            // evolves exactly as this walk's, so its TRUE answer still
+            // holds here — skip the (table-chasing) probe. A cut at an
+            // earlier point just leaves the hint unused.
+            if verified_cut == Some(d) {
+                out.dedup_hits += 1;
+                break;
+            }
+            let fingerprint = digests[d - 1];
+            // Task-local table first: it is small and cache-hot, and `||`
+            // makes the probe order invisible to the verdict.
+            if out.visited.covers(fingerprint, &sleep) || global.covers(fingerprint, &sleep) {
                 out.dedup_hits += 1;
                 break;
             }
@@ -696,7 +1018,7 @@ fn walk_run<S: CampaignStore>(
                 }
             } else {
                 let prev_target =
-                    (d > 0).then(|| run.log.point(d - 1).taken_meta().target);
+                    (d > 0).then(|| log.point(d - 1).taken_meta().target);
                 // Alternatives in canonical order; `explored` grows so
                 // each later sibling sleeps on the earlier ones (their
                 // subtrees complete first under LIFO scheduling).
@@ -756,7 +1078,7 @@ fn walk_run<S: CampaignStore>(
                 // its whole subtree finishes before the next sibling,
                 // which is what the accumulated sleep sets assume.
                 for child in children.drain(..).rev() {
-                    stack.push(child);
+                    push(child);
                 }
             }
         }
@@ -773,7 +1095,48 @@ fn walk_run<S: CampaignStore>(
 /// order), at the `max_runs` truncation bound (marking the verdict
 /// incomplete), or at [`TASK_BUDGET`] — in which case the unexplored
 /// stack is spilled back to the scheduler, not dropped.
+///
+/// Dispatches on [`CheckerConfig::fork`]: under [`ForkMode::Fork`] and
+/// [`ForkMode::Auto`] the task runs on the forking executor
+/// ([`explore_task_fork`]), which resumes each work item from the
+/// snapshot taken at its branch point instead of replaying the prefix
+/// from the initial state. If the protocol's processes are unforkable
+/// (a [`kset_sim::SubstrateFork`] hook returning `None`) the task
+/// silently degrades to replay — the two executors are pinned to
+/// identical observables, so the mode is free to vary per task.
 fn explore_task<S: CampaignStore>(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    plan: &FaultPlan,
+    crashed: &[ProcessId],
+    global: &S,
+    stack: Vec<WorkItem>,
+) -> TaskOutcome {
+    if cfg.fork != ForkMode::Replay {
+        if cfg.protocol.shared_memory() {
+            if let Some(mut session) = ForkSession::<SmSubstrate<u64, u64>>::new(
+                cfg.fork_config(),
+                plan.clone(),
+                sm_processes(cfg.protocol, inputs, cfg.t),
+            ) {
+                return explore_task_fork(cfg, inputs, spec, crashed, global, &mut session, stack);
+            }
+        } else if let Some(mut session) = ForkSession::<MpSubstrate<u64, u64>>::new(
+            cfg.fork_config(),
+            plan.clone(),
+            mp_processes(cfg.protocol, inputs, cfg.t),
+        ) {
+            return explore_task_fork(cfg, inputs, spec, crashed, global, &mut session, stack);
+        }
+    }
+    explore_task_replay(cfg, inputs, spec, plan, crashed, global, stack)
+}
+
+/// The stateless executor: every work item re-executes its prefix from
+/// the initial state. Baseline for — and cross-checking oracle of — the
+/// forking executor.
+fn explore_task_replay<S: CampaignStore>(
     cfg: &CheckerConfig,
     inputs: &[u64],
     spec: &ProblemSpec,
@@ -818,20 +1181,7 @@ fn explore_task<S: CampaignStore>(
         )
         .expect("checker-built system configurations are valid");
         out.runs += 1;
-        if let Some(every) = cfg.progress {
-            if out.runs % every == 0 {
-                eprintln!(
-                    "[model_check] {} crashed={:?}: task at {} runs, {} states, {} frontier, {} dedup hits, {} sleep skips",
-                    cfg.protocol.name(),
-                    crashed,
-                    out.runs,
-                    out.states,
-                    stack.len(),
-                    out.dedup_hits,
-                    out.sleep_skips,
-                );
-            }
-        }
+        progress_line(cfg, crashed, &out, stack.len());
 
         out.worst_agreement = out.worst_agreement.max(run.distinct_correct_decisions());
         if let Some(message) = violation_of(spec, inputs, &run) {
@@ -848,10 +1198,12 @@ fn explore_task<S: CampaignStore>(
             prefix_len,
             preemptions,
             sleep,
-            &run,
+            &run.log,
+            &run.digests,
+            None,
             global,
             &mut out,
-            &mut stack,
+            &mut |child| stack.push(child),
             &mut scratch,
         );
         arena.put_log(run.log);
@@ -860,18 +1212,176 @@ fn explore_task<S: CampaignStore>(
     out
 }
 
-/// The resumable state of one crash pattern's exploration at a wave
-/// boundary: the verdict accumulated so far and the outstanding task
-/// queue. Together with the shared visited store this is exactly what a
-/// campaign checkpoint persists — the drain is a pure function of
-/// `(verdict, queue, store)`, so restoring all three resumes the
-/// exploration bit-identically (see `CAMPAIGNS.md`).
-#[derive(Debug)]
-pub(crate) struct PatternState {
-    /// Counters and (possible) violation accumulated so far.
-    pub(crate) verdict: PatternVerdict,
-    /// Outstanding task stacks, in claim order.
-    pub(crate) queue: Vec<Vec<WorkItem>>,
+/// The checker's [`ForkGate`]: a mirror of [`walk_run`]'s pruning that
+/// runs *during* execution, so the forking executor only snapshots
+/// decision points whose siblings the walk will actually visit.
+///
+/// `branches_beyond` answers false exactly when the walk's dedup rule
+/// would cut the run off at (or before) that depth — the state was
+/// already expanded under a subset sleep set — at which point no deeper
+/// sibling of this run can ever be popped, so snapshots past it would be
+/// pure waste. Because visited stores only grow, a cover observed here
+/// still holds when the walk re-checks it. The sleep set evolves exactly
+/// as the walk's: `on_fired` wakes dependents of each beyond-prefix
+/// fired event.
+///
+/// A closing cover is remembered in `closed_at`: the decision-point
+/// depth where the gate proved (fingerprint, sleep) covered. The walk
+/// reuses that proof as its `verified_cut` and skips re-probing the
+/// stores at that depth — sound because covers are monotone (stores
+/// only grow between the gate's probe and the walk's).
+struct WalkGate<'a, S: CampaignStore> {
+    dedup: bool,
+    global: &'a S,
+    visited: &'a Visited,
+    sleep: Vec<SleepEntry>,
+    closed_at: Option<usize>,
+}
+
+impl<S: CampaignStore> ForkGate for WalkGate<'_, S> {
+    fn branches_beyond(&mut self, depth: usize, fingerprint: u64) -> bool {
+        if !self.dedup {
+            return true;
+        }
+        if self.visited.covers(fingerprint, &self.sleep)
+            || self.global.covers(fingerprint, &self.sleep)
+        {
+            self.closed_at = Some(depth);
+            return false;
+        }
+        true
+    }
+
+    fn on_fired(&mut self, target: ProcessId) {
+        self.sleep.retain(|s| s.target != target);
+    }
+
+    fn is_asleep(&self, id: EventId) -> bool {
+        self.sleep.iter().any(|s| s.id == id)
+    }
+}
+
+/// [`explore_task_replay`] on the forking executor: one [`ForkSession`]
+/// owns the kernel, process and digest state for the whole task, each
+/// work item resumes from the snapshot captured at its branch point (or
+/// replays from the root when none was — gate-closed point, byte budget,
+/// restored continuation), and the walk attaches the current run's
+/// snapshots to the children it stages. All observables — verdicts,
+/// counters, counterexample bytes — are identical to the replay executor
+/// (`tests/fork_parity.rs` pins this).
+fn explore_task_fork<Sub, S>(
+    cfg: &CheckerConfig,
+    inputs: &[u64],
+    spec: &ProblemSpec,
+    crashed: &[ProcessId],
+    global: &S,
+    session: &mut ForkSession<Sub>,
+    stack: Vec<WorkItem>,
+) -> TaskOutcome
+where
+    Sub: SubstrateFork<Output = u64>,
+    S: CampaignStore,
+{
+    let mut out = TaskOutcome::new();
+    // The DFS stack pairs each item with the snapshot to resume from.
+    // LIFO order is what makes resumption sound: everything pushed above
+    // an item branches at least as deep as the item's own branch point,
+    // so the session's choice log always still carries the item's prefix
+    // when its turn comes.
+    let mut stack: Vec<(WorkItem, Option<Rc<RunSnapshot<Sub>>>)> =
+        stack.into_iter().map(|item| (item, None)).collect();
+    let mut scratch = WalkScratch::default();
+    while let Some((item, snap)) = stack.pop() {
+        if out.runs >= cfg.max_runs {
+            out.complete = false;
+            break;
+        }
+        if out.runs >= TASK_BUDGET {
+            stack.push((item, snap));
+            // Snapshots are a per-task acceleration, not search state:
+            // spills shed them so WorkItem — and with it the campaign
+            // checkpoint format — stays replayable everywhere.
+            out.spill = stack.into_iter().map(|(item, _)| item).collect();
+            break;
+        }
+        let WorkItem {
+            prefix,
+            sleep,
+            preemptions,
+        } = item;
+        let prefix_len = prefix.len();
+        let mut gate = WalkGate {
+            dedup: cfg.dedup,
+            global,
+            visited: &out.visited,
+            sleep: sleep.clone(),
+            closed_at: None,
+        };
+        match snap {
+            Some(snapshot) => session.resume_rc(snapshot, prefix, &mut gate),
+            None => session.run_root(prefix, &mut gate),
+        }
+        .expect("checker-built system configurations are valid");
+        let verified_cut = gate.closed_at;
+        // Read the run's observables in place — no per-run export copies,
+        // and `crashed` doubles as the (task-constant) faulty set.
+        let decisions = session.decisions();
+        out.runs += 1;
+        progress_line(cfg, crashed, &out, stack.len());
+
+        out.worst_agreement = out
+            .worst_agreement
+            .max(distinct_correct_decisions_dense(decisions, crashed));
+        if let Some(message) =
+            violation_of_dense(spec, inputs, decisions, crashed, session.terminated())
+        {
+            let log = session.log();
+            out.violation = Some(Counterexample {
+                crashed: crashed.to_vec(),
+                choices: log.taken_indices(),
+                fired: log.fired_ids(),
+                violation: message,
+            });
+            break;
+        }
+        let log = session.log();
+        walk_run(
+            cfg,
+            prefix_len,
+            preemptions,
+            sleep,
+            &log,
+            session.digests(),
+            verified_cut,
+            global,
+            &mut out,
+            &mut |child: WorkItem| {
+                let snapshot = session.snapshot_at(child.prefix.len() - 1);
+                stack.push((child, snapshot));
+            },
+            &mut scratch,
+        );
+        drop(log);
+    }
+    out
+}
+
+/// The shared per-run progress line of both executors.
+fn progress_line(cfg: &CheckerConfig, crashed: &[ProcessId], out: &TaskOutcome, frontier: usize) {
+    if let Some(every) = cfg.progress {
+        if out.runs % every == 0 {
+            eprintln!(
+                "[model_check] {} crashed={:?}: task at {} runs, {} states, {} frontier, {} dedup hits, {} sleep skips",
+                cfg.protocol.name(),
+                crashed,
+                out.runs,
+                out.states,
+                frontier,
+                out.dedup_hits,
+                out.sleep_skips,
+            );
+        }
+    }
 }
 
 /// Phase 1 of a pattern's exploration: executes the canonical
@@ -922,10 +1432,12 @@ pub(crate) fn seed_pattern(
             0,
             0,
             Vec::new(),
-            &root_run,
+            &root_run.log,
+            &root_run.digests,
+            None,
             &empty,
             &mut root_out,
-            &mut seeded,
+            &mut |item| seeded.push(item),
             &mut scratch,
         );
     }
@@ -982,8 +1494,8 @@ pub(crate) fn drain_pattern<S: CampaignStore + Sync>(
         |_, (store, _), stack| {
             explore_task(cfg, inputs, spec, plan, &crashed, &**store, stack)
         },
-        |(store, v), out, queue| {
-            store.absorb(&out.visited);
+        |(store, v), mut out, queue| {
+            store.absorb(std::mem::take(&mut out.visited));
             v.runs += out.runs;
             v.states += out.states;
             v.sleep_skips += out.sleep_skips;
@@ -1479,25 +1991,10 @@ pub fn replay_fired(saved: &SavedCounterexample) -> (Option<String>, u64) {
     let (n, t) = (saved.n, saved.t);
     let sys = System::new(n).scheduler(Rc::clone(&sched)).fault_plan(plan);
     let outcome = if saved.protocol.shared_memory() {
-        let procs: Vec<DynSmProcess<u64, u64>> = (0..n)
-            .map(|p| match saved.protocol {
-                QuorumProtocol::ProtocolE => ProtocolE::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                QuorumProtocol::ProtocolF => ProtocolF::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                _ => unreachable!("shared_memory() gates the protocol"),
-            })
-            .collect();
-        sys.run::<SmSubstrate<u64, u64>>(procs)
+        sys.run::<SmSubstrate<u64, u64>>(sm_processes(saved.protocol, &inputs, t))
             .expect("saved schedules replay")
     } else {
-        let procs: Vec<DynMpProcess<u64, u64>> = (0..n)
-            .map(|p| match saved.protocol {
-                QuorumProtocol::FloodMin => FloodMin::boxed(n, t, inputs[p]),
-                QuorumProtocol::ProtocolA => ProtocolA::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                QuorumProtocol::ProtocolB => ProtocolB::boxed(n, t, inputs[p], DEFAULT_VALUE),
-                _ => unreachable!("shared_memory() gates the protocol"),
-            })
-            .collect();
-        sys.run::<MpSubstrate<u64, u64>>(procs)
+        sys.run::<MpSubstrate<u64, u64>>(mp_processes(saved.protocol, &inputs, t))
             .expect("saved schedules replay")
     };
     let record = kset_core::RunRecord::new(inputs)

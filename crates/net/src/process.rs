@@ -148,6 +148,17 @@ pub trait MpProcess {
     fn state_digest(&self) -> u64 {
         0
     }
+
+    /// A boxed copy of this process in its *current* state, used by the
+    /// model checker's forking executor to snapshot a run mid-execution.
+    ///
+    /// The default (`None`) marks the process as unforkable, which silently
+    /// degrades the checker to replay-from-root execution — always sound,
+    /// just slower. Protocols with `Clone` state machines should override
+    /// this with `Some(Box::new(self.clone()))`.
+    fn fork(&self) -> Option<DynMpProcess<Self::Msg, Self::Output>> {
+        None
+    }
 }
 
 /// Boxed process with erased concrete type, the unit the runtime stores.
@@ -174,6 +185,10 @@ impl<M: Clone, V> MpProcess for DynMpProcess<M, V> {
 
     fn state_digest(&self) -> u64 {
         (**self).state_digest()
+    }
+
+    fn fork(&self) -> Option<DynMpProcess<M, V>> {
+        (**self).fork()
     }
 }
 

@@ -5,11 +5,11 @@ use std::marker::PhantomData;
 
 use kset_sim::{
     CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
-    SimError, StateDigest, Substrate, SubstrateDigest, System,
+    SimError, StateDigest, Substrate, SubstrateDigest, SubstrateFork, System,
 };
 
 use crate::outcome::MpOutcome;
-use crate::process::{DynMpProcess, MpContext, RawAction};
+use crate::process::{DynMpProcess, MpContext, MpProcess, RawAction};
 
 /// The message-passing substrate: reliable point-to-point delivery over a
 /// completely connected network.
@@ -109,6 +109,18 @@ where
     }
 
     fn digest_shared(_shared: &Self::Shared, _h: &mut Fnv64) {}
+}
+
+impl<M, V> SubstrateFork for MpSubstrate<M, V>
+where
+    M: Clone + StateDigest,
+    V: StateDigest,
+{
+    fn fork_process(proc: &Self::Process) -> Option<Self::Process> {
+        proc.fork()
+    }
+
+    fn fork_shared(_shared: &Self::Shared) -> Self::Shared {}
 }
 
 /// Builder/runtime for one run of a message-passing system.

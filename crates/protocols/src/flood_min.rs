@@ -68,9 +68,13 @@ impl<V: Value> FloodMin<V> {
     }
 }
 
-impl<V: Value + StateDigest> MpProcess for FloodMin<V> {
+impl<V: Value + StateDigest + 'static> MpProcess for FloodMin<V> {
     type Msg = V;
     type Output = V;
+
+    fn fork(&self) -> Option<DynMpProcess<V, V>> {
+        Some(Box::new(self.clone()))
+    }
 
     fn state_digest(&self) -> u64 {
         let mut h = Fnv64::new();

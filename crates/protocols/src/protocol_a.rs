@@ -67,9 +67,13 @@ impl<V: Value> ProtocolA<V> {
     }
 }
 
-impl<V: Value + StateDigest> MpProcess for ProtocolA<V> {
+impl<V: Value + StateDigest + 'static> MpProcess for ProtocolA<V> {
     type Msg = V;
     type Output = V;
+
+    fn fork(&self) -> Option<DynMpProcess<V, V>> {
+        Some(Box::new(self.clone()))
+    }
 
     fn state_digest(&self) -> u64 {
         let mut h = Fnv64::new();

@@ -83,9 +83,13 @@ impl<V: Value> ProtocolB<V> {
     }
 }
 
-impl<V: Value + StateDigest> MpProcess for ProtocolB<V> {
+impl<V: Value + StateDigest + 'static> MpProcess for ProtocolB<V> {
     type Msg = V;
     type Output = V;
+
+    fn fork(&self) -> Option<DynMpProcess<V, V>> {
+        Some(Box::new(self.clone()))
+    }
 
     fn state_digest(&self) -> u64 {
         let mut h = Fnv64::new();

@@ -92,9 +92,13 @@ impl<V: Value> ProtocolE<V> {
     }
 }
 
-impl<V: Value + StateDigest> SmProcess for ProtocolE<V> {
+impl<V: Value + StateDigest + 'static> SmProcess for ProtocolE<V> {
     type Val = V;
     type Output = V;
+
+    fn fork(&self) -> Option<DynSmProcess<V, V>> {
+        Some(Box::new(self.clone()))
+    }
 
     fn state_digest(&self) -> u64 {
         let mut h = Fnv64::new();

@@ -103,9 +103,13 @@ impl<V: Value> ProtocolF<V> {
     }
 }
 
-impl<V: Value + StateDigest> SmProcess for ProtocolF<V> {
+impl<V: Value + StateDigest + 'static> SmProcess for ProtocolF<V> {
     type Val = V;
     type Output = V;
+
+    fn fork(&self) -> Option<DynSmProcess<V, V>> {
+        Some(Box::new(self.clone()))
+    }
 
     fn state_digest(&self) -> u64 {
         let mut h = Fnv64::new();

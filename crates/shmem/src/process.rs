@@ -152,6 +152,17 @@ pub trait SmProcess {
     fn state_digest(&self) -> u64 {
         0
     }
+
+    /// A boxed copy of this process in its *current* state, used by the
+    /// model checker's forking executor to snapshot a run mid-execution.
+    ///
+    /// The default (`None`) marks the process as unforkable, which silently
+    /// degrades the checker to replay-from-root execution — always sound,
+    /// just slower. Protocols with `Clone` state machines should override
+    /// this with `Some(Box::new(self.clone()))`.
+    fn fork(&self) -> Option<DynSmProcess<Self::Val, Self::Output>> {
+        None
+    }
 }
 
 /// Boxed process with erased concrete type, the unit the runtime stores.
@@ -179,6 +190,10 @@ impl<Val: Clone, Out> SmProcess for DynSmProcess<Val, Out> {
 
     fn state_digest(&self) -> u64 {
         (**self).state_digest()
+    }
+
+    fn fork(&self) -> Option<DynSmProcess<Val, Out>> {
+        (**self).fork()
     }
 }
 

@@ -5,11 +5,11 @@ use std::marker::PhantomData;
 
 use kset_sim::{
     CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
-    SimError, StateDigest, Substrate, SubstrateDigest, System,
+    SimError, StateDigest, Substrate, SubstrateDigest, SubstrateFork, System,
 };
 
 use crate::outcome::SmOutcome;
-use crate::process::{DynSmProcess, RawSmAction, SmContext};
+use crate::process::{DynSmProcess, RawSmAction, SmContext, SmProcess};
 use crate::register::{Memory, RegisterId};
 
 /// Substrate payloads of the shared-memory model: pending operation
@@ -174,6 +174,20 @@ where
                 h.write_usize(*slot);
             }
         }
+    }
+}
+
+impl<Val, Out> SubstrateFork for SmSubstrate<Val, Out>
+where
+    Val: Clone + StateDigest,
+    Out: StateDigest,
+{
+    fn fork_process(proc: &Self::Process) -> Option<Self::Process> {
+        proc.fork()
+    }
+
+    fn fork_shared(shared: &Self::Shared) -> Self::Shared {
+        shared.clone()
     }
 }
 

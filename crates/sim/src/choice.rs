@@ -139,6 +139,31 @@ impl ChoiceLog {
         self.points.clear();
     }
 
+    /// Truncates the log to its first `len` points, dropping the options
+    /// recorded at every later point. A no-op when `len` is not smaller
+    /// than the current length.
+    ///
+    /// This is the forking executor's rewind: when a run resumes from a
+    /// snapshot taken at depth `d`, the first `d` points of the previous
+    /// run are — by the depth-first stack discipline — exactly the resumed
+    /// run's shared history, so the log is cut back to them and recording
+    /// continues in place.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.points.len() {
+            let start = self.points[len].start;
+            self.points.truncate(len);
+            self.options.truncate(start);
+        }
+    }
+
+    /// Overwrites this log with the contents of `other`, reusing this
+    /// log's existing capacity (no allocation once grown). Used to copy a
+    /// forked run's log out of the session into a recycled per-run buffer.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.options.clone_from(&other.options);
+        self.points.clone_from(&other.points);
+    }
+
     /// The canonical index taken at every point — the full schedule of the
     /// run as a prefix that replays it exactly.
     pub fn taken_indices(&self) -> Vec<usize> {
@@ -164,8 +189,11 @@ pub struct ChoiceScheduler {
     prefer_noops: bool,
     /// Scratch for the canonical permutation, reused across picks so the
     /// model checker's millions of re-executions don't pay one allocation
-    /// per fired event.
-    canonical: Vec<usize>,
+    /// per fired event. Each element packs `(event id << 16) | pool index`
+    /// so the canonical sort compares plain integers instead of chasing
+    /// `pending[i].id` through the pool on every comparison; ids are
+    /// unique, so packed order equals id order.
+    canonical: Vec<u64>,
     log: Rc<RefCell<ChoiceLog>>,
 }
 
@@ -201,15 +229,33 @@ impl ChoiceScheduler {
     pub fn log_handle(&self) -> Rc<RefCell<ChoiceLog>> {
         Rc::clone(&self.log)
     }
+
+    /// Rewinds the scheduler onto a new prefix with `step` picks already
+    /// consumed, returning the previous prefix for buffer reuse.
+    ///
+    /// The forking executor's companion to [`ChoiceLog::truncate`]: after a
+    /// snapshot restore at depth `d`, the scheduler is handed the resumed
+    /// run's full prefix with `step = d`, so its next pick replays
+    /// `prefix[d]` as an in-prefix rank selection — exactly what a
+    /// from-the-root replay of the same prefix would do at that point. The
+    /// shared log is left untouched; truncate it separately.
+    pub fn rewind(&mut self, prefix: Vec<usize>, step: usize) -> Vec<usize> {
+        self.step = step;
+        std::mem::replace(&mut self.prefix, prefix)
+    }
 }
 
 impl Scheduler for ChoiceScheduler {
     fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
         let mut log = self.log.borrow_mut();
         let start = log.options.len();
+        debug_assert!(pending.len() < 1 << 16, "pool index must fit the packing");
         let canonical = &mut self.canonical;
         canonical.clear();
-        canonical.extend(0..pending.len());
+        canonical.extend(pending.iter().enumerate().map(|(i, m)| {
+            debug_assert!(m.id.as_u64() < 1 << 48, "event id must fit the packing");
+            (m.id.as_u64() << 16) | i as u64
+        }));
 
         let (taken, forced, idx) = if self.step < self.prefix.len() {
             // Replay fast path. The explorer only branches *beyond* the
@@ -218,17 +264,16 @@ impl Scheduler for ChoiceScheduler {
             // beyond the taken event itself, and no full sort is needed:
             // a rank selection finds the `prefix[step]`-th smallest id.
             let taken = self.prefix[self.step].min(pending.len() - 1);
-            let (_, &mut idx, _) =
-                canonical.select_nth_unstable_by_key(taken, |&i| pending[i].id);
-            (taken, false, idx)
+            let (_, &mut key, _) = canonical.select_nth_unstable(taken);
+            (taken, false, (key & 0xffff) as usize)
         } else {
             // Canonical order: pending indices sorted by event id. The
             // permutation lives in a reused scratch buffer, and the
             // options are appended directly to the flat log's arena — no
             // per-pick allocation anywhere on this path.
-            canonical.sort_unstable_by_key(|&i| pending[i].id);
-            log.options.extend(canonical.iter().map(|&i| {
-                let meta = pending[i];
+            canonical.sort_unstable();
+            log.options.extend(canonical.iter().map(|&key| {
+                let meta = pending[(key & 0xffff) as usize];
                 ChoiceOption {
                     meta,
                     noop: state.has_decided(meta.target) || state.has_crashed(meta.target),
@@ -243,7 +288,7 @@ impl Scheduler for ChoiceScheduler {
             } else {
                 (0, false)
             };
-            (taken, forced, canonical[taken])
+            (taken, forced, (canonical[taken] & 0xffff) as usize)
         };
         self.step += 1;
         log.points.push(PointRec {

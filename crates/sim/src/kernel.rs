@@ -372,6 +372,166 @@ impl<E> Kernel<E> {
     }
 }
 
+impl<E: Clone> Kernel<E> {
+    /// Captures the kernel's run-visible state — pending pool (metas,
+    /// payloads, cached hashes, running pool sum), virtual clock, id
+    /// counter, [`RunState`] and [`RunStats`] — so the run can later be
+    /// rewound to this exact point with [`Kernel::restore`]. The scheduler,
+    /// event hasher and event limit are configuration, not run state, and
+    /// are not captured: a snapshot must be restored into the kernel it was
+    /// taken from (or one configured identically), which is how the forking
+    /// model-checker executor uses it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if trace recording or metrics collection is enabled: those
+    /// accumulators are append-only histories that a rewind would silently
+    /// corrupt, and no forking caller needs them.
+    pub fn snapshot(&self) -> KernelSnapshot<E> {
+        assert!(
+            !self.trace.is_enabled() && self.metrics.is_none(),
+            "kernel snapshots require tracing and metrics to be disabled"
+        );
+        KernelSnapshot {
+            metas: self.metas.clone(),
+            payloads: self.payloads.clone(),
+            hashes: self.hashes.clone(),
+            payload_hashes: self.payload_hashes.clone(),
+            pool_sum: self.pool_sum,
+            state: self.state.clone(),
+            stats: self.stats,
+            time: self.time,
+            next_id: self.next_id,
+        }
+    }
+
+    /// In-place variant of [`Kernel::snapshot`]: overwrites `snap` with the
+    /// current run state, reusing its buffer capacity (`clone_from`). The
+    /// forking executor recycles dropped snapshots' buffers through a pool,
+    /// so in the steady state taking a snapshot allocates only what the
+    /// pooled buffers cannot hold.
+    ///
+    /// # Panics
+    ///
+    /// As [`Kernel::snapshot`]: tracing and metrics must be disabled.
+    pub fn snapshot_into(&self, snap: &mut KernelSnapshot<E>) {
+        assert!(
+            !self.trace.is_enabled() && self.metrics.is_none(),
+            "kernel snapshots require tracing and metrics to be disabled"
+        );
+        snap.metas.clone_from(&self.metas);
+        snap.payloads.clone_from(&self.payloads);
+        snap.hashes.clone_from(&self.hashes);
+        snap.payload_hashes.clone_from(&self.payload_hashes);
+        snap.pool_sum = self.pool_sum;
+        snap.state.clone_from(&self.state);
+        snap.stats = self.stats;
+        snap.time = self.time;
+        snap.next_id = self.next_id;
+    }
+
+    /// Rewinds the kernel to a previously captured [`KernelSnapshot`].
+    ///
+    /// Buffers are overwritten in place (`clone_from`), so in the steady
+    /// state a restore reuses the kernel's existing capacity and allocates
+    /// nothing. Determinism carries over: after a restore, the same
+    /// scheduler decisions reproduce the same fired events and the same
+    /// assigned event ids as the original execution did from this point.
+    pub fn restore(&mut self, snap: &KernelSnapshot<E>) {
+        self.metas.clone_from(&snap.metas);
+        self.payloads.clone_from(&snap.payloads);
+        self.hashes.clone_from(&snap.hashes);
+        self.payload_hashes.clone_from(&snap.payload_hashes);
+        self.pool_sum = snap.pool_sum;
+        self.state.clone_from(&snap.state);
+        self.stats = snap.stats;
+        self.time = snap.time;
+        self.next_id = snap.next_id;
+    }
+
+    /// [`Kernel::restore`] by exchange, for a snapshot the caller owns and
+    /// will not restore from again: buffer ownership swaps instead of
+    /// copying (the kernel adopts the snapshot's vectors, the snapshot
+    /// keeps the kernel's old ones for recycling), scalars copy over.
+    /// After the call `snap` holds unspecified pending-pool content and
+    /// must not be restored from.
+    pub fn restore_swap(&mut self, snap: &mut KernelSnapshot<E>) {
+        std::mem::swap(&mut self.metas, &mut snap.metas);
+        std::mem::swap(&mut self.payloads, &mut snap.payloads);
+        std::mem::swap(&mut self.hashes, &mut snap.hashes);
+        std::mem::swap(&mut self.payload_hashes, &mut snap.payload_hashes);
+        std::mem::swap(&mut self.state, &mut snap.state);
+        self.pool_sum = snap.pool_sum;
+        self.stats = snap.stats;
+        self.time = snap.time;
+        self.next_id = snap.next_id;
+    }
+}
+
+/// A point-in-time copy of a [`Kernel`]'s run state, created by
+/// [`Kernel::snapshot`] and re-installed by [`Kernel::restore`].
+///
+/// This is the kernel's share of a forked model-checker run: the pending
+/// event pool with its incremental digest caches, the virtual clock and id
+/// counter, the adversary-observable [`RunState`] and the [`RunStats`].
+pub struct KernelSnapshot<E> {
+    metas: Vec<EventMeta>,
+    payloads: Vec<E>,
+    hashes: Vec<u64>,
+    payload_hashes: Vec<u64>,
+    pool_sum: u64,
+    state: RunState,
+    stats: RunStats,
+    time: u64,
+    next_id: u64,
+}
+
+/// The empty snapshot: no pending events, zeroed clock and counters. Not a
+/// meaningful restore target — it exists as the seed value for snapshot
+/// buffer pools, to be overwritten via [`Kernel::snapshot_into`].
+impl<E> Default for KernelSnapshot<E> {
+    fn default() -> Self {
+        KernelSnapshot {
+            metas: Vec::new(),
+            payloads: Vec::new(),
+            hashes: Vec::new(),
+            payload_hashes: Vec::new(),
+            pool_sum: 0,
+            state: RunState::default(),
+            stats: RunStats::default(),
+            time: 0,
+            next_id: 0,
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for KernelSnapshot<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelSnapshot")
+            .field("pending", &self.metas.len())
+            .field("time", &self.time)
+            .finish()
+    }
+}
+
+impl<E> KernelSnapshot<E> {
+    /// Number of pending events captured.
+    pub fn pending_len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Approximate heap footprint of this snapshot in bytes, used by
+    /// snapshot-budget accounting. An estimate: payloads are counted at
+    /// their inline size (heap data owned *by* a payload is invisible
+    /// here), and the run-state vectors at their element sizes.
+    pub fn approx_bytes(&self) -> usize {
+        let per_event = std::mem::size_of::<EventMeta>() + std::mem::size_of::<E>() + 16;
+        std::mem::size_of::<Self>()
+            + self.metas.len() * per_event
+            + self.state.n() * (3 + std::mem::size_of::<u64>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,6 +69,7 @@ mod error;
 mod event;
 mod fifo_channels;
 mod fault;
+mod fork;
 mod gate;
 mod kernel;
 mod metrics;
@@ -87,8 +88,9 @@ pub use error::SimError;
 pub use event::{ChannelId, EventId, EventKind, EventMeta, ProcessId};
 pub use fifo_channels::ChannelFifo;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use fork::{AlwaysBranch, ForkConfig, ForkGate, ForkSession, RunSnapshot};
 pub use gate::{DelayRule, GatedScheduler, Until};
-pub use kernel::{EventHasher, Kernel};
+pub use kernel::{EventHasher, Kernel, KernelSnapshot};
 pub use metrics::{Histogram, MetricsConfig, ProcessMetrics, RunMetrics, HISTOGRAM_BUCKETS};
 pub use outcome::Outcome;
 pub use replay::{RecordingScheduler, ReplayScheduler};
@@ -97,6 +99,6 @@ pub use sched::{
     StarvationScheduler,
 };
 pub use state::RunState;
-pub use substrate::{CallInfo, ContextCore, Effect, Substrate, SubstrateDigest};
+pub use substrate::{CallInfo, ContextCore, Effect, Substrate, SubstrateDigest, SubstrateFork};
 pub use system::{DigestedRun, System};
 pub use trace::{RunStats, Trace, TraceEntry};

@@ -11,7 +11,7 @@ use crate::event::ProcessId;
 ///
 /// The runtime (in `kset-net` / `kset-shmem`) keeps it up to date as
 /// processes decide, crash, or halt.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct RunState {
     decided: Vec<bool>,
     crashed: Vec<bool>,

@@ -229,3 +229,28 @@ pub trait SubstrateDigest: Substrate {
         Self::digest_payload(payload, h);
     }
 }
+
+/// Fork hooks for substrates whose mid-run state can be snapshotted — what
+/// the forking model-checker executor (`crate::ForkSession`) builds on.
+///
+/// Forking a run means duplicating everything that evolves during it: the
+/// kernel's share (pending pool, clock, run state) is handled generically
+/// by [`crate::Kernel::snapshot`]; the substrate's share is its processes
+/// and its shared state, which only the substrate knows how to clone.
+///
+/// A separate trait (rather than `Clone` bounds on [`Substrate`]'s
+/// associated types) because processes are usually boxed trait objects:
+/// cloning one needs a virtual hook on the process trait, and a process
+/// without such a hook — a caller-supplied Byzantine strategy, say — must
+/// degrade the checker to replay execution, not fail to compile.
+pub trait SubstrateFork: SubstrateDigest {
+    /// Clones one process's protocol state, or `None` when this process
+    /// cannot be forked. A single unforkable process disables snapshotting
+    /// for the whole run (the forking executor falls back to replay), so
+    /// returning `None` is always safe — just slower.
+    fn fork_process(proc: &Self::Process) -> Option<Self::Process>;
+
+    /// Clones the substrate's shared state (the register store; `()` for
+    /// message passing).
+    fn fork_shared(shared: &Self::Shared) -> Self::Shared;
+}

@@ -27,7 +27,7 @@ pub type DigestedRun<S> = (
 /// Kernel payloads of a substrate-generic run: the universal start/step
 /// events plus whatever the substrate delivers.
 #[derive(Clone, Debug)]
-enum Payload<P> {
+pub(crate) enum Payload<P> {
     /// The process's initial step.
     Start,
     /// A requested spontaneous step.
@@ -268,7 +268,6 @@ impl System {
     where
         S::Output: StateDigest,
     {
-        let n = self.n;
         let mode = self.digest_mode;
         // Only the canonical digest reads the fault plan (for crash
         // budgets); don't pay the clone on the plain hot path.
@@ -285,29 +284,19 @@ impl System {
             arena,
             Some(event_hashes::<S>),
             |fired, kernel, procs, decisions, shared| {
-                // Only the dispatched process can have changed its protocol
-                // state or decision; every other cached component is current.
-                if proc_digests.is_empty() {
-                    proc_digests.extend(procs.iter().map(|p| S::digest_process(p)));
-                } else {
-                    proc_digests[fired.target] = S::digest_process(&procs[fired.target]);
-                }
-                let d = match mode {
-                    DigestMode::Plain => {
-                        plain_digest::<S>(n, &proc_digests, kernel, decisions, shared)
-                    }
-                    DigestMode::Canonical => canonical_digest::<S>(
-                        n,
-                        &proc_digests,
-                        kernel,
-                        decisions,
-                        shared,
-                        plan.as_ref().expect("cloned above for canonical mode"),
-                        &mut components,
-                        &mut sorted,
-                    ),
-                };
-                digests.push(d);
+                observe_digest::<S>(
+                    fired,
+                    kernel,
+                    procs,
+                    decisions,
+                    shared,
+                    mode,
+                    plan.as_ref(),
+                    &mut proc_digests,
+                    &mut digests,
+                    &mut components,
+                    &mut sorted,
+                );
             },
         );
 
@@ -444,71 +433,18 @@ impl System {
             let Some((meta, payload)) = kernel.next_checked()? else {
                 break;
             };
-            'event: {
-                let pid = meta.target;
-                if kernel.state().has_crashed(pid) {
-                    break 'event;
-                }
-                // A process's first step is always its `on_start`: if
-                // another event (an early delivery) reaches it before its
-                // explicit start event fired, start it lazily first. (In
-                // substrates where every non-start event at a process is
-                // caused by that process's own earlier actions — shared
-                // memory — the lazy branch never triggers.)
-                if !started[pid] {
-                    started[pid] = true;
-                    dispatch::<S, _>(
-                        &mut kernel,
-                        &mut procs,
-                        &mut decisions,
-                        &mut shared,
-                        &plan,
-                        n,
-                        pid,
-                        &mut buf,
-                        |p, sh, info, out| S::on_start(p, sh, info, out),
-                    )?;
-                    if matches!(payload, Payload::Start) {
-                        break 'event;
-                    }
-                    if kernel.state().has_crashed(pid) {
-                        break 'event;
-                    }
-                } else if matches!(payload, Payload::Start) {
-                    // Explicit start event arriving after a lazy start: spent.
-                    break 'event;
-                }
-                match payload {
-                    Payload::Start => unreachable!("start handled above"),
-                    Payload::Step => {
-                        dispatch::<S, _>(
-                            &mut kernel,
-                            &mut procs,
-                            &mut decisions,
-                            &mut shared,
-                            &plan,
-                            n,
-                            pid,
-                            &mut buf,
-                            |p, sh, info, out| S::on_step(p, sh, info, out),
-                        )?;
-                    }
-                    Payload::Sub(x) => {
-                        let source = meta.source;
-                        dispatch::<S, _>(
-                            &mut kernel,
-                            &mut procs,
-                            &mut decisions,
-                            &mut shared,
-                            &plan,
-                            n,
-                            pid,
-                            &mut buf,
-                            |p, sh, info, out| S::on_payload(p, x, source, sh, info, out),
-                        )?;
-                    }
-                }
-            }
+            step_event::<S>(
+                &mut kernel,
+                &meta,
+                payload,
+                &mut procs,
+                &mut decisions,
+                &mut shared,
+                &mut started,
+                &plan,
+                n,
+                &mut buf,
+            )?;
             observe(&meta, &kernel, &procs, &decisions, &shared);
         }
 
@@ -533,6 +469,137 @@ impl System {
         arena.payload_hashes = payload_hashes;
         Ok((outcome, shared))
     }
+}
+
+/// Handles one fired event end to end: crash filtering, lazy start, and
+/// dispatch of the appropriate callback. Shared verbatim by
+/// [`System::run_core`] and the forking executor (`crate::fork`), so the
+/// two agree on delivery semantics by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_event<S: Substrate>(
+    kernel: &mut Kernel<Payload<S::Payload>>,
+    meta: &EventMeta,
+    payload: Payload<S::Payload>,
+    procs: &mut [S::Process],
+    decisions: &mut [Option<S::Output>],
+    shared: &mut S::Shared,
+    started: &mut [bool],
+    plan: &FaultPlan,
+    n: usize,
+    buf: &mut Vec<S::Action>,
+) -> Result<(), SimError> {
+    let pid = meta.target;
+    if kernel.state().has_crashed(pid) {
+        return Ok(());
+    }
+    // A process's first step is always its `on_start`: if
+    // another event (an early delivery) reaches it before its
+    // explicit start event fired, start it lazily first. (In
+    // substrates where every non-start event at a process is
+    // caused by that process's own earlier actions — shared
+    // memory — the lazy branch never triggers.)
+    if !started[pid] {
+        started[pid] = true;
+        dispatch::<S, _>(
+            kernel,
+            procs,
+            decisions,
+            shared,
+            plan,
+            n,
+            pid,
+            buf,
+            |p, sh, info, out| S::on_start(p, sh, info, out),
+        )?;
+        if matches!(payload, Payload::Start) {
+            return Ok(());
+        }
+        if kernel.state().has_crashed(pid) {
+            return Ok(());
+        }
+    } else if matches!(payload, Payload::Start) {
+        // Explicit start event arriving after a lazy start: spent.
+        return Ok(());
+    }
+    match payload {
+        Payload::Start => unreachable!("start handled above"),
+        Payload::Step => {
+            dispatch::<S, _>(
+                kernel,
+                procs,
+                decisions,
+                shared,
+                plan,
+                n,
+                pid,
+                buf,
+                |p, sh, info, out| S::on_step(p, sh, info, out),
+            )?;
+        }
+        Payload::Sub(x) => {
+            let source = meta.source;
+            dispatch::<S, _>(
+                kernel,
+                procs,
+                decisions,
+                shared,
+                plan,
+                n,
+                pid,
+                buf,
+                |p, sh, info, out| S::on_payload(p, x, source, sh, info, out),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Maintains the incremental digest state after one fired event and pushes
+/// the resulting run digest: refreshes only the dispatched process's cached
+/// component (lazy-initializing the cache on the first event), then folds
+/// the per-mode fingerprint. Shared verbatim by [`System::run_digested_in`]
+/// and the forking executor, which restores `proc_digests` from snapshots
+/// and relies on this function's lazy-init/refresh split matching replay
+/// exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn observe_digest<S>(
+    fired: &EventMeta,
+    kernel: &Kernel<Payload<S::Payload>>,
+    procs: &[S::Process],
+    decisions: &[Option<S::Output>],
+    shared: &S::Shared,
+    mode: DigestMode,
+    plan: Option<&FaultPlan>,
+    proc_digests: &mut Vec<u64>,
+    digests: &mut Vec<u64>,
+    components: &mut Vec<u64>,
+    sorted: &mut Vec<u64>,
+) where
+    S: SubstrateDigest,
+    S::Output: StateDigest,
+{
+    let n = procs.len();
+    // Only the dispatched process can have changed its protocol
+    // state or decision; every other cached component is current.
+    if proc_digests.is_empty() {
+        proc_digests.extend(procs.iter().map(|p| S::digest_process(p)));
+    } else {
+        proc_digests[fired.target] = S::digest_process(&procs[fired.target]);
+    }
+    let d = match mode {
+        DigestMode::Plain => plain_digest::<S>(n, proc_digests, kernel, decisions, shared),
+        DigestMode::Canonical => canonical_digest::<S>(
+            n,
+            proc_digests,
+            kernel,
+            decisions,
+            shared,
+            plan.expect("canonical mode requires the fault plan"),
+            components,
+            sorted,
+        ),
+    };
+    digests.push(d);
 }
 
 /// Dispatches one callback to `pid` under its crash budget, then drains the
@@ -622,7 +689,10 @@ fn crash<P>(kernel: &mut Kernel<Payload<P>>, pid: ProcessId) {
 /// [`SubstrateDigest`] hooks ([`Fnv64`]); the event-level composition —
 /// target, source, payload-kind tag, payload hash — folds word-wise
 /// through [`Mix64`], since each part is already a word.
-fn event_hashes<S: SubstrateDigest>(meta: &EventMeta, payload: &Payload<S::Payload>) -> (u64, u64) {
+pub(crate) fn event_hashes<S: SubstrateDigest>(
+    meta: &EventMeta,
+    payload: &Payload<S::Payload>,
+) -> (u64, u64) {
     let mut eh = Mix64::new();
     eh.mix(meta.target as u64);
     match meta.source {
