@@ -117,6 +117,71 @@ fn subsets_of_size(
     }
 }
 
+/// Every bounded-Byzantine fault pattern with at most `t` faulty processes:
+/// one [`FaultPlan`] per subset of `{0, …, n-1}` of size `<= t` per
+/// assignment of each subset member to one of two behaviours —
+///
+/// * **Silent** ([`FaultSpec::Crash`] with budget 0): the process never
+///   takes a step. A Byzantine process may always act crashed, so the
+///   quantifier must cover silence explicitly — for several frontier cells
+///   the winning adversary strategy *is* to say nothing.
+/// * **Active** ([`FaultSpec::Byzantine`]): the process runs the normal
+///   protocol, but every delivery it sources is a deviation branch point
+///   for the scheduler (equivocation, value corruption, selective silence —
+///   see `kset_sim::DeviationPolicy`). The process itself needs no strategy
+///   object: the deviation space lives entirely in transit, which is what
+///   makes it finitely enumerable.
+///
+/// The order is deterministic — by subset size, then lexicographic subset,
+/// then assignment (binary counting, all-Silent first) — so checker run
+/// records are stable. The failure-free plan comes first. Callers with an
+/// *inactive* deviation policy (empty menu, no silence) should use
+/// [`all_silent_crash_patterns`] instead: with no deviations available an
+/// Active slot behaves exactly like a correct process, and the collapsed
+/// space is the crash checker's, verdict for verdict.
+///
+/// # Panics
+///
+/// Panics if `t > n`.
+pub fn all_byzantine_patterns(n: usize, t: usize) -> Vec<FaultPlan> {
+    assert!(t <= n, "cannot corrupt more processes than exist");
+    let mut patterns = Vec::new();
+    let mut subset: Vec<ProcessId> = Vec::new();
+    for size in 0..=t {
+        byz_subsets_of_size(n, size, 0, &mut subset, &mut patterns);
+    }
+    patterns
+}
+
+fn byz_subsets_of_size(
+    n: usize,
+    size: usize,
+    from: ProcessId,
+    subset: &mut Vec<ProcessId>,
+    out: &mut Vec<FaultPlan>,
+) {
+    if subset.len() == size {
+        for bits in 0..(1u64 << size) {
+            let mut plan = FaultPlan::all_correct(n);
+            for (i, &p) in subset.iter().enumerate() {
+                let spec = if bits & (1 << i) != 0 {
+                    FaultSpec::Byzantine
+                } else {
+                    FaultSpec::Crash { after_actions: 0 }
+                };
+                plan.set(p, spec);
+            }
+            out.push(plan);
+        }
+        return;
+    }
+    for p in from..n {
+        subset.push(p);
+        byz_subsets_of_size(n, size, p + 1, subset, out);
+        subset.pop();
+    }
+}
+
 /// A plan with exactly `t` Byzantine slots on the *first* `t` processes —
 /// the bulk fault pattern for Byzantine sweeps (the paper's constructions
 /// habitually corrupt a prefix).
@@ -211,5 +276,49 @@ mod tests {
         let plans = all_silent_crash_patterns(3, 0);
         assert_eq!(plans.len(), 1);
         assert!(plans[0].failure_free());
+    }
+
+    #[test]
+    fn all_silent_crash_patterns_never_contain_byzantine_slots() {
+        // The crash-pattern quantifier's contract: every plan it emits is
+        // consumable by crash-only helpers (silent-crash reconstruction,
+        // exhaustive cross-validation) without miscounting faults.
+        for plan in all_silent_crash_patterns(4, 2) {
+            assert!(!plan.has_byzantine());
+        }
+    }
+
+    #[test]
+    fn all_byzantine_patterns_enumerates_subsets_times_assignments() {
+        // n = 3, t = 1: failure-free + 3 subsets × {Silent, Active} = 7.
+        let plans = all_byzantine_patterns(3, 1);
+        assert_eq!(plans.len(), 7);
+        assert!(plans[0].failure_free());
+        // Per subset: all-Silent assignment first, then Active.
+        assert_eq!(plans[1].faulty_set(), vec![0]);
+        assert!(!plans[1].has_byzantine());
+        assert_eq!(plans[1].remaining_budget(0, 0), Some(0));
+        assert_eq!(plans[2].faulty_set(), vec![0]);
+        assert!(plans[2].has_byzantine());
+
+        // n = 3, t = 2: 1 + 3·2 + 3·4 = 19.
+        let plans = all_byzantine_patterns(3, 2);
+        assert_eq!(plans.len(), 19);
+        // The last plan: subset {1, 2}, both Active.
+        let last = plans.last().unwrap();
+        assert_eq!(last.faulty_set(), vec![1, 2]);
+        assert_eq!(last.spec(1).kind(), kset_sim::FaultKind::Byzantine);
+        assert_eq!(last.spec(2).kind(), kset_sim::FaultKind::Byzantine);
+    }
+
+    #[test]
+    fn all_byzantine_patterns_silent_assignments_match_crash_patterns() {
+        // Filtering the Byzantine space down to its all-Silent assignments
+        // recovers exactly the silent-crash quantifier, plan for plan.
+        let byz: Vec<_> = all_byzantine_patterns(4, 2)
+            .into_iter()
+            .filter(|p| !p.has_byzantine())
+            .collect();
+        assert_eq!(byz, all_silent_crash_patterns(4, 2));
     }
 }

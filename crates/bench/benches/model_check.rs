@@ -42,6 +42,7 @@ fn bench_single_schedule(c: &mut Criterion) {
                     &inputs,
                     1,
                     &plan,
+                    None,
                     &[],
                     true,
                     false,

@@ -16,7 +16,14 @@
 //! ```
 //!
 //! Flags for explicit cells: `--protocol {floodmin|a|b|e|f}`, `--n N`,
-//! `--k K`, `--t T`, `--validity {SV1|SV2|RV1|RV2|WV1|WV2}`. Bounds:
+//! `--k K`, `--t T`, `--validity {SV1|SV2|RV1|RV2|WV1|WV2}`. Adversary
+//! (defaults to the substrate's crash model): `--model
+//! {mp_crash|sm_crash|mp_byz|sm_byz|mp_lossy}`, `--byz-menu v1,v2,...`
+//! (the forgeable-value menu of each Byzantine slot), `--byz-silence`
+//! (Byzantine slots may also withhold deliveries), `--loss-budget N`
+//! (drops per run under `mp_lossy`), `--inputs v0,v1,...` (explicit
+//! proposal vector, e.g. an all-equal vector for validity frontiers).
+//! Bounds:
 //! `--depth D`, `--preemptions P`, `--max-runs R`, `--max-states S`.
 //! Parallelism: `--threads N` (`0`/`auto` = available parallelism, the
 //! default; every verdict, counter and counterexample byte is identical
@@ -57,9 +64,9 @@ use kset_experiments::campaign::{
     manifest::read_manifest, resume_campaign, run_campaign, CampaignOptions, CampaignOutcome,
 };
 use kset_experiments::checker::{
-    check_cell, cross_validate, parse_protocol, parse_validity, read_counterexample,
-    parse_fork_mode, replay_fired, to_run_records, write_counterexample, CellVerdict,
-    CheckerConfig, ForkMode,
+    check_cell, cross_validate, parse_adversary_model, parse_protocol, parse_validity,
+    read_counterexample, parse_fork_mode, replay_fired, to_run_records, write_counterexample,
+    AdversaryModel, CellVerdict, CheckerConfig, ForkMode,
 };
 use kset_experiments::exhaustive::QuorumProtocol;
 use kset_experiments::record_sink::JsonlSink;
@@ -70,6 +77,11 @@ struct Args {
     k: Option<usize>,
     t: Option<usize>,
     validity: Option<ValidityCondition>,
+    model: Option<AdversaryModel>,
+    byz_menu: Option<Vec<u64>>,
+    byz_silence: bool,
+    loss_budget: Option<u64>,
+    inputs: Option<Vec<u64>>,
     depth: Option<usize>,
     preemptions: Option<usize>,
     max_runs: Option<u64>,
@@ -100,6 +112,11 @@ fn parse_args() -> Args {
         k: None,
         t: None,
         validity: None,
+        model: None,
+        byz_menu: None,
+        byz_silence: false,
+        loss_budget: None,
+        inputs: None,
         depth: None,
         preemptions: None,
         max_runs: None,
@@ -139,6 +156,20 @@ fn parse_args() -> Args {
                 parsed.validity =
                     Some(parse_validity(&raw).unwrap_or_else(|| panic!("unknown validity {raw:?}")));
             }
+            "--model" => {
+                let raw = value("--model");
+                parsed.model = Some(parse_adversary_model(&raw).unwrap_or_else(|| {
+                    panic!("--model wants mp_crash|sm_crash|mp_byz|sm_byz|mp_lossy, got {raw:?}")
+                }));
+            }
+            "--byz-menu" => {
+                parsed.byz_menu = Some(parse_u64_list(&value("--byz-menu"), "--byz-menu"))
+            }
+            "--byz-silence" => parsed.byz_silence = true,
+            "--loss-budget" => {
+                parsed.loss_budget = Some(value("--loss-budget").parse().expect("--loss-budget"))
+            }
+            "--inputs" => parsed.inputs = Some(parse_u64_list(&value("--inputs"), "--inputs")),
             "--depth" => parsed.depth = Some(value("--depth").parse().expect("--depth")),
             "--preemptions" => {
                 parsed.preemptions = Some(value("--preemptions").parse().expect("--preemptions"))
@@ -197,6 +228,44 @@ fn parse_args() -> Args {
     parsed
 }
 
+fn parse_u64_list(raw: &str, flag: &str) -> Vec<u64> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|token| !token.is_empty())
+        .map(|token| {
+            token.parse().unwrap_or_else(|_| {
+                panic!("{flag} wants a comma-separated list of numbers, got {raw:?}")
+            })
+        })
+        .collect()
+}
+
+/// Applies the `--model`/`--byz-*`/`--loss-budget`/`--inputs` flags on
+/// top of the substrate-default crash adversary, then rejects
+/// inconsistent combinations (wrong substrate, Byzantine knobs under a
+/// crash model, ...) before any exploration starts.
+fn apply_adversary(cfg: &mut CheckerConfig, args: &Args) {
+    if let Some(model) = args.model {
+        cfg.adversary = model;
+    }
+    if let Some(menu) = &args.byz_menu {
+        cfg.byz_menu = menu.clone();
+    }
+    if args.byz_silence {
+        cfg.byz_silence = true;
+    }
+    if let Some(budget) = args.loss_budget {
+        cfg.loss_budget = budget;
+    }
+    if let Some(inputs) = &args.inputs {
+        cfg.inputs = Some(inputs.clone());
+    }
+    if let Err(message) = cfg.validate() {
+        eprintln!("model_check: invalid configuration: {message}");
+        std::process::exit(2);
+    }
+}
+
 fn apply_bounds(cfg: &mut CheckerConfig, args: &Args) {
     if let Some(d) = args.depth {
         cfg.depth = d;
@@ -225,7 +294,13 @@ fn apply_bounds(cfg: &mut CheckerConfig, args: &Args) {
 /// One timed cell for the `--bench-json` summary.
 struct BenchCell {
     label: String,
+    model: String,
     verdict: &'static str,
+    /// `true` when the exploration hit `max_runs`/`max_states` before
+    /// exhausting the schedule space: a bounded "holds" is *not* a
+    /// certification, and the JSON says so explicitly so the row cannot
+    /// be misread as one.
+    bounded: bool,
     patterns: usize,
     runs: u64,
     states: usize,
@@ -244,7 +319,9 @@ impl BenchCell {
                 cfg.validity,
                 cfg.n
             ),
+            model: cfg.adversary.to_string(),
             verdict: if verdict.holds() { "holds" } else { "violated" },
+            bounded: !verdict.complete,
             patterns: verdict.patterns.len(),
             runs: verdict.runs,
             states: verdict.patterns.iter().map(|p| p.states).sum(),
@@ -285,9 +362,11 @@ fn write_bench_json(
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"cell\": \"{}\", \"verdict\": \"{}\", \"patterns\": {}, \"runs\": {}, \"states\": {}, \"tasks\": {}, \"wall_s\": {:.3}, \"runs_per_s\": {:.0}}}{}\n",
+            "    {{\"cell\": \"{}\", \"model\": \"{}\", \"verdict\": \"{}\", \"bounded\": {}, \"patterns\": {}, \"runs\": {}, \"states\": {}, \"tasks\": {}, \"wall_s\": {:.3}, \"runs_per_s\": {:.0}}}{}\n",
             c.label,
+            c.model,
             c.verdict,
+            c.bounded,
             c.patterns,
             c.runs,
             c.states,
@@ -310,9 +389,17 @@ fn write_bench_json(
 }
 
 fn default_counterexample_path(cfg: &CheckerConfig) -> PathBuf {
+    // The lossy adversary shares `Model::MpCrash` for the figure-region
+    // lookup but must not collide with crash schedules on disk; the
+    // crash and Byzantine adversaries keep the historical region slugs.
+    let slug: &str = if cfg.adversary.is_lossy() {
+        cfg.adversary.slug()
+    } else {
+        kset_experiments::record_sink::model_slug(cfg.model())
+    };
     PathBuf::from("target/model_check").join(format!(
         "{}_{}_n{}k{}t{}_{}.schedule",
-        kset_experiments::record_sink::model_slug(cfg.model()),
+        slug,
         cfg.validity,
         cfg.n,
         cfg.k,
@@ -434,14 +521,16 @@ fn main() -> ExitCode {
         let saved = read_counterexample(path).expect("read counterexample");
         let (violation, divergences) = replay_fired(&saved);
         println!(
-            "replayed {} ({} at n={}, k={}, t={}, {}; crashed={:?}): {} divergence(s)",
+            "replayed {} ({} at n={}, k={}, t={}, {}; model={}; crashed={:?}; byzantine={:?}): {} divergence(s)",
             path.display(),
             saved.protocol.name(),
             saved.n,
             saved.k,
             saved.t,
             saved.validity,
+            saved.adversary,
             saved.counterexample.crashed,
+            saved.counterexample.byzantine,
             divergences,
         );
         return match violation {
@@ -475,6 +564,7 @@ fn main() -> ExitCode {
             let t = args.t.expect("--campaign-dir needs --t");
             let validity = args.validity.expect("--campaign-dir needs --validity");
             let mut cfg = CheckerConfig::new(protocol, n, k, t, validity);
+            apply_adversary(&mut cfg, &args);
             apply_bounds(&mut cfg, &args);
             cfg
         } else if args.resume {
@@ -560,20 +650,23 @@ fn main() -> ExitCode {
         let t = args.t.expect("--protocol needs --t");
         let validity = args.validity.expect("--protocol needs --validity");
         let mut cfg = CheckerConfig::new(protocol, n, k, t, validity);
+        apply_adversary(&mut cfg, &args);
         apply_bounds(&mut cfg, &args);
         let (ok, _) = run_cell(&cfg, &args, None, &mut bench);
         report_bench(&bench, cfg.threads, cfg.fork);
         return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
-    // Certification runs: a solvable cell verified exhaustively and
-    // cross-validated, then a just-outside cell where a violating schedule
-    // must exist, be shrunk, and replay deterministically.
+    // Certification runs: a solvable crash cell verified exhaustively and
+    // cross-validated, a just-outside crash cell where a violating
+    // schedule must exist, be shrunk, and replay deterministically, then
+    // one cell on each side of a Byzantine frontier (MP and SM) with the
+    // replay of the emitted deviation script as the oracle.
     let (n_holds, n_viol) = if args.smoke { (3, 3) } else { (4, 4) };
     let mut ok = true;
 
     println!("=== model_check: systematic schedule exploration of the real kernel ===\n");
-    println!("[1/2] solvable cell (FloodMin, t < k — Lemma 3.1):");
+    println!("[1/4] solvable crash cell (FloodMin, t < k — Lemma 3.1):");
     let mut holds_cfg = CheckerConfig::new(
         QuorumProtocol::FloodMin,
         n_holds,
@@ -586,7 +679,7 @@ fn main() -> ExitCode {
     ok &= cell_ok;
     ok &= run_cross_validation(&holds_cfg, &verdict);
 
-    println!("\n[2/2] unsolvable cell (FloodMin, t >= k — outside Lemma 3.1):");
+    println!("\n[2/4] unsolvable crash cell (FloodMin, t >= k — outside Lemma 3.1):");
     let mut viol_cfg = CheckerConfig::new(
         QuorumProtocol::FloodMin,
         n_viol,
@@ -596,7 +689,34 @@ fn main() -> ExitCode {
     );
     apply_bounds(&mut viol_cfg, &args);
     ok &= run_cell(&viol_cfg, &args, Some(false), &mut bench).0;
-    report_bench(&bench, viol_cfg.threads, viol_cfg.fork);
+
+    // One Byzantine slot with a zero-forging menu against RV1 on
+    // all-equal inputs: every correct process must decide the proposed 1,
+    // but a forged 0 drags FloodMin's minimum down — SC(1-set consensus,
+    // RV1) is violated for any t >= 1 in MP/Byz (Lemma 3.10).
+    println!("\n[3/4] unsolvable Byzantine MP cell (FloodMin under mp_byz — Lemma 3.10):");
+    let mut mp_byz_cfg =
+        CheckerConfig::new(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+    mp_byz_cfg.adversary = AdversaryModel::MpByz;
+    mp_byz_cfg.byz_menu = vec![0];
+    mp_byz_cfg.byz_silence = true;
+    mp_byz_cfg.inputs = Some(vec![1, 1, 1]);
+    apply_bounds(&mut mp_byz_cfg, &args);
+    ok &= run_cell(&mp_byz_cfg, &args, Some(false), &mut bench).0;
+
+    // Protocol E under weak validity tolerates any number of Byzantine
+    // registers for k >= 2 (Lemma 4.10): WV2 only binds when *all*
+    // processes are correct, so forged reads cannot manufacture a
+    // violation.
+    println!("\n[4/4] solvable Byzantine SM cell (Protocol E under sm_byz — Lemma 4.10):");
+    let mut sm_byz_cfg =
+        CheckerConfig::new(QuorumProtocol::ProtocolE, 3, 2, 2, ValidityCondition::WV2);
+    sm_byz_cfg.adversary = AdversaryModel::SmByz;
+    sm_byz_cfg.byz_menu = vec![0];
+    sm_byz_cfg.inputs = Some(vec![1, 1, 1]);
+    apply_bounds(&mut sm_byz_cfg, &args);
+    ok &= run_cell(&sm_byz_cfg, &args, Some(true), &mut bench).0;
+    report_bench(&bench, sm_byz_cfg.threads, sm_byz_cfg.fork);
 
     println!(
         "\n{}",

@@ -21,7 +21,9 @@ use std::path::{Path, PathBuf};
 
 use std::collections::HashMap;
 
-use crate::checker::{parse_protocol, parse_validity, CheckerConfig};
+use crate::checker::{
+    parse_adversary_model, parse_protocol, parse_validity, AdversaryModel, CheckerConfig,
+};
 use crate::exhaustive::QuorumProtocol;
 use kset_core::ValidityCondition;
 
@@ -97,6 +99,16 @@ pub struct Manifest {
     pub dedup: bool,
     /// Shard count of the visited store, fixed at creation.
     pub shards: usize,
+    /// Adversary model of the cell.
+    pub adversary: AdversaryModel,
+    /// Byzantine forged-value menu (empty for crash/lossy adversaries).
+    pub byz_menu: Vec<u64>,
+    /// Whether selective silence is in the Byzantine behaviour space.
+    pub byz_silence: bool,
+    /// Per-run drop budget of the lossy adversary.
+    pub loss_budget: u64,
+    /// Input override (`None` = canonical inputs).
+    pub inputs: Option<Vec<u64>>,
     /// FNV-1a digest of the exploration-relevant configuration
     /// ([`config_digest`]); resume refuses a mismatch.
     pub config_digest: u64,
@@ -136,7 +148,7 @@ pub struct Manifest {
 /// be resumed with a different `--threads`, `--fork-mode`, `--progress`,
 /// or `--checkpoint-every` and still produce bit-identical results.
 pub fn config_digest(cfg: &CheckerConfig) -> u64 {
-    let text = format!(
+    let mut text = format!(
         "protocol={};n={};k={};t={};validity={};symmetry={};depth={};preemptions={};max_runs={};max_states={};por={};dedup={}",
         cfg.protocol.name(),
         cfg.n,
@@ -151,7 +163,31 @@ pub fn config_digest(cfg: &CheckerConfig) -> u64 {
         cfg.por,
         cfg.dedup,
     );
+    // The adversary space widens the digest *append-only and only when it
+    // differs from the substrate-default crash adversary*: a crash-model
+    // campaign's digest string — and with it every checkpoint recorded
+    // before adversary models existed — is bit-for-bit unchanged.
+    if adversary_is_non_default(cfg) {
+        text.push_str(&format!(
+            ";model={};byz_menu={:?};byz_silence={};loss_budget={}",
+            cfg.adversary, cfg.byz_menu, cfg.byz_silence, cfg.loss_budget,
+        ));
+    }
+    if let Some(inputs) = &cfg.inputs {
+        text.push_str(&format!(";inputs={inputs:?}"));
+    }
     fnv1a(text.as_bytes())
+}
+
+/// Whether `cfg`'s adversary differs from the protocol substrate's
+/// default crash adversary (the pre-adversary-model behaviour).
+fn adversary_is_non_default(cfg: &CheckerConfig) -> bool {
+    cfg.adversary
+        != if cfg.protocol.shared_memory() {
+            AdversaryModel::SmCrash
+        } else {
+            AdversaryModel::MpCrash
+        }
 }
 
 impl Manifest {
@@ -172,6 +208,11 @@ impl Manifest {
             por: cfg.por,
             dedup: cfg.dedup,
             shards,
+            adversary: cfg.adversary,
+            byz_menu: cfg.byz_menu.clone(),
+            byz_silence: cfg.byz_silence,
+            loss_budget: cfg.loss_budget,
+            inputs: cfg.inputs.clone(),
             config_digest: config_digest(cfg),
             status: CampaignStatus::Running,
             resumes: 0,
@@ -202,6 +243,11 @@ impl Manifest {
         cfg.max_states = self.max_states;
         cfg.por = self.por;
         cfg.dedup = self.dedup;
+        cfg.adversary = self.adversary;
+        cfg.byz_menu = self.byz_menu.clone();
+        cfg.byz_silence = self.byz_silence;
+        cfg.loss_budget = self.loss_budget;
+        cfg.inputs = self.inputs.clone();
         cfg
     }
 }
@@ -240,6 +286,41 @@ pub fn write_manifest(dir: &Path, manifest: &Manifest) -> io::Result<()> {
     writeln!(out, "por: {}", manifest.por)?;
     writeln!(out, "dedup: {}", manifest.dedup)?;
     writeln!(out, "shards: {}", manifest.shards)?;
+    // Adversary-space fields are written only when they deviate from the
+    // crash-model defaults, so crash-campaign manifests keep the exact
+    // field set (and bytes) earlier builds wrote; readers default the
+    // absent keys. The manifest version therefore stays at v1.
+    let default_crash = matches!(
+        manifest.adversary,
+        AdversaryModel::MpCrash | AdversaryModel::SmCrash
+    );
+    if !default_crash {
+        writeln!(out, "model: {}", manifest.adversary)?;
+    }
+    if !manifest.byz_menu.is_empty() {
+        writeln!(
+            out,
+            "byz_menu:{}",
+            manifest
+                .byz_menu
+                .iter()
+                .map(|v| format!(" {v}"))
+                .collect::<String>()
+        )?;
+    }
+    if manifest.byz_silence {
+        writeln!(out, "byz_silence: true")?;
+    }
+    if manifest.loss_budget != 0 {
+        writeln!(out, "loss_budget: {}", manifest.loss_budget)?;
+    }
+    if let Some(inputs) = &manifest.inputs {
+        writeln!(
+            out,
+            "inputs:{}",
+            inputs.iter().map(|v| format!(" {v}")).collect::<String>()
+        )?;
+    }
     writeln!(out, "config_digest: {:016x}", manifest.config_digest)?;
     writeln!(out, "status: {}", manifest.status)?;
     writeln!(out, "resumes: {}", manifest.resumes)?;
@@ -333,6 +414,46 @@ pub fn read_manifest(dir: &Path) -> io::Result<Manifest> {
         .map_err(|e| bad(format!("bad config_digest: {e}")))?;
     let status = CampaignStatus::parse(field("status")?)
         .ok_or_else(|| bad(format!("unknown status {:?}", fields["status"])))?;
+    // Optional adversary-space fields (absent in crash-model manifests).
+    let adversary = match fields.get("model") {
+        None => {
+            if protocol.shared_memory() {
+                AdversaryModel::SmCrash
+            } else {
+                AdversaryModel::MpCrash
+            }
+        }
+        Some(value) => parse_adversary_model(value)
+            .ok_or_else(|| bad(format!("unknown adversary model {value:?}")))?,
+    };
+    let byz_menu = match fields.get("byz_menu") {
+        None => Vec::new(),
+        Some(value) => value
+            .split_whitespace()
+            .map(|w| w.parse().map_err(|e| bad(format!("bad byz_menu: {e}"))))
+            .collect::<io::Result<Vec<u64>>>()?,
+    };
+    let byz_silence = match fields.get("byz_silence") {
+        None => false,
+        Some(value) => value
+            .parse()
+            .map_err(|e| bad(format!("bad byz_silence: {e}")))?,
+    };
+    let loss_budget = match fields.get("loss_budget") {
+        None => 0,
+        Some(value) => value
+            .parse()
+            .map_err(|e| bad(format!("bad loss_budget: {e}")))?,
+    };
+    let inputs = match fields.get("inputs") {
+        None => None,
+        Some(value) => Some(
+            value
+                .split_whitespace()
+                .map(|w| w.parse().map_err(|e| bad(format!("bad inputs: {e}"))))
+                .collect::<io::Result<Vec<u64>>>()?,
+        ),
+    };
     Ok(Manifest {
         protocol,
         n: num("n")? as usize,
@@ -347,6 +468,11 @@ pub fn read_manifest(dir: &Path) -> io::Result<Manifest> {
         por: flag("por")?,
         dedup: flag("dedup")?,
         shards: num("shards")? as usize,
+        adversary,
+        byz_menu,
+        byz_silence,
+        loss_budget,
+        inputs,
         config_digest,
         status,
         resumes: num("resumes")?,
@@ -440,6 +566,42 @@ mod tests {
         let mut other = base.clone();
         other.protocol = QuorumProtocol::ProtocolA;
         assert_ne!(config_digest(&other), d0);
+    }
+
+    #[test]
+    fn byzantine_manifest_round_trips_and_widens_the_digest() {
+        let mut cfg = CheckerConfig::new(
+            QuorumProtocol::FloodMin,
+            3,
+            2,
+            1,
+            ValidityCondition::RV1,
+        );
+        let crash_digest = config_digest(&cfg);
+        cfg.adversary = AdversaryModel::MpByz;
+        cfg.byz_menu = vec![0];
+        cfg.byz_silence = true;
+        cfg.inputs = Some(vec![1, 1, 1]);
+        // The adversary space is exploration-relevant: the digest moves.
+        assert_ne!(config_digest(&cfg), crash_digest);
+        let mut menu = cfg.clone();
+        menu.byz_menu = vec![0, 2];
+        assert_ne!(config_digest(&menu), config_digest(&cfg));
+
+        let dir = std::env::temp_dir()
+            .join(format!("kset_manifest_byz_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest::new(&cfg, 4);
+        write_manifest(&dir, &manifest).unwrap();
+        let back = read_manifest(&dir).unwrap();
+        assert_eq!(back.adversary, AdversaryModel::MpByz);
+        assert_eq!(back.byz_menu, vec![0]);
+        assert!(back.byz_silence);
+        assert_eq!(back.inputs, Some(vec![1, 1, 1]));
+        // `--resume` reconstruction carries the adversary space.
+        assert_eq!(config_digest(&back.checker_config()), manifest.config_digest);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

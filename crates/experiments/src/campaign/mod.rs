@@ -43,12 +43,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use kset_adversary::plans::all_silent_crash_patterns;
 use kset_core::ProblemSpec;
 
 use crate::checker::{
-    canonical_inputs, shrink_counterexample, CellVerdict, CheckerConfig, PatternState,
-    PatternVerdict,
+    shrink_counterexample, CellVerdict, CheckerConfig, PatternState, PatternVerdict,
 };
 use crate::checker::{drain_pattern, seed_pattern};
 use crate::engine::{DrainExit, WaveControl};
@@ -120,6 +118,12 @@ pub fn run_campaign(
     dir: &Path,
     opts: &CampaignOptions,
 ) -> io::Result<CampaignOutcome> {
+    if let Err(message) = cfg.validate() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid checker configuration: {message}"),
+        ));
+    }
     if manifest_path(dir).exists() {
         return Err(io::Error::new(
             io::ErrorKind::AlreadyExists,
@@ -158,6 +162,12 @@ pub fn resume_campaign(
     dir: &Path,
     opts: &CampaignOptions,
 ) -> io::Result<CampaignOutcome> {
+    if let Err(message) = cfg.validate() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid checker configuration: {message}"),
+        ));
+    }
     let mut manifest = read_manifest(dir)?;
     let digest = config_digest(cfg);
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
@@ -322,10 +332,14 @@ fn drive(
     mut in_progress: Option<PatternState>,
     mut last_checkpoint_runs: u64,
 ) -> io::Result<CampaignOutcome> {
-    let inputs = canonical_inputs(cfg.n);
+    let inputs = cfg.cell_inputs();
     let spec = ProblemSpec::new(cfg.n, cfg.k, cfg.t, cfg.validity)
         .expect("campaign cell coordinates are valid");
-    let plans = all_silent_crash_patterns(cfg.n, cfg.t);
+    // The adversary's own pattern enumeration: Byzantine assignments when
+    // the behaviour space is active, silent-crash subsets otherwise —
+    // seed/drain/shrink derive each pattern's deviation policy from
+    // `cfg` internally, so the campaign loop is adversary-agnostic.
+    let plans = cfg.fault_plans();
     let digest = manifest.config_digest;
     let mut session_checkpoints = 0u64;
 

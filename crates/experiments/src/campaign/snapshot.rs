@@ -20,7 +20,7 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
-use kset_sim::EventId;
+use kset_sim::{Deviation, EventId};
 
 use crate::checker::{Counterexample, PatternState, PatternVerdict, SleepEntry, WorkItem};
 
@@ -30,8 +30,10 @@ use super::store::{fnv1a, put_u64, take_u64};
 const MAGIC: &[u8; 8] = b"KSETCKPT";
 
 /// Current snapshot format version. Bump on any layout change; readers
-/// reject other versions rather than guessing.
-pub(crate) const SNAPSHOT_VERSION: u64 = 1;
+/// reject other versions rather than guessing. v2 added the Byzantine
+/// slot list and per-fired-event deviations to serialized
+/// counterexamples (the adversary-model work).
+pub(crate) const SNAPSHOT_VERSION: u64 = 2;
 
 /// File name of the current snapshot inside a campaign directory.
 pub(crate) const SNAPSHOT_FILE: &str = "snapshot.bin";
@@ -48,8 +50,8 @@ pub(crate) struct Snapshot {
     /// Durable byte count of each shard's current-generation log. The
     /// vector length is the campaign's shard count.
     pub(crate) watermarks: Vec<u64>,
-    /// Verdicts of the crash patterns finished so far, in
-    /// [`kset_adversary::plans::all_silent_crash_patterns`] order.
+    /// Verdicts of the fault patterns finished so far, in
+    /// [`crate::checker::CheckerConfig::fault_plans`] order.
     pub(crate) patterns_done: Vec<PatternVerdict>,
     /// The in-progress pattern's accumulated verdict and outstanding task
     /// queue; `None` at a pattern boundary (the next pattern re-seeds).
@@ -220,10 +222,18 @@ fn encode_verdict(out: &mut Vec<u8>, verdict: &PatternVerdict) {
         Some(ce) => {
             put_u64(out, 1);
             put_usize_list(out, &ce.crashed);
+            put_usize_list(out, &ce.byzantine);
             put_usize_list(out, &ce.choices);
             put_u64(out, ce.fired.len() as u64);
-            for id in &ce.fired {
+            for (id, deviation) in &ce.fired {
                 put_u64(out, id.as_u64());
+                let (tag, payload) = match deviation {
+                    Deviation::Faithful => (0, 0),
+                    Deviation::Forge(v) => (1, *v),
+                    Deviation::Drop => (2, 0),
+                };
+                put_u64(out, tag);
+                put_u64(out, payload);
             }
             let msg = ce.violation.as_bytes();
             put_u64(out, msg.len() as u64);
@@ -245,11 +255,21 @@ fn decode_verdict(bytes: &[u8], at: &mut usize) -> Option<PatternVerdict> {
         0 => None,
         _ => {
             let ce_crashed = take_usize_list(bytes, at)?;
+            let ce_byzantine = take_usize_list(bytes, at)?;
             let choices = take_usize_list(bytes, at)?;
             let fired_len = take_u64(bytes, at)? as usize;
             let mut fired = Vec::with_capacity(fired_len);
             for _ in 0..fired_len {
-                fired.push(EventId::from_u64(take_u64(bytes, at)?));
+                let id = EventId::from_u64(take_u64(bytes, at)?);
+                let tag = take_u64(bytes, at)?;
+                let payload = take_u64(bytes, at)?;
+                let deviation = match tag {
+                    0 => Deviation::Faithful,
+                    1 => Deviation::Forge(payload),
+                    2 => Deviation::Drop,
+                    _ => return None,
+                };
+                fired.push((id, deviation));
             }
             let msg_len = take_u64(bytes, at)? as usize;
             let end = at.checked_add(msg_len)?;
@@ -257,6 +277,7 @@ fn decode_verdict(bytes: &[u8], at: &mut usize) -> Option<PatternVerdict> {
             *at = end;
             Some(Counterexample {
                 crashed: ce_crashed,
+                byzantine: ce_byzantine,
                 choices,
                 fired,
                 violation: String::from_utf8(msg.to_vec()).ok()?,
@@ -322,8 +343,13 @@ mod tests {
             tasks: 4,
             violation: Some(Counterexample {
                 crashed: vec![0, 2],
+                byzantine: vec![1],
                 choices: vec![3, 0, 1],
-                fired: vec![EventId::from_u64(9), EventId::from_u64(4)],
+                fired: vec![
+                    (EventId::from_u64(9), Deviation::Forge(7)),
+                    (EventId::from_u64(4), Deviation::Faithful),
+                    (EventId::from_u64(2), Deviation::Drop),
+                ],
                 violation: "agreement violated: 3 > 2 distinct values".to_string(),
             }),
         };

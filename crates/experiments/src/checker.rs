@@ -106,16 +106,16 @@ use std::rc::Rc;
 use crate::campaign::store::CampaignStore;
 use crate::engine::{DrainExit, WaveControl};
 
-use kset_adversary::plans::all_silent_crash_patterns;
+use kset_adversary::plans::{all_byzantine_patterns, all_silent_crash_patterns};
 use kset_core::{ProblemSpec, ValidityCondition};
 use kset_net::{DynMpProcess, MpSubstrate};
 use kset_protocols::{FloodMin, ProtocolA, ProtocolB, ProtocolE, ProtocolF};
 use kset_regions::Model;
 use kset_shmem::{DynSmProcess, SmSubstrate};
 use kset_sim::{
-    ChoiceLog, ChoiceScheduler, DigestMode, EventId, FaultPlan, ForkConfig, ForkGate,
-    ForkSession, MetricsConfig, ProcessId, RunArena, RunMetrics, RunSnapshot, RunStats,
-    SimError, SubstrateFork, System,
+    ChoiceLog, ChoiceScheduler, Deviation, DeviationPolicy, DigestMode, EventId, FaultKind,
+    FaultPlan, FaultSpec, ForkConfig, ForkGate, ForkSession, MetricsConfig, ProcessId, RunArena,
+    RunMetrics, RunSnapshot, RunStats, SimError, SubstrateFork, System,
 };
 
 use crate::cells::DEFAULT_VALUE;
@@ -183,6 +183,31 @@ pub struct CheckerConfig {
     /// verdicts, counters and counterexample bytes are identical for
     /// every value (pinned by `tests/fork_parity.rs`).
     pub fork: ForkMode,
+    /// The adversary the cell is certified against — which fault patterns
+    /// are quantified and which in-transit deviations each pattern may
+    /// apply (see [`AdversaryModel`]). Must match the protocol's
+    /// substrate; [`CheckerConfig::validate`] rejects mismatches.
+    pub adversary: AdversaryModel,
+    /// The forged-value menu of a Byzantine adversary: every value a
+    /// Byzantine-sourced delivery may be corrupted to. Each menu entry
+    /// multiplies the branch factor of every Byzantine-sourced event, so
+    /// keep it to the values the protocol can actually distinguish
+    /// (for the canonical inputs, a subset of them). Empty menu + no
+    /// silence collapses the behaviour space to crash-only.
+    pub byz_menu: Vec<u64>,
+    /// Whether a Byzantine process may additionally *withhold* any of its
+    /// messages (selective silence) — one extra `drop` branch per
+    /// Byzantine-sourced delivery.
+    pub byz_silence: bool,
+    /// Message-drop budget of the lossy-network adversary: the scheduler
+    /// may drop up to this many deliveries per run, each drop an extra
+    /// branch point. `0` disables loss.
+    pub loss_budget: u64,
+    /// Override for the run inputs; `None` means [`canonical_inputs`].
+    /// Byzantine frontiers are input-sensitive (an all-equal vector pins
+    /// down validity where all-distinct inputs leave it vacuous), so the
+    /// certification cells below set this explicitly.
+    pub inputs: Option<Vec<u64>>,
 }
 
 /// Execution strategy for reaching a work item's branch point — see
@@ -230,6 +255,84 @@ pub fn parse_fork_mode(arg: &str) -> Option<ForkMode> {
     })
 }
 
+/// The adversary a cell is certified against.
+///
+/// The crash adversaries quantify over
+/// [`all_silent_crash_patterns`]; the Byzantine adversaries over
+/// [`all_byzantine_patterns`], with each Byzantine slot's in-transit
+/// behaviour (forged values from [`CheckerConfig::byz_menu`], selective
+/// silence) an extra branch point of every schedule; the lossy adversary
+/// keeps the crash pattern space but lets the scheduler drop up to
+/// [`CheckerConfig::loss_budget`] deliveries per run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdversaryModel {
+    /// Message passing, at most `t` silent crashes (the paper's Section 3
+    /// crash model; the default for MP protocols).
+    MpCrash,
+    /// Shared memory, at most `t` silent crashes (Section 4; the default
+    /// for SM protocols).
+    SmCrash,
+    /// Message passing, at most `t` Byzantine processes whose outgoing
+    /// messages may be forged or withheld in transit (Section 3's
+    /// Byzantine rows — Lemmas 3.10–3.13).
+    MpByz,
+    /// Shared memory, at most `t` Byzantine processes whose register
+    /// reads may surface forged values (Section 4's Byzantine rows —
+    /// Lemmas 4.9–4.10).
+    SmByz,
+    /// Message passing with silent crashes *and* a bounded number of
+    /// message drops per run — the lossy-network variant.
+    MpLossy,
+}
+
+impl AdversaryModel {
+    /// Whether this adversary lives on the shared-memory substrate.
+    pub fn shared_memory(&self) -> bool {
+        matches!(self, AdversaryModel::SmCrash | AdversaryModel::SmByz)
+    }
+
+    /// Whether the fault-pattern space contains Byzantine slots.
+    pub fn is_byzantine(&self) -> bool {
+        matches!(self, AdversaryModel::MpByz | AdversaryModel::SmByz)
+    }
+
+    /// Whether the scheduler may drop deliveries outright.
+    pub fn is_lossy(&self) -> bool {
+        matches!(self, AdversaryModel::MpLossy)
+    }
+
+    /// The stable slug used in file names, bench JSON and CLI parsing.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AdversaryModel::MpCrash => "mp_crash",
+            AdversaryModel::SmCrash => "sm_crash",
+            AdversaryModel::MpByz => "mp_byz",
+            AdversaryModel::SmByz => "sm_byz",
+            AdversaryModel::MpLossy => "mp_lossy",
+        }
+    }
+}
+
+impl fmt::Display for AdversaryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// Parses an adversary model as accepted by the `model_check` binary's
+/// `--model` flag (the slugs of [`AdversaryModel::slug`],
+/// case-insensitive).
+pub fn parse_adversary_model(arg: &str) -> Option<AdversaryModel> {
+    Some(match arg.trim().to_ascii_lowercase().as_str() {
+        "mp_crash" => AdversaryModel::MpCrash,
+        "sm_crash" => AdversaryModel::SmCrash,
+        "mp_byz" => AdversaryModel::MpByz,
+        "sm_byz" => AdversaryModel::SmByz,
+        "mp_lossy" => AdversaryModel::MpLossy,
+        _ => return None,
+    })
+}
+
 impl CheckerConfig {
     /// A configuration with effectively unbounded exploration (the
     /// practical limits `max_runs`/`max_states` still apply), partial-order
@@ -259,15 +362,128 @@ impl CheckerConfig {
             progress: None,
             threads: crate::engine::available_threads(),
             fork: ForkMode::Auto,
+            adversary: if protocol.shared_memory() {
+                AdversaryModel::SmCrash
+            } else {
+                AdversaryModel::MpCrash
+            },
+            byz_menu: Vec::new(),
+            byz_silence: false,
+            loss_budget: 0,
+            inputs: None,
         }
     }
 
-    /// The model the cell lives in (silent crashes on either substrate).
+    /// The paper-region model the configured adversary certifies against.
+    /// The lossy variant keeps the crash model's region bookkeeping: it
+    /// is the crash adversary over an unreliable network, and the
+    /// [`kset_regions::Model`] taxonomy has no separate row for it.
     pub fn model(&self) -> Model {
-        if self.protocol.shared_memory() {
-            Model::SmCrash
+        match self.adversary {
+            AdversaryModel::MpCrash | AdversaryModel::MpLossy => Model::MpCrash,
+            AdversaryModel::SmCrash => Model::SmCrash,
+            AdversaryModel::MpByz => Model::MpByzantine,
+            AdversaryModel::SmByz => Model::SmByzantine,
+        }
+    }
+
+    /// Rejects configurations whose verdict would be *about the wrong
+    /// model*: a substrate mismatch between adversary and protocol, a
+    /// Byzantine behaviour menu under a non-Byzantine adversary (it would
+    /// silently never branch), a loss budget under a loss-free adversary,
+    /// or an input vector of the wrong length. [`check_cell`] treats any
+    /// of these as a hard error — certifying under a model the caller did
+    /// not ask for is precisely the failure mode this guards against.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.adversary.shared_memory() != self.protocol.shared_memory() {
+            return Err(format!(
+                "adversary model {} runs on the {} substrate but protocol {} is {}; \
+                 pick a matching --model",
+                self.adversary,
+                if self.adversary.shared_memory() { "shared-memory" } else { "message-passing" },
+                self.protocol.name(),
+                if self.protocol.shared_memory() { "shared-memory" } else { "message-passing" },
+            ));
+        }
+        if !self.adversary.is_byzantine() && (!self.byz_menu.is_empty() || self.byz_silence) {
+            return Err(format!(
+                "Byzantine behaviour space (menu {:?}, silence {}) configured under \
+                 non-Byzantine adversary {}; it would never apply",
+                self.byz_menu, self.byz_silence, self.adversary,
+            ));
+        }
+        if !self.adversary.is_lossy() && self.loss_budget > 0 {
+            return Err(format!(
+                "loss budget {} configured under loss-free adversary {}",
+                self.loss_budget, self.adversary,
+            ));
+        }
+        if let Some(inputs) = &self.inputs {
+            if inputs.len() != self.n {
+                return Err(format!(
+                    "inputs {:?} has length {} but n = {}",
+                    inputs,
+                    inputs.len(),
+                    self.n,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The input vector the cell runs with: the explicit override, or the
+    /// canonical all-distinct vector.
+    pub fn cell_inputs(&self) -> Vec<u64> {
+        self.inputs
+            .clone()
+            .unwrap_or_else(|| canonical_inputs(self.n))
+    }
+
+    /// The deviation policy of the configured adversary, `None` when the
+    /// behaviour space is empty (crash adversaries, or a Byzantine/lossy
+    /// adversary with no menu, no silence and no budget — which by design
+    /// collapses to the crash-only checker, bit for bit).
+    pub fn deviation_policy(&self) -> Option<DeviationPolicy> {
+        let policy = if self.adversary.is_byzantine() {
+            DeviationPolicy::byzantine(self.byz_menu.clone(), self.byz_silence)
+        } else if self.adversary.is_lossy() {
+            DeviationPolicy::lossy(self.loss_budget)
         } else {
-            Model::MpCrash
+            return None;
+        };
+        policy.is_active().then_some(policy)
+    }
+
+    /// The deviation policy *one pattern's* exploration runs under: the
+    /// cell policy, dropped entirely for Byzantine-adversary patterns
+    /// without a single Byzantine slot. Such patterns cannot deviate, and
+    /// taking the literal crash-only code path (including forking-executor
+    /// eligibility) keeps them byte-identical to the crash checker.
+    pub fn pattern_policy(&self, plan: &FaultPlan) -> Option<DeviationPolicy> {
+        let policy = self.deviation_policy()?;
+        if self.adversary.is_byzantine() && !plan.has_byzantine() {
+            return None;
+        }
+        Some(policy)
+    }
+
+    /// The fault patterns the cell quantifies over: every assignment of
+    /// at most `t` Byzantine/silent slots for an *active* Byzantine
+    /// adversary, every pattern of at most `t` silent crashes otherwise.
+    /// An inactive Byzantine space (empty menu, no silence) deliberately
+    /// collapses to the crash enumeration — a Byzantine process with no
+    /// available deviation *is* a correct process, and enumerating
+    /// behaviour-free Byzantine slots would only re-explore crash
+    /// subsets.
+    pub fn fault_plans(&self) -> Vec<FaultPlan> {
+        if self.adversary.is_byzantine() && self.deviation_policy().is_some() {
+            all_byzantine_patterns(self.n, self.t)
+        } else {
+            all_silent_crash_patterns(self.n, self.t)
         }
     }
 
@@ -414,7 +630,9 @@ fn distinct_correct_decisions_dense(decisions: &[Option<u64>], faulty: &[Process
 }
 
 /// Executes one schedule of `protocol` under `plan`, following `prefix`
-/// and then scheduler defaults, against the real kernel.
+/// and then scheduler defaults, against the real kernel. `policy` is the
+/// pattern's deviation space ([`CheckerConfig::pattern_policy`]); `None`
+/// runs the crash-only fast path.
 ///
 /// A convenience wrapper over [`execute_schedule_in`] with a throwaway
 /// [`RunArena`] and the plain digest mode — fine for one-off replays
@@ -425,11 +643,13 @@ fn distinct_correct_decisions_dense(decisions: &[Option<u64>], faulty: &[Process
 ///
 /// Propagates simulator errors (e.g. the event limit, which bounds
 /// protocols with unbounded retries such as Protocol F).
+#[allow(clippy::too_many_arguments)]
 pub fn execute_schedule(
     protocol: QuorumProtocol,
     inputs: &[u64],
     t: usize,
     plan: &FaultPlan,
+    policy: Option<&DeviationPolicy>,
     prefix: &[usize],
     por: bool,
     metrics: bool,
@@ -440,6 +660,7 @@ pub fn execute_schedule(
         inputs,
         t,
         plan,
+        policy,
         prefix.to_vec(),
         por,
         metrics,
@@ -465,17 +686,29 @@ pub fn execute_schedule_in(
     inputs: &[u64],
     t: usize,
     plan: &FaultPlan,
+    policy: Option<&DeviationPolicy>,
     prefix: Vec<usize>,
     por: bool,
     metrics: bool,
     mode: DigestMode,
     arena: &mut RunArena,
 ) -> Result<ScheduleRun, SimError> {
+    // A Byzantine slot without a deviation space would run the normal
+    // protocol under crash semantics and certify the *wrong model* —
+    // every caller must collapse such plans to crash patterns (see
+    // [`CheckerConfig::pattern_policy`]) before reaching the executor.
+    assert!(
+        policy.is_some() || !plan.has_byzantine(),
+        "fault plan contains Byzantine slots but no deviation policy was supplied; \
+         the run would certify crash semantics under a Byzantine label"
+    );
     let n = inputs.len();
     // The prefix is consumed (the scheduler owns it for the run), so the
     // exploration loop moves each work item's prefix here instead of
     // copying it — one fewer allocation per executed schedule.
-    let sched = ChoiceScheduler::with_log(prefix, arena.take_log()).prefer_noops(por);
+    let sched = ChoiceScheduler::with_log(prefix, arena.take_log())
+        .prefer_noops(por)
+        .with_policy(policy.cloned());
     let log = sched.log_handle();
     // The kernel consumes (and at run end drops) the scheduler, so once
     // the run returns this handle is the log's only owner and the
@@ -500,13 +733,25 @@ pub fn execute_schedule_in(
         .fault_plan(plan.clone())
         .metrics(metrics_config)
         .digest_mode(mode);
+    // The deviation-aware kernel path is taken only under an active
+    // policy: with `policy == None` the run goes through the exact
+    // delivery path the crash-only checker always used, so crash
+    // certifications stay byte-identical.
     let (outcome, digests) = if protocol.shared_memory() {
         let procs = sm_processes(protocol, inputs, t);
-        let (outcome, digests, _) = sys.run_digested_in::<SmSubstrate<u64, u64>>(procs, arena)?;
+        let (outcome, digests, _) = if policy.is_some() {
+            sys.run_digested_adv_in::<SmSubstrate<u64, u64>>(procs, arena)?
+        } else {
+            sys.run_digested_in::<SmSubstrate<u64, u64>>(procs, arena)?
+        };
         (outcome, digests)
     } else {
         let procs = mp_processes(protocol, inputs, t);
-        let (outcome, digests, _) = sys.run_digested_in::<MpSubstrate<u64, u64>>(procs, arena)?;
+        let (outcome, digests, _) = if policy.is_some() {
+            sys.run_digested_adv_in::<MpSubstrate<u64, u64>>(procs, arena)?
+        } else {
+            sys.run_digested_in::<MpSubstrate<u64, u64>>(procs, arena)?
+        };
         (outcome, digests)
     };
     Ok(ScheduleRun {
@@ -583,21 +828,42 @@ fn violation_of_dense(
 /// A violating schedule, shrunk and ready for emission/replay.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Counterexample {
-    /// The crash pattern under which the violation occurs.
+    /// The crashed processes of the violating fault pattern.
     pub crashed: Vec<ProcessId>,
+    /// The Byzantine processes of the violating fault pattern (empty for
+    /// crash and lossy adversaries).
+    pub byzantine: Vec<ProcessId>,
     /// The (shrunk) canonical choice prefix that reproduces it.
     pub choices: Vec<usize>,
-    /// Every event id the violating run fires, in order — a
-    /// [`kset_sim::ReplayScheduler`] script.
-    pub fired: Vec<EventId>,
+    /// Every event id the violating run fires, in order, paired with the
+    /// deviation applied to it — a
+    /// [`kset_sim::ReplayScheduler::with_deviations`] script. Crash-only
+    /// runs carry [`Deviation::Faithful`] throughout.
+    pub fired: Vec<(EventId, Deviation)>,
     /// The specification violations of the run.
     pub violation: String,
+}
+
+/// Splits a fault plan into its crashed and Byzantine slots — the two
+/// header lists of a counterexample script.
+fn plan_slots(plan: &FaultPlan) -> (Vec<ProcessId>, Vec<ProcessId>) {
+    let mut crashed = Vec::new();
+    let mut byzantine = Vec::new();
+    for p in 0..plan.n() {
+        match plan.spec(p).kind() {
+            FaultKind::Crash => crashed.push(p),
+            FaultKind::Byzantine => byzantine.push(p),
+            FaultKind::Correct => {}
+        }
+    }
+    (crashed, byzantine)
 }
 
 /// Verdict of exploring one crash pattern's schedule tree.
 #[derive(Clone, Debug)]
 pub struct PatternVerdict {
-    /// The silently-crashed processes.
+    /// The planned faulty processes of the pattern — silently crashed
+    /// slots and (under a Byzantine adversary) Byzantine slots alike.
     pub crashed: Vec<ProcessId>,
     /// Schedules executed.
     pub runs: u64,
@@ -1113,7 +1379,12 @@ fn explore_task<S: CampaignStore>(
     global: &S,
     stack: Vec<WorkItem>,
 ) -> TaskOutcome {
-    if cfg.fork != ForkMode::Replay {
+    // The forking executor resumes kernels from mid-run snapshots and
+    // does not carry the deviation scratch a pattern with an active
+    // policy needs, so such patterns always run on the replay executor.
+    // Patterns without deviations (every crash pattern, and Byzantine
+    // patterns with zero Byzantine slots) keep full fork eligibility.
+    if cfg.fork != ForkMode::Replay && cfg.pattern_policy(plan).is_none() {
         if cfg.protocol.shared_memory() {
             if let Some(mut session) = ForkSession::<SmSubstrate<u64, u64>>::new(
                 cfg.fork_config(),
@@ -1147,6 +1418,8 @@ fn explore_task_replay<S: CampaignStore>(
 ) -> TaskOutcome {
     let mut out = TaskOutcome::new();
     let mut stack = stack;
+    let policy = cfg.pattern_policy(plan);
+    let (plan_crashed, plan_byzantine) = plan_slots(plan);
     // The arena and walk scratch live for the whole task: every run of the
     // task's (up to TASK_BUDGET-schedule) DFS reuses the same kernel
     // buffers, choice log, digest vectors and walk staging.
@@ -1173,6 +1446,7 @@ fn explore_task_replay<S: CampaignStore>(
             inputs,
             cfg.t,
             plan,
+            policy.as_ref(),
             prefix,
             cfg.por,
             false,
@@ -1186,9 +1460,10 @@ fn explore_task_replay<S: CampaignStore>(
         out.worst_agreement = out.worst_agreement.max(run.distinct_correct_decisions());
         if let Some(message) = violation_of(spec, inputs, &run) {
             out.violation = Some(Counterexample {
-                crashed: crashed.to_vec(),
+                crashed: plan_crashed.clone(),
+                byzantine: plan_byzantine.clone(),
                 choices: run.log.taken_indices(),
-                fired: run.log.fired_ids(),
+                fired: run.log.fired_script(),
                 violation: message,
             });
             break;
@@ -1336,10 +1611,14 @@ where
             violation_of_dense(spec, inputs, decisions, crashed, session.terminated())
         {
             let log = session.log();
+            // The fork executor only ever runs deviation-free patterns
+            // (see [`explore_task`]), so the script is all-faithful and
+            // there are no Byzantine slots to record.
             out.violation = Some(Counterexample {
                 crashed: crashed.to_vec(),
+                byzantine: Vec::new(),
                 choices: log.taken_indices(),
-                fired: log.fired_ids(),
+                fired: log.fired_script(),
                 violation: message,
             });
             break;
@@ -1400,6 +1679,7 @@ pub(crate) fn seed_pattern(
     plan: &FaultPlan,
 ) -> (PatternState, Visited) {
     let crashed = plan.faulty_set();
+    let policy = cfg.pattern_policy(plan);
     let mut root_out = TaskOutcome::new();
     let mut seeded: Vec<WorkItem> = Vec::new();
     let mut root_arena = RunArena::new();
@@ -1408,6 +1688,7 @@ pub(crate) fn seed_pattern(
         inputs,
         cfg.t,
         plan,
+        policy.as_ref(),
         Vec::new(),
         cfg.por,
         false,
@@ -1418,10 +1699,12 @@ pub(crate) fn seed_pattern(
     root_out.runs = 1;
     root_out.worst_agreement = root_run.distinct_correct_decisions();
     if let Some(message) = violation_of(spec, inputs, &root_run) {
+        let (plan_crashed, plan_byzantine) = plan_slots(plan);
         root_out.violation = Some(Counterexample {
-            crashed: crashed.clone(),
+            crashed: plan_crashed,
+            byzantine: plan_byzantine,
             choices: root_run.log.taken_indices(),
-            fired: root_run.log.fired_ids(),
+            fired: root_run.log.fired_script(),
             violation: message,
         });
     } else {
@@ -1564,10 +1847,20 @@ pub fn shrink_counterexample(
     plan: &FaultPlan,
     choices: Vec<usize>,
 ) -> Counterexample {
+    let policy = cfg.pattern_policy(plan);
     let still_violates = |prefix: &[usize]| -> bool {
-        execute_schedule(cfg.protocol, inputs, cfg.t, plan, prefix, cfg.por, false)
-            .ok()
-            .is_some_and(|run| violation_of(spec, inputs, &run).is_some())
+        execute_schedule(
+            cfg.protocol,
+            inputs,
+            cfg.t,
+            plan,
+            policy.as_ref(),
+            prefix,
+            cfg.por,
+            false,
+        )
+        .ok()
+        .is_some_and(|run| violation_of(spec, inputs, &run).is_some())
     };
     let mut best = choices;
     for i in 0..best.len() {
@@ -1582,14 +1875,25 @@ pub fn shrink_counterexample(
     while !best.is_empty() && still_violates(&best[..best.len() - 1]) {
         best.pop();
     }
-    let run = execute_schedule(cfg.protocol, inputs, cfg.t, plan, &best, cfg.por, false)
-        .expect("shrunk prefix replays");
+    let run = execute_schedule(
+        cfg.protocol,
+        inputs,
+        cfg.t,
+        plan,
+        policy.as_ref(),
+        &best,
+        cfg.por,
+        false,
+    )
+    .expect("shrunk prefix replays");
     let violation = violation_of(spec, inputs, &run)
         .expect("shrinking preserves the violation");
+    let (crashed, byzantine) = plan_slots(plan);
     Counterexample {
-        crashed: plan.faulty_set(),
+        crashed,
+        byzantine,
         choices: best,
-        fired: run.log.fired_ids(),
+        fired: run.log.fired_script(),
         violation,
     }
 }
@@ -1597,7 +1901,7 @@ pub fn shrink_counterexample(
 /// Verdict of model-checking one cell across every crash pattern.
 #[derive(Clone, Debug)]
 pub struct CellVerdict {
-    /// Per-pattern results, in [`all_silent_crash_patterns`] order. The
+    /// Per-pattern results, in [`CheckerConfig::fault_plans`] order. The
     /// search stops at the first violating pattern, so later patterns may
     /// be absent.
     pub patterns: Vec<PatternVerdict>,
@@ -1631,27 +1935,33 @@ impl fmt::Display for CellVerdict {
             if self.complete { "" } else { " (bounded)" },
         )?;
         if let Some(ce) = &self.counterexample {
-            write!(
-                f,
-                "; counterexample: crashed={:?}, {} choice(s), {}",
-                ce.crashed,
-                ce.choices.len(),
-                ce.violation
-            )?;
+            write!(f, "; counterexample: crashed={:?}, ", ce.crashed)?;
+            // Only Byzantine cells name their slots, so crash-adversary
+            // verdict lines stay byte-identical to earlier recordings.
+            if !ce.byzantine.is_empty() {
+                write!(f, "byzantine={:?}, ", ce.byzantine)?;
+            }
+            write!(f, "{} choice(s), {}", ce.choices.len(), ce.violation)?;
         }
         Ok(())
     }
 }
 
 /// Model-checks `SC(k, t, C)` for the configured protocol and cell:
-/// explores every schedule of every crash pattern of at most `t` silent
-/// crashes, stopping at (and shrinking) the first violation.
+/// explores every schedule of every fault pattern of the configured
+/// adversary ([`CheckerConfig::fault_plans`]), stopping at (and
+/// shrinking) the first violation.
 ///
 /// # Panics
 ///
-/// Panics if the cell coordinates are rejected by [`ProblemSpec::new`].
+/// Panics if the cell coordinates are rejected by [`ProblemSpec::new`],
+/// or — the hard guard against certifying the wrong model — if the
+/// configuration fails [`CheckerConfig::validate`].
 pub fn check_cell(cfg: &CheckerConfig) -> CellVerdict {
-    let inputs = canonical_inputs(cfg.n);
+    if let Err(message) = cfg.validate() {
+        panic!("invalid checker configuration: {message}");
+    }
+    let inputs = cfg.cell_inputs();
     let spec = ProblemSpec::new(cfg.n, cfg.k, cfg.t, cfg.validity)
         .expect("checker cell coordinates are valid");
     let mut verdict = CellVerdict {
@@ -1661,7 +1971,7 @@ pub fn check_cell(cfg: &CheckerConfig) -> CellVerdict {
         runs: 0,
         counterexample: None,
     };
-    for plan in all_silent_crash_patterns(cfg.n, cfg.t) {
+    for plan in cfg.fault_plans() {
         let mut pattern = explore_pattern(cfg, &inputs, &spec, &plan);
         verdict.worst_agreement = verdict.worst_agreement.max(pattern.worst_agreement);
         verdict.runs += pattern.runs;
@@ -1684,13 +1994,19 @@ pub fn check_cell(cfg: &CheckerConfig) -> CellVerdict {
 /// pattern's index — the checker is seedless — and the protocol is tagged
 /// `MC(<name>)` so checker records are distinguishable from seed sweeps.
 pub fn to_run_records(cfg: &CheckerConfig, verdict: &CellVerdict) -> Vec<RunRecord> {
-    let inputs = canonical_inputs(cfg.n);
+    let inputs = cfg.cell_inputs();
+    // The explored patterns are a prefix of the cell's plan enumeration
+    // (the search stops at the first violating pattern), so zipping
+    // recovers each verdict's *exact* plan — including Byzantine slots,
+    // which a reconstruction from the crashed list alone would silently
+    // demote to crashes.
     verdict
         .patterns
         .iter()
+        .zip(cfg.fault_plans())
         .enumerate()
-        .map(|(index, pattern)| {
-            let plan = FaultPlan::silent_crashes(cfg.n, &pattern.crashed);
+        .map(|(index, (pattern, plan))| {
+            debug_assert_eq!(pattern.crashed, plan.faulty_set());
             let prefix: Vec<usize> = pattern
                 .violation
                 .as_ref()
@@ -1701,6 +2017,7 @@ pub fn to_run_records(cfg: &CheckerConfig, verdict: &CellVerdict) -> Vec<RunReco
                 &inputs,
                 cfg.t,
                 &plan,
+                cfg.pattern_policy(&plan).as_ref(),
                 &prefix,
                 cfg.por,
                 true,
@@ -1740,8 +2057,18 @@ pub fn to_run_records(cfg: &CheckerConfig, verdict: &CellVerdict) -> Vec<RunReco
 /// Only meaningful for complete (unbounded) explorations; bounded runs
 /// can legitimately under-approximate `worst_agreement`.
 pub fn cross_validate(cfg: &CheckerConfig, verdict: &CellVerdict) -> Vec<String> {
-    let inputs = canonical_inputs(cfg.n);
+    let inputs = cfg.cell_inputs();
     let mut disagreements = Vec::new();
+    if cfg.deviation_policy().is_some() {
+        // The analytic enumerator models crash quorums only; there is no
+        // second verification route for Byzantine or lossy behaviour
+        // spaces (their oracle is the replay of the emitted script).
+        disagreements.push(format!(
+            "adversary model {} has no analytic enumeration oracle; comparison void",
+            cfg.adversary,
+        ));
+        return disagreements;
+    }
     if !verdict.complete {
         disagreements.push("exploration was bounded; comparison void".to_string());
         return disagreements;
@@ -1822,8 +2149,60 @@ pub struct SavedCounterexample {
     pub t: usize,
     /// Validity condition.
     pub validity: ValidityCondition,
-    /// The violating crash pattern and schedule.
+    /// Adversary the cell was certified against (v1 scripts default to
+    /// the protocol substrate's crash adversary).
+    pub adversary: AdversaryModel,
+    /// Input override the cell ran with; `None` = canonical inputs.
+    pub inputs: Option<Vec<u64>>,
+    /// The Byzantine forged-value menu of the recording configuration.
+    pub byz_menu: Vec<u64>,
+    /// Whether selective silence was in the behaviour space.
+    pub byz_silence: bool,
+    /// The lossy adversary's per-run drop budget.
+    pub loss_budget: u64,
+    /// The violating fault pattern and schedule.
     pub counterexample: Counterexample,
+}
+
+impl SavedCounterexample {
+    /// Reconstructs the fault plan of the recorded run: silent crashes
+    /// plus the recorded Byzantine slots.
+    fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::silent_crashes(self.n, &self.counterexample.crashed);
+        for &p in &self.counterexample.byzantine {
+            plan.set(p, FaultSpec::Byzantine);
+        }
+        plan
+    }
+
+    /// The inputs of the recorded run.
+    fn run_inputs(&self) -> Vec<u64> {
+        self.inputs
+            .clone()
+            .unwrap_or_else(|| canonical_inputs(self.n))
+    }
+
+    /// Reconstructs the deviation policy of the recording configuration
+    /// (`None` for crash scripts — the crash-only replay path).
+    fn policy(&self) -> Option<DeviationPolicy> {
+        let policy = if self.adversary.is_byzantine() {
+            DeviationPolicy::byzantine(self.byz_menu.clone(), self.byz_silence)
+        } else if self.adversary.is_lossy() {
+            DeviationPolicy::lossy(self.loss_budget)
+        } else {
+            return None;
+        };
+        if !policy.is_active() {
+            return None;
+        }
+        // Mirror [`CheckerConfig::pattern_policy`]: a Byzantine-adversary
+        // script whose pattern has no Byzantine slot replays on the
+        // crash-only path, exactly as it was recorded.
+        if self.adversary.is_byzantine() && self.counterexample.byzantine.is_empty() {
+            return None;
+        }
+        Some(policy)
+    }
 }
 
 /// Writes a counterexample as a plain-text replay script:
@@ -1850,6 +2229,13 @@ pub struct SavedCounterexample {
 /// an unchanged workspace produces a byte-identical file, so these scripts
 /// can be committed as regression pins.
 ///
+/// A cell recorded under a non-crash adversary (or with explicit inputs)
+/// is emitted as **v2**, which adds `# model:`, `# inputs:`,
+/// `# byz-menu:`, `# byz-silence:`, `# loss-budget:` and `# byzantine:`
+/// headers, and suffixes each deviating body line with the deviation in
+/// its [`Deviation`] display syntax (`17 forge:0`, `23 drop`). Crash
+/// cells keep emitting v1 bytes, so committed crash scripts never churn.
+///
 /// # Errors
 ///
 /// Propagates I/O errors.
@@ -1861,13 +2247,44 @@ pub fn write_counterexample(
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
+    let v2 = cfg.adversary.is_byzantine() || cfg.adversary.is_lossy() || cfg.inputs.is_some();
     let mut out = Vec::new();
-    writeln!(out, "# kset model_check counterexample v1")?;
+    writeln!(
+        out,
+        "# kset model_check counterexample v{}",
+        if v2 { 2 } else { 1 }
+    )?;
     writeln!(out, "# protocol: {}", cfg.protocol.name())?;
     writeln!(out, "# n: {}", cfg.n)?;
     writeln!(out, "# k: {}", cfg.k)?;
     writeln!(out, "# t: {}", cfg.t)?;
     writeln!(out, "# validity: {}", cfg.validity)?;
+    if v2 {
+        writeln!(out, "# model: {}", cfg.adversary)?;
+        writeln!(
+            out,
+            "# inputs:{}",
+            cfg.cell_inputs()
+                .iter()
+                .map(|v| format!(" {v}"))
+                .collect::<String>()
+        )?;
+        writeln!(
+            out,
+            "# byz-menu:{}",
+            cfg.byz_menu.iter().map(|v| format!(" {v}")).collect::<String>()
+        )?;
+        writeln!(out, "# byz-silence: {}", cfg.byz_silence)?;
+        writeln!(out, "# loss-budget: {}", cfg.loss_budget)?;
+        writeln!(
+            out,
+            "# byzantine:{}",
+            ce.byzantine
+                .iter()
+                .map(|p| format!(" {p}"))
+                .collect::<String>()
+        )?;
+    }
     writeln!(
         out,
         "# crashed:{}",
@@ -1882,10 +2299,25 @@ pub fn write_counterexample(
         ce.choices.iter().map(|c| format!(" {c}")).collect::<String>()
     )?;
     writeln!(out, "# violation: {}", ce.violation.replace('\n', "; "))?;
-    for id in &ce.fired {
-        writeln!(out, "{}", id.as_u64())?;
+    for (id, deviation) in &ce.fired {
+        match deviation {
+            Deviation::Faithful => writeln!(out, "{}", id.as_u64())?,
+            other => writeln!(out, "{} {}", id.as_u64(), other)?,
+        }
     }
     fs::write(path, out)
+}
+
+/// Parses the deviation suffix of a v2 body line (`forge:<v>` or `drop`);
+/// `None` on anything else.
+fn parse_deviation(token: &str) -> Option<Deviation> {
+    if token == "drop" {
+        return Some(Deviation::Drop);
+    }
+    token
+        .strip_prefix("forge:")
+        .and_then(|v| v.parse().ok())
+        .map(Deviation::Forge)
 }
 
 /// Reads a counterexample script written by [`write_counterexample`].
@@ -1901,14 +2333,23 @@ pub fn read_counterexample(path: &Path) -> io::Result<SavedCounterexample> {
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix('#') {
             if let Some((key, value)) = rest.split_once(':') {
+                // `forge:0` in a byz-menu header would split wrong, but
+                // headers always start with a known key, so the first ':'
+                // is the separator for every header this format emits.
                 fields.insert(key.trim(), value.trim());
             }
         } else if !line.trim().is_empty() {
-            let raw: u64 = line
-                .trim()
+            let mut tokens = line.split_whitespace();
+            let id = tokens.next().expect("non-empty line has a token");
+            let raw: u64 = id
                 .parse()
                 .map_err(|e| bad(format!("bad event id {line:?}: {e}")))?;
-            fired.push(EventId::from_u64(raw));
+            let deviation = match tokens.next() {
+                None => Deviation::Faithful,
+                Some(token) => parse_deviation(token)
+                    .ok_or_else(|| bad(format!("bad deviation in line {line:?}")))?,
+            };
+            fired.push((EventId::from_u64(raw), deviation));
         }
     }
     let field = |key: &str| {
@@ -1928,18 +2369,74 @@ pub fn read_counterexample(path: &Path) -> io::Result<SavedCounterexample> {
             .map(|w| w.parse().map_err(|e| bad(format!("bad {key}: {e}"))))
             .collect()
     };
+    // The v2 headers are optional with crash-model defaults, so v1 files
+    // (and hand-trimmed scripts) keep reading unchanged.
+    let opt_list = |key: &str| -> io::Result<Vec<u64>> {
+        match fields.get(key) {
+            None => Ok(Vec::new()),
+            Some(value) => value
+                .split_whitespace()
+                .map(|w| w.parse().map_err(|e| bad(format!("bad {key}: {e}"))))
+                .collect(),
+        }
+    };
     let protocol = parse_protocol(field("protocol")?)
         .ok_or_else(|| bad(format!("unknown protocol {:?}", fields["protocol"])))?;
     let validity = parse_validity(field("validity")?)
         .ok_or_else(|| bad(format!("unknown validity {:?}", fields["validity"])))?;
+    let adversary = match fields.get("model") {
+        None => {
+            if protocol.shared_memory() {
+                AdversaryModel::SmCrash
+            } else {
+                AdversaryModel::MpCrash
+            }
+        }
+        Some(value) => parse_adversary_model(value)
+            .ok_or_else(|| bad(format!("unknown adversary model {value:?}")))?,
+    };
+    let inputs = match fields.get("inputs") {
+        None => None,
+        Some(value) => Some(
+            value
+                .split_whitespace()
+                .map(|w| w.parse().map_err(|e| bad(format!("bad inputs: {e}"))))
+                .collect::<io::Result<Vec<u64>>>()?,
+        ),
+    };
+    let byz_silence = match fields.get("byz-silence") {
+        None => false,
+        Some(value) => value
+            .parse()
+            .map_err(|e| bad(format!("bad byz-silence: {e}")))?,
+    };
+    let loss_budget = match fields.get("loss-budget") {
+        None => 0,
+        Some(value) => value
+            .parse()
+            .map_err(|e| bad(format!("bad loss-budget: {e}")))?,
+    };
+    let byzantine = match fields.get("byzantine") {
+        None => Vec::new(),
+        Some(value) => value
+            .split_whitespace()
+            .map(|w| w.parse().map_err(|e| bad(format!("bad byzantine: {e}"))))
+            .collect::<io::Result<Vec<usize>>>()?,
+    };
     Ok(SavedCounterexample {
         protocol,
         n: num("n")?,
         k: num("k")?,
         t: num("t")?,
         validity,
+        adversary,
+        inputs,
+        byz_menu: opt_list("byz-menu")?,
+        byz_silence,
+        loss_budget,
         counterexample: Counterexample {
             crashed: list("crashed")?,
+            byzantine,
             choices: list("choices")?,
             fired,
             violation: field("violation")?.to_string(),
@@ -1952,15 +2449,17 @@ pub fn read_counterexample(path: &Path) -> io::Result<SavedCounterexample> {
 /// violation message (`None` means the script no longer violates — i.e.
 /// the protocol or kernel changed since the script was recorded).
 pub fn replay_counterexample(saved: &SavedCounterexample) -> (ScheduleRun, Option<String>) {
-    let inputs = canonical_inputs(saved.n);
+    let inputs = saved.run_inputs();
     let spec = ProblemSpec::new(saved.n, saved.k, saved.t, saved.validity)
         .expect("saved cell coordinates are valid");
-    let plan = FaultPlan::silent_crashes(saved.n, &saved.counterexample.crashed);
+    let plan = saved.plan();
+    let policy = saved.policy();
     let run = execute_schedule(
         saved.protocol,
         &inputs,
         saved.t,
         &plan,
+        policy.as_ref(),
         &saved.counterexample.choices,
         true,
         false,
@@ -1981,20 +2480,24 @@ pub fn replay_fired(saved: &SavedCounterexample) -> (Option<String>, u64) {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    let inputs = canonical_inputs(saved.n);
+    let inputs = saved.run_inputs();
     let spec = ProblemSpec::new(saved.n, saved.k, saved.t, saved.validity)
         .expect("saved cell coordinates are valid");
-    let plan = FaultPlan::silent_crashes(saved.n, &saved.counterexample.crashed);
-    let sched = Rc::new(RefCell::new(kset_sim::ReplayScheduler::new(
+    let plan = saved.plan();
+    let sched = Rc::new(RefCell::new(kset_sim::ReplayScheduler::with_deviations(
         saved.counterexample.fired.iter().copied(),
     )));
     let (n, t) = (saved.n, saved.t);
     let sys = System::new(n).scheduler(Rc::clone(&sched)).fault_plan(plan);
+    // `run_adv` applies the scripted deviations through the same
+    // deviation-aware delivery the checker recorded them with; for an
+    // all-faithful (crash) script it is the faithful path, event for
+    // event.
     let outcome = if saved.protocol.shared_memory() {
-        sys.run::<SmSubstrate<u64, u64>>(sm_processes(saved.protocol, &inputs, t))
+        sys.run_adv::<SmSubstrate<u64, u64>>(sm_processes(saved.protocol, &inputs, t))
             .expect("saved schedules replay")
     } else {
-        sys.run::<MpSubstrate<u64, u64>>(mp_processes(saved.protocol, &inputs, t))
+        sys.run_adv::<MpSubstrate<u64, u64>>(mp_processes(saved.protocol, &inputs, t))
             .expect("saved schedules replay")
     };
     let record = kset_core::RunRecord::new(inputs)
@@ -2044,6 +2547,11 @@ mod tests {
             k: cfg.k,
             t: cfg.t,
             validity: cfg.validity,
+            adversary: cfg.adversary,
+            inputs: cfg.inputs.clone(),
+            byz_menu: cfg.byz_menu.clone(),
+            byz_silence: cfg.byz_silence,
+            loss_budget: cfg.loss_budget,
             counterexample: ce,
         };
         let (_, violation) = replay_counterexample(&saved);
@@ -2146,5 +2654,195 @@ mod tests {
         assert_eq!(parse_protocol("nonsense"), None);
         assert_eq!(parse_validity("rv1"), Some(ValidityCondition::RV1));
         assert_eq!(parse_validity("bogus"), None);
+        assert_eq!(parse_adversary_model("mp_byz"), Some(AdversaryModel::MpByz));
+        assert_eq!(parse_adversary_model("SM_BYZ"), Some(AdversaryModel::SmByz));
+        assert_eq!(parse_adversary_model("mp_lossy"), Some(AdversaryModel::MpLossy));
+        assert_eq!(parse_adversary_model("byzantine"), None);
+    }
+
+    /// The canonical MP/Byz violated cell: one Byzantine slot forging a 0
+    /// into all-equal proposals of 1 breaks RV1 for FloodMin (Lemma
+    /// 3.10), and the recorded deviation script replays exactly.
+    fn mp_byz_violated_cfg() -> CheckerConfig {
+        let mut cfg = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        cfg.adversary = AdversaryModel::MpByz;
+        cfg.byz_menu = vec![0];
+        cfg.byz_silence = true;
+        cfg.inputs = Some(vec![1, 1, 1]);
+        cfg
+    }
+
+    #[test]
+    fn byzantine_mp_cell_is_violated_and_replays_with_deviations() {
+        let cfg = mp_byz_violated_cfg();
+        let verdict = check_cell(&cfg);
+        assert!(!verdict.holds());
+        let ce = verdict.counterexample.expect("violation found");
+        assert!(!ce.byzantine.is_empty(), "a Byzantine slot must be blamed");
+        assert!(
+            ce.fired.iter().any(|(_, d)| *d != Deviation::Faithful),
+            "the script must record the deviation that broke the run: {:?}",
+            ce.fired,
+        );
+        // The v2 file format round-trips the deviations and is byte-stable.
+        let dir = std::env::temp_dir().join("kset_checker_byz_test");
+        let path = dir.join("ce.schedule");
+        write_counterexample(&path, &cfg, &ce).unwrap();
+        let bytes1 = fs::read(&path).unwrap();
+        let saved = read_counterexample(&path).unwrap();
+        assert_eq!(saved.counterexample, ce);
+        assert_eq!(saved.adversary, AdversaryModel::MpByz);
+        assert_eq!(saved.byz_menu, vec![0]);
+        assert!(saved.byz_silence);
+        assert_eq!(saved.inputs, Some(vec![1, 1, 1]));
+        write_counterexample(&path, &cfg, &ce).unwrap();
+        assert_eq!(bytes1, fs::read(&path).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+        // Both the choice-replay and the fired-script replay reproduce.
+        let (_, violation) = replay_counterexample(&saved);
+        assert!(violation.is_some());
+        let (violation, divergences) = replay_fired(&saved);
+        assert!(violation.is_some());
+        assert_eq!(divergences, 0);
+    }
+
+    #[test]
+    fn byzantine_mp_weak_validity_cell_holds() {
+        // Lemma 3.12: (k-1)(n-2t) >= n-t at (n,k,t) = (3,3,1), so
+        // Protocol A solves SC(3, 1, WV2) against the same adversary that
+        // breaks RV1 — the other side of the MP Byzantine frontier.
+        let mut cfg = cfg(QuorumProtocol::ProtocolA, 3, 3, 1, ValidityCondition::WV2);
+        cfg.adversary = AdversaryModel::MpByz;
+        cfg.byz_menu = vec![0];
+        cfg.byz_silence = true;
+        cfg.inputs = Some(vec![1, 1, 1]);
+        let verdict = check_cell(&cfg);
+        assert!(verdict.complete, "exploration must exhaust the space");
+        assert!(verdict.holds());
+    }
+
+    #[test]
+    fn byzantine_sm_strong_validity_cell_is_violated() {
+        // Lemma 4.9: 2t >= n and t >= k at (n,k,t) = (3,2,2) makes RV2
+        // unsolvable in SM/Byz; a forged register read breaks Protocol E.
+        let mut cfg = cfg(QuorumProtocol::ProtocolE, 3, 2, 2, ValidityCondition::RV2);
+        cfg.adversary = AdversaryModel::SmByz;
+        cfg.byz_menu = vec![0];
+        cfg.inputs = Some(vec![1, 1, 1]);
+        let verdict = check_cell(&cfg);
+        assert!(!verdict.holds());
+        let ce = verdict.counterexample.expect("violation found");
+        assert!(!ce.byzantine.is_empty());
+        let saved = SavedCounterexample {
+            protocol: cfg.protocol,
+            n: cfg.n,
+            k: cfg.k,
+            t: cfg.t,
+            validity: cfg.validity,
+            adversary: cfg.adversary,
+            inputs: cfg.inputs.clone(),
+            byz_menu: cfg.byz_menu.clone(),
+            byz_silence: cfg.byz_silence,
+            loss_budget: cfg.loss_budget,
+            counterexample: ce,
+        };
+        let (violation, divergences) = replay_fired(&saved);
+        assert!(violation.is_some());
+        assert_eq!(divergences, 0);
+    }
+
+    #[test]
+    fn lossy_adversary_quantifies_over_drops() {
+        // One allowed drop starves FloodMin's t = 1 resilience: the
+        // checker must find a schedule where a correct process never
+        // decides, and the script must record the drop.
+        let mut cfg = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        cfg.adversary = AdversaryModel::MpLossy;
+        cfg.loss_budget = 1;
+        let verdict = check_cell(&cfg);
+        assert!(!verdict.holds());
+        let ce = verdict.counterexample.expect("violation found");
+        assert!(ce.byzantine.is_empty(), "lossy keeps the crash pattern space");
+        assert!(
+            ce.fired.iter().any(|(_, d)| *d == Deviation::Drop),
+            "{:?}",
+            ce.fired,
+        );
+    }
+
+    #[test]
+    fn empty_deviation_menu_is_inert() {
+        // A Byzantine adversary with nothing to forge and no silence is
+        // the crash checker: identical verdict, counters and
+        // counterexample (satellite of the parity suite in
+        // `tests/adversary_parity.rs`).
+        let crash = cfg(QuorumProtocol::FloodMin, 3, 1, 1, ValidityCondition::RV1);
+        let mut byz = crash.clone();
+        byz.adversary = AdversaryModel::MpByz;
+        let cv = check_cell(&crash);
+        let bv = check_cell(&byz);
+        assert_eq!(cv.runs, bv.runs);
+        assert_eq!(cv.worst_agreement, bv.worst_agreement);
+        assert_eq!(cv.counterexample, bv.counterexample);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_adversaries() {
+        let base = cfg(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+        // Substrate mismatch: an SM adversary on an MP protocol.
+        let mut bad = base.clone();
+        bad.adversary = AdversaryModel::SmByz;
+        assert!(bad.validate().is_err());
+        // Byzantine knobs under a crash adversary.
+        let mut bad = base.clone();
+        bad.byz_menu = vec![0];
+        assert!(bad.validate().is_err());
+        // A loss budget without the lossy adversary.
+        let mut bad = base.clone();
+        bad.loss_budget = 2;
+        assert!(bad.validate().is_err());
+        // An input vector of the wrong arity.
+        let mut bad = base.clone();
+        bad.inputs = Some(vec![1, 1]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid checker configuration")]
+    fn check_cell_refuses_an_unsupported_model_combination() {
+        // Satellite guard: an unsupported model must be a hard error at
+        // the door, never a silently wrong-model certification.
+        let mut cfg = cfg(QuorumProtocol::ProtocolE, 3, 2, 1, ValidityCondition::RV2);
+        cfg.adversary = AdversaryModel::MpByz; // MP adversary, SM protocol
+        let _ = check_cell(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "no deviation policy")]
+    fn byzantine_plan_without_policy_is_rejected() {
+        // Satellite guard: a Byzantine fault plan fed through the
+        // crash-only execution path would silently certify crash
+        // semantics under a Byzantine label.
+        let inputs = canonical_inputs(3);
+        let plan = kset_adversary::plans::first_t_byzantine(3, 1);
+        let _ = execute_schedule(
+            QuorumProtocol::FloodMin,
+            &inputs,
+            1,
+            &plan,
+            None,
+            &[],
+            true,
+            false,
+        );
+    }
+
+    #[test]
+    fn cross_validation_is_void_for_deviation_adversaries() {
+        let cfg = mp_byz_violated_cfg();
+        let verdict = check_cell(&cfg);
+        let disagreements = cross_validate(&cfg, &verdict);
+        assert_eq!(disagreements.len(), 1);
+        assert!(disagreements[0].contains("comparison void"), "{disagreements:?}");
     }
 }

@@ -5,7 +5,7 @@ use std::marker::PhantomData;
 
 use kset_sim::{
     CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
-    SimError, StateDigest, Substrate, SubstrateDigest, SubstrateFork, System,
+    SimError, StateDigest, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork, System,
 };
 
 use crate::outcome::MpOutcome;
@@ -91,6 +91,27 @@ impl<M: Clone, V> Substrate for MpSubstrate<M, V> {
             RawAction::Decide(v) => Effect::Decide(v),
             RawAction::ScheduleStep => Effect::Step,
         })
+    }
+}
+
+/// Byzantine in-transit corruption for `u64`-valued protocol messages: a
+/// forged delivery hands the receiver the adversary's value in place of the
+/// sent one, through the exact same `on_message` path. Only the
+/// `u64`-message instantiation can interpret a forged `u64`, so the impl is
+/// deliberately not generic over `M`.
+impl<V> SubstrateAdv for MpSubstrate<u64, V> {
+    fn on_forged(
+        proc: &mut Self::Process,
+        _msg: u64,
+        forged: u64,
+        source: Option<ProcessId>,
+        _shared: &Self::Shared,
+        info: CallInfo,
+        out: &mut Vec<Self::Action>,
+    ) {
+        let from = source.expect("message delivery has a source");
+        let mut ctx = MpContext::new(info.me, info.n, info.now, info.decided, out);
+        proc.on_message(from, forged, &mut ctx);
     }
 }
 

@@ -5,7 +5,7 @@ use std::marker::PhantomData;
 
 use kset_sim::{
     CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
-    SimError, StateDigest, Substrate, SubstrateDigest, SubstrateFork, System,
+    SimError, StateDigest, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork, System,
 };
 
 use crate::outcome::SmOutcome;
@@ -115,6 +115,31 @@ impl<Val: Clone, Out> Substrate for SmSubstrate<Val, Out> {
             RawSmAction::Decide(v) => Effect::Decide(v),
             RawSmAction::ScheduleStep => Effect::Step,
         })
+    }
+}
+
+/// Byzantine in-transit corruption for `u64`-valued registers: a forged
+/// read response resolves to the adversary's value instead of the register
+/// content, at the same linearization point. This models a Byzantine
+/// register *owner* presenting inconsistent values to different readers —
+/// single-writer registers make the owner the only process whose deviation
+/// a read can expose. Write acknowledgements carry no corruptible value and
+/// deliver faithfully.
+impl<Out> SubstrateAdv for SmSubstrate<u64, Out> {
+    fn on_forged(
+        proc: &mut Self::Process,
+        op: SmOp,
+        forged: u64,
+        _source: Option<ProcessId>,
+        _shared: &Self::Shared,
+        info: CallInfo,
+        out: &mut Vec<Self::Action>,
+    ) {
+        let mut ctx = SmContext::new(info.me, info.n, info.now, info.decided, out);
+        match op {
+            SmOp::ReadResp(reg) => proc.on_read(reg, Some(forged), &mut ctx),
+            SmOp::WriteAck(slot) => proc.on_write_ack(slot, &mut ctx),
+        }
     }
 }
 

@@ -41,11 +41,19 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::deviate::{Deviation, DeviationPolicy};
 use crate::event::{EventId, EventMeta};
 use crate::sched::Scheduler;
 use crate::state::RunState;
 
 /// One selectable pending event at a choice point, in canonical order.
+///
+/// Under an active [`DeviationPolicy`], one pending event expands into
+/// several consecutive options — its `Faithful` delivery first, then each
+/// available deviation in the policy's order — so an explorer branching
+/// over option indices quantifies over the adversary's behavior space with
+/// no machinery beyond the existing index enumeration. Variants of the same
+/// event share `meta` (same id, same target) and are contiguous.
 #[derive(Clone, Copy, Debug)]
 pub struct ChoiceOption {
     /// The pending event's scheduler-visible metadata.
@@ -53,6 +61,9 @@ pub struct ChoiceOption {
     /// Whether firing this event is a protocol no-op: its target has
     /// already decided or crashed, so the handler cannot change state.
     pub noop: bool,
+    /// The deviation applied when this option is taken. Always
+    /// [`Deviation::Faithful`] without an active policy.
+    pub deviation: Deviation,
 }
 
 /// The per-point record of the flat log: where the point's options start in
@@ -66,6 +77,7 @@ struct PointRec {
     taken: usize,
     forced: bool,
     meta: EventMeta,
+    deviation: Deviation,
 }
 
 /// A borrowed view of one choice point: the canonically-ordered
@@ -83,6 +95,7 @@ pub struct ChoicePoint<'a> {
     /// explorer treats such points as having a single successor.
     pub forced: bool,
     meta: EventMeta,
+    deviation: Deviation,
 }
 
 impl ChoicePoint<'_> {
@@ -90,6 +103,12 @@ impl ChoicePoint<'_> {
     /// every point, including in-prefix ones whose `options` are empty.
     pub fn taken_meta(&self) -> EventMeta {
         self.meta
+    }
+
+    /// The [`Deviation`] applied to the event that fired at this point.
+    /// Available for every point, like [`ChoicePoint::taken_meta`].
+    pub fn taken_deviation(&self) -> Deviation {
+        self.deviation
     }
 }
 
@@ -125,6 +144,7 @@ impl ChoiceLog {
             taken: rec.taken,
             forced: rec.forced,
             meta: rec.meta,
+            deviation: rec.deviation,
         }
     }
 
@@ -174,6 +194,13 @@ impl ChoiceLog {
     pub fn fired_ids(&self) -> Vec<EventId> {
         self.points.iter().map(|p| p.meta.id).collect()
     }
+
+    /// The ids fired paired with the deviation applied to each — the script
+    /// form of a run under an active [`DeviationPolicy`], replayable with
+    /// [`crate::ReplayScheduler::with_deviations`].
+    pub fn fired_script(&self) -> Vec<(EventId, Deviation)> {
+        self.points.iter().map(|p| (p.meta.id, p.deviation)).collect()
+    }
 }
 
 /// A scheduler driven by an explicit prefix of canonical choice indices.
@@ -194,6 +221,16 @@ pub struct ChoiceScheduler {
     /// `pending[i].id` through the pool on every comparison; ids are
     /// unique, so packed order equals id order.
     canonical: Vec<u64>,
+    /// The adversary behavior space, when quantifying beyond the crash
+    /// model. `None` (and any inactive policy) takes exactly the historical
+    /// code paths, preserving crash-model output byte for byte.
+    policy: Option<DeviationPolicy>,
+    /// Scratch for the expanded in-prefix option list under an active
+    /// policy: `(pool index, deviation)` per option, in canonical order.
+    expanded: Vec<(u16, Deviation)>,
+    /// The deviation of the most recent pick, handed to the kernel via
+    /// [`Scheduler::deviation`].
+    last: Deviation,
     log: Rc<RefCell<ChoiceLog>>,
 }
 
@@ -213,6 +250,9 @@ impl ChoiceScheduler {
             step: 0,
             prefer_noops: true,
             canonical: Vec::new(),
+            policy: None,
+            expanded: Vec::new(),
+            last: Deviation::Faithful,
             log: Rc::new(RefCell::new(log)),
         }
     }
@@ -222,6 +262,16 @@ impl ChoiceScheduler {
     /// modes that want the raw, unreduced schedule tree.
     pub fn prefer_noops(mut self, yes: bool) -> Self {
         self.prefer_noops = yes;
+        self
+    }
+
+    /// Installs a [`DeviationPolicy`] (builder style): each pick then
+    /// enumerates the event's available deviations as additional,
+    /// contiguous options (see [`ChoiceOption`]). An inactive policy — or
+    /// `None` — leaves every code path exactly as it was, so crash-model
+    /// exploration is unaffected byte for byte.
+    pub fn with_policy(mut self, policy: Option<DeviationPolicy>) -> Self {
+        self.policy = policy.filter(DeviationPolicy::is_active);
         self
     }
 
@@ -257,47 +307,118 @@ impl Scheduler for ChoiceScheduler {
             (m.id.as_u64() << 16) | i as u64
         }));
 
-        let (taken, forced, idx) = if self.step < self.prefix.len() {
-            // Replay fast path. The explorer only branches *beyond* the
-            // prefix (in-prefix alternatives were enumerated when the
-            // prefix was first recorded), so there is nothing to log here
-            // beyond the taken event itself, and no full sort is needed:
-            // a rank selection finds the `prefix[step]`-th smallest id.
-            let taken = self.prefix[self.step].min(pending.len() - 1);
-            let (_, &mut key, _) = canonical.select_nth_unstable(taken);
-            (taken, false, (key & 0xffff) as usize)
-        } else {
-            // Canonical order: pending indices sorted by event id. The
-            // permutation lives in a reused scratch buffer, and the
-            // options are appended directly to the flat log's arena — no
-            // per-pick allocation anywhere on this path.
-            canonical.sort_unstable();
-            log.options.extend(canonical.iter().map(|&key| {
-                let meta = pending[(key & 0xffff) as usize];
-                ChoiceOption {
-                    meta,
-                    noop: state.has_decided(meta.target) || state.has_crashed(meta.target),
+        let (taken, forced, idx, deviation) = match (&self.policy, self.step < self.prefix.len()) {
+            (None, true) => {
+                // Replay fast path. The explorer only branches *beyond* the
+                // prefix (in-prefix alternatives were enumerated when the
+                // prefix was first recorded), so there is nothing to log here
+                // beyond the taken event itself, and no full sort is needed:
+                // a rank selection finds the `prefix[step]`-th smallest id.
+                let taken = self.prefix[self.step].min(pending.len() - 1);
+                let (_, &mut key, _) = canonical.select_nth_unstable(taken);
+                (taken, false, (key & 0xffff) as usize, Deviation::Faithful)
+            }
+            (None, false) => {
+                // Canonical order: pending indices sorted by event id. The
+                // permutation lives in a reused scratch buffer, and the
+                // options are appended directly to the flat log's arena — no
+                // per-pick allocation anywhere on this path.
+                canonical.sort_unstable();
+                log.options.extend(canonical.iter().map(|&key| {
+                    let meta = pending[(key & 0xffff) as usize];
+                    ChoiceOption {
+                        meta,
+                        noop: state.has_decided(meta.target) || state.has_crashed(meta.target),
+                        deviation: Deviation::Faithful,
+                    }
+                }));
+                let options = &log.options[start..];
+                let (taken, forced) = if self.prefer_noops {
+                    match options.iter().position(|o| o.noop) {
+                        Some(i) => (i, true),
+                        None => (0, false),
+                    }
+                } else {
+                    (0, false)
+                };
+                (
+                    taken,
+                    forced,
+                    (canonical[taken] & 0xffff) as usize,
+                    Deviation::Faithful,
+                )
+            }
+            (Some(policy), in_prefix) => {
+                // Active adversary space: every pending event expands into
+                // its deviation variants (Faithful first, then the policy's
+                // menu), in canonical event order with variants contiguous.
+                // Option indices — including prefix entries — address this
+                // expanded list, so the explorer's index enumeration
+                // quantifies over schedules and deviations at once.
+                canonical.sort_unstable();
+                if in_prefix {
+                    // In-prefix points log no options; the expansion is
+                    // rebuilt into scratch to interpret the prefix entry.
+                    let expanded = &mut self.expanded;
+                    expanded.clear();
+                    for &key in canonical.iter() {
+                        let i = (key & 0xffff) as usize;
+                        let meta = pending[i];
+                        let noop =
+                            state.has_decided(meta.target) || state.has_crashed(meta.target);
+                        policy.for_each_deviation(&meta, noop, state, |d| {
+                            expanded.push((i as u16, d));
+                        });
+                    }
+                    let taken = self.prefix[self.step].min(expanded.len() - 1);
+                    let (i, d) = expanded[taken];
+                    (taken, false, i as usize, d)
+                } else {
+                    for &key in canonical.iter() {
+                        let i = (key & 0xffff) as usize;
+                        let meta = pending[i];
+                        let noop =
+                            state.has_decided(meta.target) || state.has_crashed(meta.target);
+                        policy.for_each_deviation(&meta, noop, state, |d| {
+                            log.options.push(ChoiceOption {
+                                meta,
+                                noop,
+                                deviation: d,
+                            });
+                        });
+                    }
+                    let options = &log.options[start..];
+                    let (taken, forced) = if self.prefer_noops {
+                        match options.iter().position(|o| o.noop) {
+                            Some(i) => (i, true),
+                            None => (0, false),
+                        }
+                    } else {
+                        (0, false)
+                    };
+                    let opt = options[taken];
+                    let idx = pending
+                        .iter()
+                        .position(|m| m.id == opt.meta.id)
+                        .expect("option meta comes from the pending pool");
+                    (taken, forced, idx, opt.deviation)
                 }
-            }));
-            let options = &log.options[start..];
-            let (taken, forced) = if self.prefer_noops {
-                match options.iter().position(|o| o.noop) {
-                    Some(i) => (i, true),
-                    None => (0, false),
-                }
-            } else {
-                (0, false)
-            };
-            (taken, forced, (canonical[taken] & 0xffff) as usize)
+            }
         };
         self.step += 1;
+        self.last = deviation;
         log.points.push(PointRec {
             start,
             taken,
             forced,
             meta: pending[idx],
+            deviation,
         });
         idx
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        self.last
     }
 
     fn label(&self) -> &'static str {

@@ -141,6 +141,15 @@ impl FaultPlan {
         self.fault_count() == 0
     }
 
+    /// True when any process is planned to run a Byzantine strategy.
+    /// Crash-model quantifiers use this to *reject* plans they cannot
+    /// meaningfully count (a Byzantine slot is not a crash with a budget).
+    pub fn has_byzantine(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| s.kind() == FaultKind::Byzantine)
+    }
+
     /// Remaining action budget for `pid` given that it has already performed
     /// `actions_done` actions; `None` means unlimited (correct/Byzantine).
     pub fn remaining_budget(&self, pid: ProcessId, actions_done: u64) -> Option<u64> {
@@ -191,7 +200,14 @@ mod tests {
         assert_eq!(plan.spec(2).kind(), FaultKind::Byzantine);
         assert_eq!(plan.spec(0).kind(), FaultKind::Correct);
         assert!(!plan.failure_free());
+        assert!(plan.has_byzantine());
         assert_eq!(plan.remaining_budget(2, 5), None);
+    }
+
+    #[test]
+    fn crash_plans_have_no_byzantine_slots() {
+        assert!(!FaultPlan::all_correct(3).has_byzantine());
+        assert!(!FaultPlan::silent_crashes(3, &[0, 2]).has_byzantine());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! expires for that step and the inner scheduler chooses among all pending
 //! events — preserving the model's guarantee that delays are finite.
 
+use crate::deviate::Deviation;
 use crate::event::{EventMeta, ProcessId};
 use crate::sched::Scheduler;
 use crate::state::RunState;
@@ -214,6 +215,10 @@ impl<S: Scheduler> Scheduler for GatedScheduler<S> {
         let subset: Vec<EventMeta> = eligible.iter().map(|&i| pending[i]).collect();
         let choice = self.inner.pick(&subset, state);
         eligible[choice]
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        self.inner.deviation()
     }
 
     fn label(&self) -> &'static str {

@@ -1,5 +1,6 @@
 //! The event kernel: a pool of pending events drained by a scheduler.
 
+use crate::deviate::Deviation;
 use crate::error::SimError;
 use crate::event::{EventId, EventMeta, ProcessId};
 use crate::metrics::{MetricsCollector, MetricsConfig, RunMetrics};
@@ -54,6 +55,10 @@ pub struct Kernel<E> {
     // single branch per event; see `metrics.rs` and the
     // `substrate/metrics_ablation` bench for the measured overhead.
     metrics: Option<Box<MetricsCollector>>,
+    // Deviation the scheduler attached to the most recently fired event
+    // (queried right after `pick`). Consumed immediately by the runtime's
+    // dispatch, so it is not part of snapshots.
+    last_deviation: Deviation,
     time: u64,
     next_id: u64,
     event_limit: u64,
@@ -84,6 +89,7 @@ impl<E> Kernel<E> {
             trace: Trace::disabled(),
             stats: RunStats::default(),
             metrics: None,
+            last_deviation: Deviation::Faithful,
             time: 0,
             next_id: 0,
             event_limit: DEFAULT_EVENT_LIMIT,
@@ -209,6 +215,7 @@ impl<E> Kernel<E> {
         let picked_from = self.metas.len();
         let idx = self.scheduler.pick(&self.metas, &self.state);
         assert!(idx < self.metas.len(), "scheduler returned out-of-range index");
+        self.last_deviation = self.scheduler.deviation();
         let meta = self.metas.swap_remove(idx);
         let payload = self.payloads.swap_remove(idx);
         if self.hasher.is_some() {
@@ -334,6 +341,16 @@ impl<E> Kernel<E> {
     /// next run.
     pub fn reclaim_buffers(self) -> (Vec<EventMeta>, Vec<u64>, Vec<u64>) {
         (self.metas, self.hashes, self.payload_hashes)
+    }
+
+    /// The [`Deviation`] the scheduler attached to the most recently fired
+    /// event — [`Deviation::Faithful`] unless an adversary-aware scheduler
+    /// (a [`crate::ChoiceScheduler`] with an active policy, or a
+    /// [`crate::ReplayScheduler`] replaying a deviating script) chose
+    /// otherwise. Runtimes read this right after [`Kernel::next_checked`]
+    /// and apply the deviation at delivery time.
+    pub fn last_deviation(&self) -> Deviation {
+        self.last_deviation
     }
 
     /// Current virtual time (number of events fired so far).

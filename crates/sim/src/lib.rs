@@ -64,6 +64,7 @@
 
 mod arena;
 mod choice;
+mod deviate;
 mod digest;
 mod error;
 mod event;
@@ -83,6 +84,7 @@ mod trace;
 
 pub use arena::{DigestMode, RunArena};
 pub use choice::{ChoiceLog, ChoiceOption, ChoicePoint, ChoiceScheduler};
+pub use deviate::{Deviation, DeviationPolicy};
 pub use digest::{Fnv64, Mix64, StateDigest};
 pub use error::SimError;
 pub use event::{ChannelId, EventId, EventKind, EventMeta, ProcessId};
@@ -99,6 +101,8 @@ pub use sched::{
     StarvationScheduler,
 };
 pub use state::RunState;
-pub use substrate::{CallInfo, ContextCore, Effect, Substrate, SubstrateDigest, SubstrateFork};
+pub use substrate::{
+    CallInfo, ContextCore, Effect, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork,
+};
 pub use system::{DigestedRun, System};
 pub use trace::{RunStats, Trace, TraceEntry};

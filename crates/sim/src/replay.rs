@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use crate::deviate::Deviation;
 use crate::event::{EventId, EventMeta};
 use crate::sched::Scheduler;
 use crate::state::RunState;
@@ -49,6 +50,10 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
         let idx = self.inner.pick(pending, state);
         self.fired.push(pending[idx].id);
         idx
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        self.inner.deviation()
     }
 
     fn label(&self) -> &'static str {
@@ -106,16 +111,27 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ReplayScheduler {
-    script: VecDeque<EventId>,
+    script: VecDeque<(EventId, Deviation)>,
+    last: Deviation,
     divergences: u64,
 }
 
 impl ReplayScheduler {
     /// Creates a replayer for `schedule` (as produced by
-    /// [`RecordingScheduler::into_schedule`]).
+    /// [`RecordingScheduler::into_schedule`]); every step is delivered
+    /// faithfully.
     pub fn new(schedule: impl IntoIterator<Item = EventId>) -> Self {
+        Self::with_deviations(schedule.into_iter().map(|id| (id, Deviation::Faithful)))
+    }
+
+    /// Creates a replayer for a schedule that pairs each fired id with the
+    /// [`Deviation`] applied to it (as produced by
+    /// [`crate::ChoiceLog::fired_script`]) — the replay form of a Byzantine
+    /// or lossy-network counterexample.
+    pub fn with_deviations(schedule: impl IntoIterator<Item = (EventId, Deviation)>) -> Self {
         ReplayScheduler {
             script: schedule.into_iter().collect(),
+            last: Deviation::Faithful,
             divergences: 0,
         }
     }
@@ -130,9 +146,10 @@ impl ReplayScheduler {
 
 impl Scheduler for ReplayScheduler {
     fn pick(&mut self, pending: &[EventMeta], _state: &RunState) -> usize {
-        while let Some(&next) = self.script.front() {
+        while let Some(&(next, deviation)) = self.script.front() {
             if let Some(idx) = pending.iter().position(|m| m.id == next) {
                 self.script.pop_front();
+                self.last = deviation;
                 return idx;
             }
             // The scripted event does not exist (yet, or anymore). If it is
@@ -141,13 +158,18 @@ impl Scheduler for ReplayScheduler {
             self.divergences += 1;
             self.script.pop_front();
         }
-        // Script exhausted: deterministic fallback.
+        // Script exhausted: deterministic fallback, delivered faithfully.
+        self.last = Deviation::Faithful;
         pending
             .iter()
             .enumerate()
             .min_by_key(|(_, m)| m.id)
             .map(|(i, _)| i)
             .expect("pending is non-empty")
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        self.last
     }
 
     fn label(&self) -> &'static str {

@@ -1,5 +1,6 @@
 //! Pluggable schedulers: the executable form of the asynchronous adversary.
 
+use crate::deviate::Deviation;
 use crate::event::EventMeta;
 use crate::state::RunState;
 
@@ -50,6 +51,17 @@ pub trait Scheduler {
     /// delivery on decision progress.
     fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize;
 
+    /// The [`Deviation`] to apply to the event just returned by
+    /// [`Scheduler::pick`]; queried by the kernel once per fired event,
+    /// immediately after the pick. Schedulers that model only timing (every
+    /// scheduler of the crash model) keep the default: deliver faithfully.
+    /// Adversary-quantifying schedulers ([`crate::ChoiceScheduler`] under an
+    /// active policy, [`crate::ReplayScheduler`] with a deviation script)
+    /// override it; wrapper schedulers forward to their inner scheduler.
+    fn deviation(&mut self) -> Deviation {
+        Deviation::Faithful
+    }
+
     /// A short human-readable label used in traces and experiment reports.
     fn label(&self) -> &'static str {
         "scheduler"
@@ -59,6 +71,10 @@ pub trait Scheduler {
 impl Scheduler for Box<dyn Scheduler> {
     fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
         (**self).pick(pending, state)
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        (**self).deviation()
     }
 
     fn label(&self) -> &'static str {
@@ -74,6 +90,10 @@ impl Scheduler for Box<dyn Scheduler> {
 impl<S: Scheduler> Scheduler for std::rc::Rc<std::cell::RefCell<S>> {
     fn pick(&mut self, pending: &[EventMeta], state: &RunState) -> usize {
         self.borrow_mut().pick(pending, state)
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        self.borrow_mut().deviation()
     }
 
     fn label(&self) -> &'static str {
@@ -208,6 +228,10 @@ impl<S: Scheduler> Scheduler for StarvationScheduler<S> {
         let subset: Vec<EventMeta> = eligible.iter().map(|&i| pending[i]).collect();
         let choice = self.inner.pick(&subset, state);
         eligible[choice]
+    }
+
+    fn deviation(&mut self) -> Deviation {
+        self.inner.deviation()
     }
 
     fn label(&self) -> &'static str {

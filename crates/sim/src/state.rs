@@ -17,6 +17,7 @@ pub struct RunState {
     crashed: Vec<bool>,
     byzantine: Vec<bool>,
     actions: Vec<u64>,
+    drops: u64,
     now: u64,
 }
 
@@ -28,6 +29,7 @@ impl RunState {
             crashed: vec![false; n],
             byzantine: vec![false; n],
             actions: vec![0; n],
+            drops: 0,
             now: 0,
         }
     }
@@ -111,6 +113,21 @@ impl RunState {
         self.actions[pid] += 1;
         self.actions[pid]
     }
+
+    /// Number of deliveries suppressed so far by a [`crate::Deviation::Drop`]
+    /// (Byzantine silence or network loss). Lossy-network policies compare
+    /// this against their loss budget; it is zero throughout any run of the
+    /// crash model.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Charges one suppressed delivery and returns the new total. Called by
+    /// the runtime when a drop deviation fires.
+    pub fn charge_drop(&mut self) -> u64 {
+        self.drops += 1;
+        self.drops
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +185,15 @@ mod tests {
         assert_eq!(s.charge_action(0), 1);
         assert_eq!(s.charge_action(0), 2);
         assert_eq!(s.actions_of(0), 2);
+    }
+
+    #[test]
+    fn drop_charging_accumulates() {
+        let mut s = RunState::new(2);
+        assert_eq!(s.drops(), 0);
+        assert_eq!(s.charge_drop(), 1);
+        assert_eq!(s.charge_drop(), 2);
+        assert_eq!(s.drops(), 2);
     }
 
     #[test]

@@ -230,6 +230,39 @@ pub trait SubstrateDigest: Substrate {
     }
 }
 
+/// Adversarial-delivery hook for substrates whose payloads can be corrupted
+/// in transit — what [`crate::System::run_digested_adv_in`] and the Byzantine /
+/// lossy-network model checker build on.
+///
+/// A [`crate::Deviation::Forge`] replaces the *value content* of a delivery
+/// with a forged `u64` drawn from the proposal domain while keeping the
+/// event's envelope (source, target, kind) intact: the receiver observes a
+/// syntactically well-formed message or register read that simply carries a
+/// value the faithful execution never produced. This models a Byzantine
+/// sender (message passing) or a Byzantine register owner (shared memory)
+/// without simulating the deviating process's internals — the deviation
+/// space lives entirely in the scheduler's branch points.
+///
+/// A separate trait because only value-carrying substrates instantiated at
+/// `u64` proposal values can interpret a forged `u64`; plain execution and
+/// generic substrates never need this.
+pub trait SubstrateAdv: Substrate {
+    /// Delivers `payload` to the process as if its carried value were
+    /// `forged`. Implementations mirror [`Substrate::on_payload`] exactly,
+    /// substituting the forged value for the payload's own at the same
+    /// linearization point; payloads that carry no corruptible value (e.g.
+    /// a write acknowledgement) must be delivered faithfully.
+    fn on_forged(
+        proc: &mut Self::Process,
+        payload: Self::Payload,
+        forged: u64,
+        source: Option<ProcessId>,
+        shared: &Self::Shared,
+        info: CallInfo,
+        out: &mut Vec<Self::Action>,
+    );
+}
+
 /// Fork hooks for substrates whose mid-run state can be snapshotted — what
 /// the forking model-checker executor (`crate::ForkSession`) builds on.
 ///

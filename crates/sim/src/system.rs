@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::arena::{DigestMode, RunArena};
+use crate::deviate::Deviation;
 use crate::digest::{Fnv64, Mix64, StateDigest};
 use crate::error::SimError;
 use crate::event::{EventKind, EventMeta, ProcessId};
@@ -13,7 +14,7 @@ use crate::kernel::Kernel;
 use crate::metrics::MetricsConfig;
 use crate::outcome::Outcome;
 use crate::sched::{RandomScheduler, Scheduler};
-use crate::substrate::{CallInfo, Effect, Substrate, SubstrateDigest};
+use crate::substrate::{CallInfo, Effect, Substrate, SubstrateAdv, SubstrateDigest};
 
 /// Everything [`System::run_digested_shared`] returns: the outcome, the
 /// per-event [`StateDigest`] sequence, and the substrate's final shared
@@ -190,7 +191,37 @@ impl System {
         procs: Vec<S::Process>,
     ) -> Result<(Outcome<S::Output>, S::Shared), SimError> {
         let mut scratch = RunArena::new();
-        self.run_core::<S, _>(procs, &mut scratch, None, |_, _, _, _, _| {})
+        self.run_core::<S, FaithfulDelivery, _>(procs, &mut scratch, None, |_, _, _, _, _| {})
+    }
+
+    /// Runs the system like [`System::run`] but honours delivery
+    /// [`Deviation`]s from the scheduler — the replay entry point for
+    /// Byzantine / lossy-network counterexamples (pair it with a
+    /// [`crate::ReplayScheduler`] built via
+    /// [`crate::ReplayScheduler::with_deviations`]). Under a scheduler that
+    /// never deviates this is behaviourally identical to [`System::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_adv<S: SubstrateAdv>(
+        self,
+        procs: Vec<S::Process>,
+    ) -> Result<Outcome<S::Output>, SimError> {
+        self.run_shared_adv::<S>(procs).map(|(outcome, _)| outcome)
+    }
+
+    /// [`System::run_adv`] plus the final shared state.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_shared_adv<S: SubstrateAdv>(
+        self,
+        procs: Vec<S::Process>,
+    ) -> Result<(Outcome<S::Output>, S::Shared), SimError> {
+        let mut scratch = RunArena::new();
+        self.run_core::<S, DeviantDelivery, _>(procs, &mut scratch, None, |_, _, _, _, _| {})
     }
 
     /// Runs the system like [`System::run`], additionally computing a
@@ -268,6 +299,37 @@ impl System {
     where
         S::Output: StateDigest,
     {
+        self.run_digested_core::<S, FaithfulDelivery>(procs, arena)
+    }
+
+    /// [`System::run_digested_in`] with scheduler [`Deviation`]s honoured —
+    /// the model checker's hot entry point for Byzantine and lossy-network
+    /// adversary spaces. Identical digest semantics; runs with a nonzero
+    /// drop count mix it into every digest, so a lossy state never aliases
+    /// its loss-free twin.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_digested_adv_in<S: SubstrateAdv + SubstrateDigest>(
+        self,
+        procs: Vec<S::Process>,
+        arena: &mut RunArena,
+    ) -> Result<DigestedRun<S>, SimError>
+    where
+        S::Output: StateDigest,
+    {
+        self.run_digested_core::<S, DeviantDelivery>(procs, arena)
+    }
+
+    fn run_digested_core<S: SubstrateDigest, D: Delivery<S>>(
+        self,
+        procs: Vec<S::Process>,
+        arena: &mut RunArena,
+    ) -> Result<DigestedRun<S>, SimError>
+    where
+        S::Output: StateDigest,
+    {
         let mode = self.digest_mode;
         // Only the canonical digest reads the fault plan (for crash
         // budgets); don't pay the clone on the plain hot path.
@@ -279,7 +341,7 @@ impl System {
         let mut components = std::mem::take(&mut arena.components);
         let mut sorted = std::mem::take(&mut arena.sorted);
 
-        let result = self.run_core::<S, _>(
+        let result = self.run_core::<S, D, _>(
             procs,
             arena,
             Some(event_hashes::<S>),
@@ -332,7 +394,7 @@ impl System {
     {
         let mut scratch = RunArena::new();
         let mut digests = Vec::new();
-        let (outcome, _shared) = self.run_core::<S, _>(
+        let (outcome, _shared) = self.run_core::<S, FaithfulDelivery, _>(
             procs,
             &mut scratch,
             None,
@@ -349,7 +411,7 @@ impl System {
     /// the shared state. The kernel borrows its pool buffers from `arena`
     /// and returns them on teardown; `hasher`, when given, is installed as
     /// the kernel's per-event hasher before any event is posted.
-    fn run_core<S, O>(
+    fn run_core<S, D, O>(
         self,
         mut procs: Vec<S::Process>,
         arena: &mut RunArena,
@@ -358,6 +420,7 @@ impl System {
     ) -> Result<(Outcome<S::Output>, S::Shared), SimError>
     where
         S: Substrate,
+        D: Delivery<S>,
         O: FnMut(
             &EventMeta,
             &Kernel<Payload<S::Payload>>,
@@ -433,7 +496,7 @@ impl System {
             let Some((meta, payload)) = kernel.next_checked()? else {
                 break;
             };
-            step_event::<S>(
+            D::deliver(
                 &mut kernel,
                 &meta,
                 payload,
@@ -468,6 +531,95 @@ impl System {
         arena.hashes = hashes;
         arena.payload_hashes = payload_hashes;
         Ok((outcome, shared))
+    }
+}
+
+/// How fired events turn into process callbacks inside `run_core`: the
+/// static seam between the crash-model run loop (every delivery is
+/// faithful) and the adversarial one (the scheduler's [`Deviation`] may
+/// drop or corrupt a delivery in transit). A trait with unit-struct
+/// implementations rather than a runtime branch so the crash-model hot
+/// path compiles exactly as before — no per-event match on a deviation
+/// that is statically known to be [`Deviation::Faithful`].
+trait Delivery<S: Substrate> {
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        kernel: &mut Kernel<Payload<S::Payload>>,
+        meta: &EventMeta,
+        payload: Payload<S::Payload>,
+        procs: &mut [S::Process],
+        decisions: &mut [Option<S::Output>],
+        shared: &mut S::Shared,
+        started: &mut [bool],
+        plan: &FaultPlan,
+        n: usize,
+        buf: &mut Vec<S::Action>,
+    ) -> Result<(), SimError>;
+}
+
+/// Every delivery is faithful; a scheduler deviation reaching this loop is
+/// a harness bug (the checker must route active adversary spaces through
+/// the `*_adv` entry points).
+struct FaithfulDelivery;
+
+impl<S: Substrate> Delivery<S> for FaithfulDelivery {
+    fn deliver(
+        kernel: &mut Kernel<Payload<S::Payload>>,
+        meta: &EventMeta,
+        payload: Payload<S::Payload>,
+        procs: &mut [S::Process],
+        decisions: &mut [Option<S::Output>],
+        shared: &mut S::Shared,
+        started: &mut [bool],
+        plan: &FaultPlan,
+        n: usize,
+        buf: &mut Vec<S::Action>,
+    ) -> Result<(), SimError> {
+        debug_assert!(
+            matches!(kernel.last_deviation(), Deviation::Faithful),
+            "scheduler produced a deviation on the faithful run loop; \
+             use a `*_adv` entry point"
+        );
+        step_event::<S>(
+            kernel, meta, payload, procs, decisions, shared, started, plan, n, buf,
+        )
+    }
+}
+
+/// Applies the scheduler's [`Deviation`] at delivery time: faithful events
+/// dispatch as usual, dropped ones charge [`crate::RunState::drops`] and
+/// vanish, forged ones route through [`SubstrateAdv::on_forged`].
+struct DeviantDelivery;
+
+impl<S: SubstrateAdv> Delivery<S> for DeviantDelivery {
+    fn deliver(
+        kernel: &mut Kernel<Payload<S::Payload>>,
+        meta: &EventMeta,
+        payload: Payload<S::Payload>,
+        procs: &mut [S::Process],
+        decisions: &mut [Option<S::Output>],
+        shared: &mut S::Shared,
+        started: &mut [bool],
+        plan: &FaultPlan,
+        n: usize,
+        buf: &mut Vec<S::Action>,
+    ) -> Result<(), SimError> {
+        match kernel.last_deviation() {
+            Deviation::Faithful => step_event::<S>(
+                kernel, meta, payload, procs, decisions, shared, started, plan, n, buf,
+            ),
+            Deviation::Drop => {
+                // The delivery is suppressed outright: no callback runs, no
+                // lazy start fires (the target never observes the event).
+                // The charge makes the loss state-visible, so dedup cannot
+                // merge a run that spent loss budget with one that did not.
+                kernel.state_mut().charge_drop();
+                Ok(())
+            }
+            Deviation::Forge(v) => forged_event::<S>(
+                kernel, meta, payload, v, procs, decisions, shared, started, plan, n, buf,
+            ),
+        }
     }
 }
 
@@ -548,6 +700,87 @@ pub(crate) fn step_event<S: Substrate>(
                 pid,
                 buf,
                 |p, sh, info, out| S::on_payload(p, x, source, sh, info, out),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// [`step_event`]'s forged twin: identical crash filtering and lazy-start
+/// handling, but the substrate delivery routes through
+/// [`SubstrateAdv::on_forged`] with the adversary's value. Keeping the two
+/// functions line-for-line parallel is what makes an empty deviation menu
+/// provably equivalent to the faithful loop.
+#[allow(clippy::too_many_arguments)]
+fn forged_event<S: SubstrateAdv>(
+    kernel: &mut Kernel<Payload<S::Payload>>,
+    meta: &EventMeta,
+    payload: Payload<S::Payload>,
+    forged: u64,
+    procs: &mut [S::Process],
+    decisions: &mut [Option<S::Output>],
+    shared: &mut S::Shared,
+    started: &mut [bool],
+    plan: &FaultPlan,
+    n: usize,
+    buf: &mut Vec<S::Action>,
+) -> Result<(), SimError> {
+    let pid = meta.target;
+    if kernel.state().has_crashed(pid) {
+        return Ok(());
+    }
+    if !started[pid] {
+        started[pid] = true;
+        dispatch::<S, _>(
+            kernel,
+            procs,
+            decisions,
+            shared,
+            plan,
+            n,
+            pid,
+            buf,
+            |p, sh, info, out| S::on_start(p, sh, info, out),
+        )?;
+        if matches!(payload, Payload::Start) {
+            return Ok(());
+        }
+        if kernel.state().has_crashed(pid) {
+            return Ok(());
+        }
+    } else if matches!(payload, Payload::Start) {
+        return Ok(());
+    }
+    match payload {
+        Payload::Start => unreachable!("start handled above"),
+        // A deviation policy only offers forgery on substrate deliveries;
+        // a diverged replay script landing one on a local step delivers it
+        // faithfully rather than inventing semantics for a forged step.
+        Payload::Step => {
+            dispatch::<S, _>(
+                kernel,
+                procs,
+                decisions,
+                shared,
+                plan,
+                n,
+                pid,
+                buf,
+                |p, sh, info, out| S::on_step(p, sh, info, out),
+            )?;
+        }
+        Payload::Sub(x) => {
+            let source = meta.source;
+            dispatch::<S, _>(
+                kernel,
+                procs,
+                decisions,
+                shared,
+                plan,
+                n,
+                pid,
+                buf,
+                |p, sh, info, out| S::on_forged(p, x, forged, source, sh, info, out),
             )?;
         }
     }
@@ -773,7 +1006,20 @@ where
     S::digest_shared(shared, &mut sh);
     h.mix(sh.finish());
     h.mix(kernel.pool_digest());
+    mix_drops(&mut h, kernel.state().drops());
     h.finish()
+}
+
+/// Folds the run's suppressed-delivery count into a digest — but only when
+/// nonzero, so every crash-model digest stays bit-for-bit what it was
+/// before lossy adversaries existed. Under a loss budget the count is real
+/// state (it bounds the drops still available), so two otherwise-equal
+/// states with different counts must not dedup together.
+fn mix_drops(h: &mut Mix64, drops: u64) {
+    if drops != 0 {
+        h.mix(0xD0);
+        h.mix(drops);
+    }
 }
 
 /// The symmetry-canonical digest: invariant under any permutation of
@@ -864,6 +1110,9 @@ where
         });
         h.mix(pool);
     }
+    // Ties already mixed the drop count via the plain fallback; mixing it
+    // again is harmless and keeps the two branches uniformly drop-aware.
+    mix_drops(&mut h, kernel.state().drops());
     h.finish()
 }
 
@@ -901,5 +1150,6 @@ where
         pool = pool.wrapping_add(event_hashes::<S>(meta, payload).0);
     });
     h.mix(pool);
+    mix_drops(&mut h, kernel.state().drops());
     h.finish()
 }
