@@ -5,7 +5,8 @@ use std::marker::PhantomData;
 
 use kset_sim::{
     CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
-    SimError, StateDigest, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork, System,
+    Session, SimError, StateDigest, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork,
+    System,
 };
 
 use crate::outcome::MpOutcome;
@@ -278,7 +279,29 @@ impl MpSystem {
     {
         self.0.run_digested::<MpSubstrate<M, V>>(procs)
     }
+
+    /// Builds a steppable [`MpSession`] instead of running to completion:
+    /// drive it with [`kset_sim::Session::step`] until it reports
+    /// [`kset_sim::Poll::Decided`] or [`kset_sim::Poll::Idle`], then
+    /// collect the outcome with [`kset_sim::Session::finish`]. This is how
+    /// a server interleaves many concurrent runs — `kset-serve` multiplexes
+    /// millions of these over a worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] as for [`MpSystem::run`]; run-time
+    /// errors surface from `step` instead.
+    pub fn session<M: Clone, V>(
+        self,
+        procs: Vec<DynMpProcess<M, V>>,
+    ) -> Result<MpSession<M, V>, SimError> {
+        self.0.session::<MpSubstrate<M, V>>(procs)
+    }
 }
+
+/// A steppable message-passing run: [`kset_sim::Session`] bound to the
+/// [`MpSubstrate`], as built by [`MpSystem::session`].
+pub type MpSession<M, V> = Session<MpSubstrate<M, V>>;
 
 #[cfg(test)]
 mod tests {

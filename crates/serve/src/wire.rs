@@ -1,0 +1,162 @@
+//! Minimal line protocol for driving a [`Server`] over a byte stream.
+//!
+//! One text command per line:
+//!
+//! | command              | effect                                            |
+//! |----------------------|---------------------------------------------------|
+//! | `RUN v0,v1,...`      | propose an instance, reply `ID <id>`              |
+//! | `FLUSH`              | wait for every outstanding decision of this       |
+//! |                      | connection; reply one `DECIDED` line per instance |
+//! |                      | (ascending id) then `OK <count>`                  |
+//! | `STATS`              | reply `STATS proposed=<p> flushed=<f>`            |
+//! | `QUIT` (or EOF)      | close the connection                              |
+//!
+//! A decision line looks like `DECIDED 17 terminated=true 0:4 1:4 2:4` —
+//! instance id, termination flag, then `process:value` pairs. Malformed or
+//! unknown input earns an `ERR <reason>` line and the connection stays up.
+//!
+//! The protocol is synchronous and single-tenant by design: the server's
+//! decision channel has one consumer, so the `kset-serve` binary serves
+//! one connection at a time. The interesting concurrency — millions of
+//! in-flight instances — lives behind [`Server`], not in the framing.
+
+use std::io::{self, BufRead, Write};
+
+use crate::instance::Decision;
+use crate::server::{ServeClient, Server};
+
+/// Per-connection totals returned by [`serve_connection`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Instances proposed over this connection.
+    pub proposed: u64,
+    /// Decisions delivered back over this connection.
+    pub flushed: u64,
+}
+
+/// Parses a `v0,v1,...` comma-separated input vector.
+pub fn parse_inputs(csv: &str) -> Option<Vec<u64>> {
+    csv.split(',').map(|part| part.trim().parse::<u64>().ok()).collect()
+}
+
+/// Formats one decision as its `DECIDED` wire line (without newline).
+pub fn decision_line(decision: &Decision) -> String {
+    let mut line = format!(
+        "DECIDED {} terminated={}",
+        decision.id,
+        decision.record.terminated()
+    );
+    for (&pid, &value) in decision.record.decisions() {
+        line.push_str(&format!(" {pid}:{value}"));
+    }
+    line
+}
+
+/// Serves one connection: reads commands from `input`, writes replies to
+/// `output`, until `QUIT` or EOF. Returns the connection's totals.
+pub fn serve_connection<R: BufRead, W: Write>(
+    server: &Server,
+    client: &ServeClient,
+    input: R,
+    mut output: W,
+) -> io::Result<ConnStats> {
+    let mut stats = ConnStats::default();
+    let mut outstanding: u64 = 0;
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (command, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match command {
+            "RUN" => match parse_inputs(rest) {
+                Some(inputs) => match client.propose(inputs) {
+                    Ok(id) => {
+                        stats.proposed += 1;
+                        outstanding += 1;
+                        writeln!(output, "ID {id}")?;
+                    }
+                    Err(err) => writeln!(output, "ERR {err}")?,
+                },
+                None => writeln!(output, "ERR expected RUN v0,v1,...")?,
+            },
+            "FLUSH" => {
+                let mut batch = Vec::with_capacity(outstanding as usize);
+                while outstanding > 0 {
+                    match server.recv_decision() {
+                        Some(decision) => {
+                            outstanding -= 1;
+                            batch.push(decision);
+                        }
+                        None => break, // workers gone; report what we have
+                    }
+                }
+                batch.sort_by_key(|d| d.id);
+                stats.flushed += batch.len() as u64;
+                for decision in &batch {
+                    writeln!(output, "{}", decision_line(decision))?;
+                }
+                writeln!(output, "OK {}", batch.len())?;
+            }
+            "STATS" => {
+                writeln!(
+                    output,
+                    "STATS proposed={} flushed={}",
+                    stats.proposed, stats.flushed
+                )?;
+            }
+            "QUIT" => break,
+            _ => writeln!(output, "ERR unknown command {command}")?,
+        }
+        output.flush()?;
+    }
+    output.flush()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Workload;
+    use crate::server::{ServeConfig, Server};
+
+    #[test]
+    fn run_flush_round_trip() {
+        let server = Server::start(ServeConfig::new(Workload::flood_min(3, 1)));
+        let client = server.client();
+        let script = "RUN 5,6,7\nRUN 1,1,1\nFLUSH\nSTATS\nQUIT\n";
+        let mut reply = Vec::new();
+        let stats =
+            serve_connection(&server, &client, script.as_bytes(), &mut reply).unwrap();
+        assert_eq!(stats, ConnStats { proposed: 2, flushed: 2 });
+        let reply = String::from_utf8(reply).unwrap();
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "ID 0");
+        assert_eq!(lines[1], "ID 1");
+        assert!(lines[2].starts_with("DECIDED 0 terminated=true "));
+        assert!(lines[3].starts_with("DECIDED 1 terminated=true "));
+        assert_eq!(lines[4], "OK 2");
+        assert_eq!(lines[5], "STATS proposed=2 flushed=2");
+        drop(client);
+        assert_eq!(server.shutdown().decided, 2);
+    }
+
+    #[test]
+    fn malformed_lines_get_err_replies() {
+        let server = Server::start(ServeConfig::new(Workload::flood_min(3, 1)));
+        let client = server.client();
+        let script = "RUN nope\nRUN 1,2\nPING\nQUIT\n";
+        let mut reply = Vec::new();
+        serve_connection(&server, &client, script.as_bytes(), &mut reply).unwrap();
+        let reply = String::from_utf8(reply).unwrap();
+        for line in reply.lines() {
+            assert!(line.starts_with("ERR "), "unexpected reply: {line}");
+        }
+        drop(client);
+        server.shutdown();
+    }
+}

@@ -89,4 +89,4 @@ mod system;
 pub use outcome::SmOutcome;
 pub use process::{DynSmProcess, RawSmAction, SmContext, SmProcess};
 pub use register::{Memory, RegisterId};
-pub use system::{SmOp, SmSubstrate, SmSystem};
+pub use system::{SmOp, SmSession, SmSubstrate, SmSystem};

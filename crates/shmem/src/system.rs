@@ -5,7 +5,8 @@ use std::marker::PhantomData;
 
 use kset_sim::{
     CallInfo, DelayRule, Effect, EventKind, FaultPlan, Fnv64, MetricsConfig, ProcessId, Scheduler,
-    SimError, StateDigest, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork, System,
+    Session, SimError, StateDigest, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork,
+    System,
 };
 
 use crate::outcome::SmOutcome;
@@ -339,7 +340,28 @@ impl SmSystem {
             digests,
         ))
     }
+
+    /// Builds a steppable [`SmSession`] instead of running to completion:
+    /// drive it with [`kset_sim::Session::step`] until it reports
+    /// [`kset_sim::Poll::Decided`] or [`kset_sim::Poll::Idle`], then
+    /// collect the outcome with [`kset_sim::Session::finish`] (the final
+    /// register store is the session's shared state).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] as for [`SmSystem::run`]; run-time
+    /// errors surface from `step` instead.
+    pub fn session<Val: Clone, Out>(
+        self,
+        procs: Vec<DynSmProcess<Val, Out>>,
+    ) -> Result<SmSession<Val, Out>, SimError> {
+        self.0.session::<SmSubstrate<Val, Out>>(procs)
+    }
 }
+
+/// A steppable shared-memory run: [`kset_sim::Session`] bound to the
+/// [`SmSubstrate`], as built by [`SmSystem::session`].
+pub type SmSession<Val, Out> = Session<SmSubstrate<Val, Out>>;
 #[cfg(test)]
 mod tests {
     use super::*;

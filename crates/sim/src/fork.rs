@@ -26,8 +26,9 @@
 //!   the *new* suffix.
 //!
 //! Resumed runs are **bit-identical** to from-the-root replays of the same
-//! prefix: the run loop is the very same [`crate::system`] code
-//! (`step_event` / `observe_digest`), the restored scheduler replays the
+//! prefix: the run loop is the very same session code (the `RunCore` event
+//! dispatch and `DigestEngine` observation every driver in
+//! `crate::drivers` steps through), the restored scheduler replays the
 //! remaining prefix entries through the ordinary in-prefix fast path, and
 //! the restored kernel reproduces the same event ids, digests and run
 //! statistics. The replay path stays in-tree as the cross-checked oracle.
@@ -51,8 +52,8 @@ use crate::event::{EventId, EventKind, EventMeta, ProcessId};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::kernel::{Kernel, KernelSnapshot};
 use crate::outcome::Outcome;
+use crate::session::{self, DigestEngine, Payload, RunCore};
 use crate::substrate::SubstrateFork;
-use crate::system::{self, Payload};
 
 /// How the explorer steers snapshot taking during a forked run.
 ///
@@ -218,12 +219,6 @@ pub struct ForkSession<S: SubstrateFork>
 where
     S::Output: StateDigest + Clone,
 {
-    n: usize,
-    plan: FaultPlan,
-    digest: DigestMode,
-    /// Clone of the plan handed to the canonical digest; `None` in plain
-    /// mode, which never reads it (mirrors `run_digested_in`).
-    canonical_plan: Option<FaultPlan>,
     por: bool,
     max_branch_depth: usize,
     budget_bytes: Option<usize>,
@@ -232,15 +227,14 @@ where
     picker: Rc<RefCell<ChoiceScheduler>>,
     log: Rc<RefCell<ChoiceLog>>,
     root: Rc<RunSnapshot<S>>,
-    procs: Vec<S::Process>,
-    shared: S::Shared,
-    decisions: Vec<Option<S::Output>>,
-    started: Vec<bool>,
-    proc_digests: Vec<u64>,
-    digests: Vec<u64>,
-    components: Vec<u64>,
-    sorted: Vec<u64>,
-    buf: Vec<S::Action>,
+    /// The live run state — the same structure every stepped
+    /// [`Session`](crate::Session) dispatches into, so forked and stepped
+    /// runs share their event semantics by construction.
+    core: RunCore<S>,
+    /// The incremental digest state, shared with the stepped session layer
+    /// the same way; the session snapshots/restores its `proc_digests`
+    /// cache and truncates its `digests` chain at branch points.
+    dig: DigestEngine,
     /// Snapshots taken during the current run, in (strictly ascending)
     /// depth order.
     snaps: Vec<Rc<RunSnapshot<S>>>,
@@ -256,8 +250,8 @@ where
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ForkSession")
-            .field("n", &self.n)
-            .field("depth", &self.digests.len())
+            .field("n", &self.core.n)
+            .field("depth", &self.dig.digests.len())
             .field("snapshots", &self.snaps.len())
             .field("live_bytes", &self.live_bytes.get())
             .finish()
@@ -287,7 +281,7 @@ where
         let log = picker.borrow().log_handle();
         let mut kernel: Kernel<Payload<S::Payload>> =
             Kernel::with_processes(Rc::clone(&picker), n)
-                .event_hasher(system::event_hashes::<S>);
+                .event_hasher(session::event_hashes::<S>);
         if let Some(limit) = config.event_limit {
             kernel = kernel.event_limit(limit);
         }
@@ -300,7 +294,9 @@ where
             kernel.post(EventMeta::new(EventKind::LocalStep, pid), Payload::Start);
         }
 
-        let shared = S::new_shared(n);
+        let canonical_plan =
+            matches!(config.digest, DigestMode::Canonical).then(|| plan.clone());
+        let core = RunCore::new(n, plan, procs);
         let live_bytes = Rc::new(Cell::new(0));
         let pool = Rc::new(RefCell::new(Vec::new()));
         let root = Rc::new(RunSnapshot {
@@ -315,18 +311,13 @@ where
                 // does.
                 proc_digests: Vec::new(),
             },
-            shared: S::fork_shared(&shared),
+            shared: S::fork_shared(&core.shared),
             bytes: 0,
             live_bytes: Rc::clone(&live_bytes),
             pool: Rc::clone(&pool),
         });
 
         Some(ForkSession {
-            n,
-            canonical_plan: matches!(config.digest, DigestMode::Canonical)
-                .then(|| plan.clone()),
-            plan,
-            digest: config.digest,
             por: config.por,
             max_branch_depth: config.max_branch_depth,
             budget_bytes: config.budget_bytes,
@@ -335,15 +326,8 @@ where
             picker,
             log,
             root,
-            procs,
-            shared,
-            decisions: (0..n).map(|_| None).collect(),
-            started: vec![false; n],
-            proc_digests: Vec::new(),
-            digests: Vec::new(),
-            components: Vec::new(),
-            sorted: Vec::new(),
-            buf: Vec::new(),
+            core,
+            dig: DigestEngine::new(config.digest, canonical_plan),
             snaps: Vec::new(),
             pool,
             cur_prefix_len: 0,
@@ -383,15 +367,15 @@ where
         self.cur_prefix_len = prefix.len();
 
         self.kernel.restore(&snap.bufs.kernel);
-        self.procs.clear();
-        self.procs.extend(snap.bufs.procs.iter().map(|p| {
+        self.core.procs.clear();
+        self.core.procs.extend(snap.bufs.procs.iter().map(|p| {
             S::fork_process(p).expect("processes were forkable at session creation")
         }));
-        self.shared = S::fork_shared(&snap.shared);
-        self.decisions.clone_from(&snap.bufs.decisions);
-        self.started.clone_from(&snap.bufs.started);
-        self.proc_digests.clone_from(&snap.bufs.proc_digests);
-        self.digests.truncate(depth);
+        self.core.shared = S::fork_shared(&snap.shared);
+        self.core.decisions.clone_from(&snap.bufs.decisions);
+        self.core.started.clone_from(&snap.bufs.started);
+        self.dig.proc_digests.clone_from(&snap.bufs.proc_digests);
+        self.dig.digests.truncate(depth);
         self.log.borrow_mut().truncate(depth);
         self.picker.borrow_mut().rewind(prefix, depth);
 
@@ -428,15 +412,15 @@ where
         self.cur_prefix_len = prefix.len();
 
         self.kernel.restore_swap(&mut owned.bufs.kernel);
-        std::mem::swap(&mut self.procs, &mut owned.bufs.procs);
-        std::mem::swap(&mut self.shared, &mut owned.shared);
-        std::mem::swap(&mut self.decisions, &mut owned.bufs.decisions);
-        std::mem::swap(&mut self.started, &mut owned.bufs.started);
-        std::mem::swap(&mut self.proc_digests, &mut owned.bufs.proc_digests);
+        std::mem::swap(&mut self.core.procs, &mut owned.bufs.procs);
+        std::mem::swap(&mut self.core.shared, &mut owned.shared);
+        std::mem::swap(&mut self.core.decisions, &mut owned.bufs.decisions);
+        std::mem::swap(&mut self.core.started, &mut owned.bufs.started);
+        std::mem::swap(&mut self.dig.proc_digests, &mut owned.bufs.proc_digests);
         // Reclaim the swapped-out buffers before the run so its first
         // snapshot finds them in the pool.
         drop(owned);
-        self.digests.truncate(depth);
+        self.dig.digests.truncate(depth);
         self.log.borrow_mut().truncate(depth);
         self.picker.borrow_mut().rewind(prefix, depth);
 
@@ -473,7 +457,7 @@ where
         log.copy_from(&self.log.borrow());
         let mut digests = std::mem::take(&mut arena.digests);
         digests.clear();
-        digests.extend_from_slice(&self.digests);
+        digests.extend_from_slice(&self.dig.digests);
         (self.export_outcome(), digests, log)
     }
 
@@ -482,6 +466,7 @@ where
     /// and digest copies of [`ForkSession::export_run`].
     pub fn export_outcome(&self) -> Outcome<S::Output> {
         let decisions = self
+            .core
             .decisions
             .iter()
             .enumerate()
@@ -489,8 +474,8 @@ where
             .collect();
         Outcome {
             decisions,
-            correct: self.plan.correct_set(),
-            faulty: self.plan.faulty_set(),
+            correct: self.core.plan.correct_set(),
+            faulty: self.core.plan.faulty_set(),
             terminated: self.last_terminated,
             stats: *self.kernel.stats(),
             trace: self.kernel.trace().clone(),
@@ -500,14 +485,14 @@ where
 
     /// System-state digests of the just-finished run, one per fired event.
     pub fn digests(&self) -> &[u64] {
-        &self.digests
+        &self.dig.digests
     }
 
     /// Decision table of the just-finished run, indexed by process —
     /// the allocation-free alternative to
     /// [`ForkSession::export_outcome`]'s decision map.
     pub fn decisions(&self) -> &[Option<S::Output>] {
-        &self.decisions
+        &self.core.decisions
     }
 
     /// Whether every correct process decided in the just-finished run.
@@ -528,7 +513,7 @@ where
             if self.kernel.state().all_correct_decided() {
                 break;
             }
-            let depth = self.digests.len();
+            let depth = self.dig.digests.len();
             // Branchiness (a scan of the small pending pool) is checked
             // before the gate (hash probes into the explorer's visited
             // stores), so non-branchy points — the majority — cost no
@@ -542,7 +527,7 @@ where
                 && self.kernel.pending_len() > 1
                 && self.point_is_branchy(&*gate)
             {
-                if depth > 0 && !gate.branches_beyond(depth, self.digests[depth - 1]) {
+                if depth > 0 && !gate.branches_beyond(depth, self.dig.digests[depth - 1]) {
                     // The walk will stop at or before this depth; nothing
                     // beyond it can branch, in this run or its suffix.
                     gate_open = false;
@@ -553,30 +538,13 @@ where
             let Some((meta, payload)) = self.kernel.next_checked()? else {
                 break;
             };
-            system::step_event::<S>(
-                &mut self.kernel,
-                &meta,
-                payload,
-                &mut self.procs,
-                &mut self.decisions,
-                &mut self.shared,
-                &mut self.started,
-                &self.plan,
-                self.n,
-                &mut self.buf,
-            )?;
-            system::observe_digest::<S>(
+            self.core.step_event(&mut self.kernel, &meta, payload)?;
+            self.dig.observe::<S>(
                 &meta,
                 &self.kernel,
-                &self.procs,
-                &self.decisions,
-                &self.shared,
-                self.digest,
-                self.canonical_plan.as_ref(),
-                &mut self.proc_digests,
-                &mut self.digests,
-                &mut self.components,
-                &mut self.sorted,
+                &self.core.procs,
+                &self.core.decisions,
+                &self.core.shared,
             );
             if depth >= self.cur_prefix_len {
                 gate.on_fired(meta.target);
@@ -637,16 +605,16 @@ where
         let mut bufs = self.pool.borrow_mut().pop().unwrap_or_default();
         self.kernel.snapshot_into(&mut bufs.kernel);
         bufs.procs.clear();
-        bufs.procs.extend(self.procs.iter().map(|p| {
+        bufs.procs.extend(self.core.procs.iter().map(|p| {
             S::fork_process(p).expect("processes were forkable at session creation")
         }));
-        bufs.decisions.clone_from(&self.decisions);
-        bufs.started.clone_from(&self.started);
-        bufs.proc_digests.clone_from(&self.proc_digests);
+        bufs.decisions.clone_from(&self.core.decisions);
+        bufs.started.clone_from(&self.core.started);
+        bufs.proc_digests.clone_from(&self.dig.proc_digests);
         self.snaps.push(Rc::new(RunSnapshot {
             depth,
             bufs,
-            shared: S::fork_shared(&self.shared),
+            shared: S::fork_shared(&self.core.shared),
             bytes,
             live_bytes: Rc::clone(&self.live_bytes),
             pool: Rc::clone(&self.pool),
@@ -659,6 +627,6 @@ where
     fn estimated_bytes(&self) -> usize {
         let per_event = size_of::<EventMeta>() + size_of::<Payload<S::Payload>>() + 16;
         let per_proc = size_of::<S::Process>() + size_of::<Option<S::Output>>() + 64;
-        256 + self.kernel.pending_len() * per_event + self.n * per_proc
+        256 + self.kernel.pending_len() * per_event + self.core.n * per_proc
     }
 }

@@ -64,8 +64,10 @@
 
 mod arena;
 mod choice;
+mod config;
 mod deviate;
 mod digest;
+mod drivers;
 mod error;
 mod event;
 mod fifo_channels;
@@ -77,9 +79,9 @@ mod metrics;
 mod outcome;
 mod replay;
 mod sched;
+mod session;
 mod state;
 mod substrate;
-mod system;
 mod trace;
 
 pub use arena::{DigestMode, RunArena};
@@ -104,5 +106,7 @@ pub use state::RunState;
 pub use substrate::{
     CallInfo, ContextCore, Effect, Substrate, SubstrateAdv, SubstrateDigest, SubstrateFork,
 };
-pub use system::{DigestedRun, System};
+pub use config::{RunConfig, System};
+pub use drivers::DigestedRun;
+pub use session::{Delivery, DeviantDelivery, FaithfulDelivery, Payload, Poll, Session};
 pub use trace::{RunStats, Trace, TraceEntry};

@@ -15,7 +15,9 @@
 //! * [`protocols`] — every protocol of the paper plus the MP→SM SIMULATION
 //!   and the SM→MP register emulations;
 //! * [`adversary`] — Byzantine strategies and crash placements;
-//! * [`regions`] — the solvability atlases of Figures 2/4/5/6.
+//! * [`regions`] — the solvability atlases of Figures 2/4/5/6;
+//! * [`serve`] — consensus as a service: millions of short-lived
+//!   instances multiplexed over steppable [`sim::Session`]s.
 //!
 //! ## Example
 //!
@@ -43,5 +45,6 @@ pub use kset_core as core;
 pub use kset_net as net;
 pub use kset_protocols as protocols;
 pub use kset_regions as regions;
+pub use kset_serve as serve;
 pub use kset_shmem as shmem;
 pub use kset_sim as sim;

@@ -1,0 +1,311 @@
+//! The steppable session is the run loop — byte-for-byte.
+//!
+//! PR 10 split the monolithic run loop into an incremental
+//! [`Session`](kset::sim::Session) (`step()` fires one kernel event) and
+//! re-expressed every `run_*` entry point as a loop over it. This test
+//! pins the refactor's whole contract:
+//!
+//! * Driving a session by hand (`step()` until it reports
+//!   [`Poll::Decided`]/[`Poll::Idle`], then `finish()`) is **byte-identical**
+//!   to the one-shot `run()` entry points — decisions, fault sets,
+//!   termination, kernel counters, traces, metrics — on both substrates,
+//!   across seeds and fault plans, including the error paths.
+//! * The deviation-aware session (`session_adv`, the checker's delivery
+//!   path) replays a real Byzantine counterexample exactly like
+//!   `run_adv`, with zero scheduler divergences.
+//! * The model checker built on top still certifies the PR 9 Byzantine
+//!   frontier with the same counters digit for digit, invariantly across
+//!   fork modes and thread counts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kset::net::{MpSubstrate, MpSystem};
+use kset::protocols::{FloodMin, ProtocolE};
+use kset::shmem::SmSystem;
+use kset::sim::{
+    FaultPlan, FaultSpec, MetricsConfig, Poll, ReplayScheduler, System,
+};
+use kset_core::ValidityCondition;
+use kset_experiments::checker::{
+    check_cell, AdversaryModel, CheckerConfig, ForkMode,
+};
+use kset_experiments::exhaustive::QuorumProtocol;
+
+/// Register-decision rule sentinel used by the shared-memory protocols.
+const DEFAULT: u64 = u64::MAX;
+
+/// The fault plans every comparison sweeps: failure-free, a silent crash,
+/// and a mid-broadcast crash (budgeted after three atomic actions — the
+/// Lemma 3.5 capability, exercising the crash bookkeeping of the loop).
+fn plans(n: usize) -> Vec<FaultPlan> {
+    let mut budgeted = FaultPlan::all_correct(n);
+    budgeted.set(1, FaultSpec::Crash { after_actions: 3 });
+    vec![
+        FaultPlan::all_correct(n),
+        FaultPlan::silent_crashes(n, &[0]),
+        budgeted,
+    ]
+}
+
+#[test]
+fn mp_step_driver_is_byte_identical_to_run() {
+    let n = 5;
+    let inputs: Vec<u64> = (0..n as u64).map(|p| (p * 13) % 7).collect();
+    for seed in [0, 7, 42] {
+        for plan in plans(n) {
+            let build = || {
+                MpSystem::new(n)
+                    .seed(seed)
+                    .fault_plan(plan.clone())
+                    .trace_capacity(256)
+                    .metrics(MetricsConfig::enabled())
+            };
+            let procs =
+                |t| inputs.iter().map(|&v| FloodMin::boxed(n, t, v)).collect::<Vec<_>>();
+
+            let whole = build().run(procs(2)).expect("run");
+
+            let mut session = build().session(procs(2)).expect("session");
+            let mut pending_polls = 0u64;
+            while let Poll::Pending = session.step().expect("step") {
+                pending_polls += 1;
+            }
+            let (stepped, ()) = session.finish();
+
+            // One poll per fired event: the step driver saw the whole run.
+            assert_eq!(pending_polls, stepped.stats.events_fired);
+            assert_eq!(
+                format!("{whole:?}"),
+                format!("{stepped:?}"),
+                "seed {seed}, plan {plan:?}: step driver diverged from run()"
+            );
+        }
+    }
+}
+
+#[test]
+fn sm_step_driver_is_byte_identical_to_run() {
+    let n = 4;
+    let inputs: Vec<u64> = vec![9, 3, 3, 8];
+    for seed in [1, 11] {
+        for plan in plans(n) {
+            let build = || {
+                SmSystem::new(n)
+                    .seed(seed)
+                    .fault_plan(plan.clone())
+                    .trace_capacity(256)
+                    .metrics(MetricsConfig::enabled())
+            };
+            let procs = || {
+                inputs
+                    .iter()
+                    .map(|&v| ProtocolE::boxed(n, 3, v, DEFAULT))
+                    .collect::<Vec<_>>()
+            };
+
+            let whole = build().run(procs()).expect("run");
+
+            let mut session = build().session(procs()).expect("session");
+            while matches!(session.step().expect("step"), Poll::Pending) {}
+            let (stepped, memory) = session.finish();
+
+            assert_eq!(
+                format!("{:?}", *whole),
+                format!("{stepped:?}"),
+                "seed {seed}, plan {plan:?}: SM step driver diverged from run()"
+            );
+            // The facade's memory snapshot is the session's shared state.
+            assert_eq!(whole.memory, memory.snapshot());
+        }
+    }
+}
+
+#[test]
+fn poll_contract_and_accessors() {
+    let n = 3;
+    let procs: Vec<_> = [4u64, 2, 6].iter().map(|&v| FloodMin::boxed(n, 1, v)).collect();
+    let mut session = MpSystem::new(n).seed(5).session(procs).expect("session");
+    assert_eq!(session.n(), n);
+    assert!(!session.decided());
+    assert!(session.decisions().iter().all(Option::is_none));
+
+    let mut polls = Vec::new();
+    loop {
+        let poll = session.step().expect("step");
+        polls.push(poll);
+        if poll != Poll::Pending {
+            break;
+        }
+    }
+    // A 3-process FloodMin run takes several events, none after the end.
+    assert!(polls.len() > 1, "run decided without any pending polls");
+    assert!(polls[..polls.len() - 1].iter().all(|p| *p == Poll::Pending));
+    assert_eq!(*polls.last().unwrap(), Poll::Decided);
+    assert!(session.decided());
+    assert!(session.decisions().iter().all(Option::is_some));
+    // Every `Pending` poll fired exactly one event; the final `Decided`
+    // poll fired none (the decision check precedes dispatch).
+    assert_eq!(session.stats().events_fired, (polls.len() - 1) as u64);
+
+    let (outcome, ()) = session.finish();
+    assert!(outcome.terminated);
+    // FloodMin(3, 1) solves 2-set consensus: at most two distinct
+    // decisions, always including the flooded minimum.
+    let decided = outcome.correct_decision_set();
+    assert!(decided.len() <= 2, "{decided:?}");
+    assert!(decided.contains(&2), "{decided:?}");
+}
+
+#[test]
+fn event_limit_error_is_identical_across_drivers() {
+    let n = 4;
+    let procs =
+        |t| (0..n as u64).map(|v| FloodMin::boxed(n, t, v)).collect::<Vec<_>>();
+    let whole = MpSystem::new(n).seed(3).event_limit(5).run(procs(1));
+    let mut session = MpSystem::new(n)
+        .seed(3)
+        .event_limit(5)
+        .session(procs(1))
+        .expect("session");
+    let stepped = loop {
+        match session.step() {
+            Ok(Poll::Pending) => continue,
+            Ok(_) => panic!("a 5-event budget cannot finish this run"),
+            Err(err) => break err,
+        }
+    };
+    assert_eq!(
+        format!("{:?}", whole.expect_err("budget must be exceeded")),
+        format!("{stepped:?}"),
+    );
+}
+
+/// The PR 9 Byzantine frontier cell on the violated side: FloodMin under
+/// `mp_byz` with menu `{0}` + selective silence on all-equal inputs
+/// (Lemma 3.10).
+fn mp_byz_cell() -> CheckerConfig {
+    let mut cfg = CheckerConfig::new(QuorumProtocol::FloodMin, 3, 2, 1, ValidityCondition::RV1);
+    cfg.adversary = AdversaryModel::MpByz;
+    cfg.byz_menu = vec![0];
+    cfg.byz_silence = true;
+    cfg.inputs = Some(vec![1, 1, 1]);
+    cfg
+}
+
+#[test]
+fn byzantine_replay_is_identical_across_drivers() {
+    let cfg = mp_byz_cell();
+    let verdict = check_cell(&cfg);
+    assert!(!verdict.holds(), "{verdict}");
+    let ce = verdict.counterexample.as_ref().expect("violated cells carry a counterexample");
+
+    let mut plan = FaultPlan::silent_crashes(cfg.n, &ce.crashed);
+    for &p in &ce.byzantine {
+        plan.set(p, FaultSpec::Byzantine);
+    }
+    let inputs = cfg.cell_inputs();
+
+    // Drive the recorded schedule once through `run_adv` and once through
+    // a hand-stepped deviation-aware session: same outcome bytes, and
+    // both replays must follow the script without a single divergence.
+    let drive = |by_steps: bool| {
+        let sched = Rc::new(RefCell::new(ReplayScheduler::with_deviations(
+            ce.fired.iter().copied(),
+        )));
+        let sys = System::new(cfg.n)
+            .scheduler(Rc::clone(&sched))
+            .fault_plan(plan.clone());
+        let procs: Vec<_> =
+            inputs.iter().map(|&v| FloodMin::boxed(cfg.n, cfg.t, v)).collect();
+        let outcome = if by_steps {
+            let mut session =
+                sys.session_adv::<MpSubstrate<u64, u64>>(procs).expect("session");
+            while matches!(session.step().expect("step"), Poll::Pending) {}
+            session.finish().0
+        } else {
+            sys.run_adv::<MpSubstrate<u64, u64>>(procs).expect("replay")
+        };
+        let divergences = sched.borrow().divergences();
+        (format!("{outcome:?}"), divergences)
+    };
+    let (whole, whole_div) = drive(false);
+    let (stepped, stepped_div) = drive(true);
+    assert_eq!(whole, stepped, "deviant replay diverged between drivers");
+    assert_eq!(whole_div, 0);
+    assert_eq!(stepped_div, 0);
+}
+
+#[test]
+fn frontier_counters_match_pr9_digit_for_digit() {
+    // Violated side, message passing: 5 006 runs over 3 fault patterns.
+    let verdict = check_cell(&mp_byz_cell());
+    assert!(!verdict.holds(), "{verdict}");
+    assert_eq!(verdict.runs, 5_006);
+    assert_eq!(verdict.patterns.len(), 3);
+
+    // Holds side, message passing (Protocol A under WV2, Lemma 3.12):
+    // 75 208 runs over 7 patterns.
+    let mut cfg = CheckerConfig::new(QuorumProtocol::ProtocolA, 3, 3, 1, ValidityCondition::WV2);
+    cfg.adversary = AdversaryModel::MpByz;
+    cfg.byz_menu = vec![0];
+    cfg.byz_silence = true;
+    cfg.inputs = Some(vec![1, 1, 1]);
+    let verdict = check_cell(&cfg);
+    assert!(verdict.holds(), "{verdict}");
+    assert!(verdict.complete, "{verdict}");
+    assert_eq!(verdict.runs, 75_208);
+    assert_eq!(verdict.patterns.len(), 7);
+
+    // Violated side, shared memory (Protocol E under RV2, Lemma 4.6):
+    // 113 856 runs over 3 patterns.
+    let mut cfg = CheckerConfig::new(QuorumProtocol::ProtocolE, 3, 2, 2, ValidityCondition::RV2);
+    cfg.adversary = AdversaryModel::SmByz;
+    cfg.byz_menu = vec![0];
+    cfg.inputs = Some(vec![1, 1, 1]);
+    let verdict = check_cell(&cfg);
+    assert!(!verdict.holds(), "{verdict}");
+    assert_eq!(verdict.runs, 113_856);
+    assert_eq!(verdict.patterns.len(), 3);
+
+    // Holds side, shared memory (Protocol E under WV2, Lemma 4.10):
+    // 1 363 246 runs over 19 patterns. ~7 s in release but minutes in the
+    // debug profile `cargo test` uses, so it only runs when asked for:
+    // KSET_SLOW_PARITY=1 cargo test --test session_parity
+    if std::env::var_os("KSET_SLOW_PARITY").is_some() {
+        let mut cfg =
+            CheckerConfig::new(QuorumProtocol::ProtocolE, 3, 2, 2, ValidityCondition::WV2);
+        cfg.adversary = AdversaryModel::SmByz;
+        cfg.byz_menu = vec![0];
+        cfg.inputs = Some(vec![1, 1, 1]);
+        let verdict = check_cell(&cfg);
+        assert!(verdict.holds(), "{verdict}");
+        assert!(verdict.complete, "{verdict}");
+        assert_eq!(verdict.runs, 1_363_246);
+        assert_eq!(verdict.patterns.len(), 19);
+    }
+}
+
+#[test]
+fn checker_counters_are_execution_strategy_invariant() {
+    // Fork mode and thread count are pure execution strategies: the PR 9
+    // frontier cell certifies with identical counters and the identical
+    // counterexample under every combination.
+    let reference = check_cell(&mp_byz_cell());
+    for (fork, threads) in [(ForkMode::Fork, 1), (ForkMode::Replay, 2), (ForkMode::Auto, 2)] {
+        let mut cfg = mp_byz_cell();
+        cfg.fork = fork;
+        cfg.threads = threads;
+        let verdict = check_cell(&cfg);
+        let context = format!("fork {fork:?}, {threads} thread(s)");
+        assert_eq!(verdict.holds(), reference.holds(), "{context}");
+        assert_eq!(verdict.runs, reference.runs, "{context}");
+        assert_eq!(verdict.counterexample, reference.counterexample, "{context}");
+        assert_eq!(verdict.patterns.len(), reference.patterns.len(), "{context}");
+        for (a, b) in verdict.patterns.iter().zip(&reference.patterns) {
+            assert_eq!(a.runs, b.runs, "{context}, pattern {:?}", a.crashed);
+            assert_eq!(a.states, b.states, "{context}, pattern {:?}", a.crashed);
+            assert_eq!(a.violation, b.violation, "{context}, pattern {:?}", a.crashed);
+        }
+    }
+}
